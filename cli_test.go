@@ -1,0 +1,141 @@
+package fastsim
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// buildCmd compiles one of the repository's commands once per test run.
+var (
+	buildOnce sync.Once
+	buildDir  string
+	buildErr  error
+)
+
+func binaries(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		buildDir, buildErr = os.MkdirTemp("", "fastsim-bin")
+		if buildErr != nil {
+			return
+		}
+		for _, c := range []string{"fastsim", "fsbench", "fsasm"} {
+			cmd := exec.Command("go", "build", "-o", filepath.Join(buildDir, c), "./cmd/"+c)
+			if out, err := cmd.CombinedOutput(); err != nil {
+				buildErr = err
+				t.Logf("build %s: %s", c, out)
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		t.Skipf("cannot build commands: %v", buildErr)
+	}
+	return buildDir
+}
+
+func runCLI(t *testing.T, name string, args ...string) string {
+	t.Helper()
+	bin := filepath.Join(binaries(t), name)
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIFastsimWorkload(t *testing.T) {
+	out := runCLI(t, "fastsim", "-workload", "130.li", "-scale", "0.05")
+	for _, want := range []string{"cycles:", "memoization:", "checksum:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIFastsimEnginesAgree(t *testing.T) {
+	fast := runCLI(t, "fastsim", "-workload", "129.compress", "-scale", "0.05")
+	slow := runCLI(t, "fastsim", "-engine", "slowsim", "-workload", "129.compress", "-scale", "0.05")
+	pick := func(out, prefix string) string {
+		for _, l := range strings.Split(out, "\n") {
+			if strings.HasPrefix(l, prefix) {
+				return l
+			}
+		}
+		return ""
+	}
+	if c1, c2 := pick(fast, "cycles:"), pick(slow, "cycles:"); c1 == "" || c1 != c2 {
+		t.Errorf("cycle lines differ:\n%s\n%s", c1, c2)
+	}
+}
+
+func TestCLIFastsimList(t *testing.T) {
+	out := runCLI(t, "fastsim", "-list")
+	if strings.Count(out, "\n") != 18 {
+		t.Errorf("want 18 workloads:\n%s", out)
+	}
+}
+
+func TestCLIFastsimJSON(t *testing.T) {
+	out := runCLI(t, "fastsim", "-workload", "130.li", "-scale", "0.02", "-json")
+	if !strings.Contains(out, `"Cycles"`) || !strings.Contains(out, `"Memo"`) {
+		t.Errorf("json output:\n%.400s", out)
+	}
+}
+
+func TestCLIFsasmRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "p.s")
+	fsx := filepath.Join(dir, "p.fsx")
+	if err := os.WriteFile(src, []byte("main:\n\tli a0, 0\n\thalt\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runCLI(t, "fsasm", "-o", fsx, src)
+	if !strings.Contains(out, "wrote") {
+		t.Errorf("fsasm: %s", out)
+	}
+	out = runCLI(t, "fsasm", "-run", "-d", fsx)
+	if !strings.Contains(out, "executed") || !strings.Contains(out, "halt") {
+		t.Errorf("fsasm -run -d: %s", out)
+	}
+	out = runCLI(t, "fastsim", fsx)
+	if !strings.Contains(out, "cycles:") {
+		t.Errorf("fastsim on fsx: %s", out)
+	}
+}
+
+func TestCLIFsbenchTable1(t *testing.T) {
+	out := runCLI(t, "fsbench", "-table", "1")
+	if !strings.Contains(out, "Decode 4 instructions") {
+		t.Errorf("table 1:\n%s", out)
+	}
+}
+
+func TestCLIFsbenchSmallTable(t *testing.T) {
+	out := runCLI(t, "fsbench", "-table", "2", "-scale", "0.03",
+		"-workloads", "130.li", "-q")
+	if !strings.Contains(out, "130.li") || !strings.Contains(out, "exactness") {
+		t.Errorf("table 2:\n%s", out)
+	}
+}
+
+func TestCLIFastsimTraceAndDot(t *testing.T) {
+	dir := t.TempDir()
+	traceF := filepath.Join(dir, "t.trace")
+	runCLI(t, "fastsim", "-engine", "slowsim", "-workload", "130.li",
+		"-scale", "0.02", "-trace", traceF)
+	b, err := os.ReadFile(traceF)
+	if err != nil || len(b) == 0 {
+		t.Errorf("trace file: %v (%d bytes)", err, len(b))
+	}
+	dotF := filepath.Join(dir, "g.dot")
+	runCLI(t, "fastsim", "-workload", "130.li", "-scale", "0.02", "-dot", dotF)
+	b, err = os.ReadFile(dotF)
+	if err != nil || !strings.Contains(string(b), "digraph") {
+		t.Errorf("dot file: %v", err)
+	}
+}

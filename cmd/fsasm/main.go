@@ -1,0 +1,108 @@
+// Command fsasm assembles and disassembles SV8 programs.
+//
+// Usage:
+//
+//	fsasm prog.s             # assemble; print a summary
+//	fsasm -d prog.s          # assemble and print the disassembly
+//	fsasm -run prog.s        # assemble and execute functionally
+//	fsasm -workload 099.go   # disassemble a built-in workload
+//	fsasm -src 107.mgrid     # print a built-in workload's generated source
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fastsim"
+)
+
+func main() {
+	var (
+		dis      = flag.Bool("d", false, "print disassembly")
+		out      = flag.String("o", "", "write the assembled program to a binary .fsx file")
+		run      = flag.Bool("run", false, "execute the program functionally")
+		workload = flag.String("workload", "", "use a built-in workload instead of a file")
+		src      = flag.String("src", "", "print a built-in workload's generated assembly source")
+		scale    = flag.Float64("scale", 1.0, "workload scale factor")
+	)
+	flag.Parse()
+
+	if *src != "" {
+		w, ok := fastsim.GetWorkload(*src)
+		if !ok {
+			fatal(fmt.Errorf("unknown workload %q", *src))
+		}
+		fmt.Print(w.Source(*scale))
+		return
+	}
+
+	var prog *fastsim.Program
+	var err error
+	switch {
+	case *workload != "":
+		w, ok := fastsim.GetWorkload(*workload)
+		if !ok {
+			fatal(fmt.Errorf("unknown workload %q", *workload))
+		}
+		prog, err = w.Build(*scale)
+	case flag.NArg() == 1:
+		arg := flag.Arg(0)
+		if strings.HasSuffix(arg, ".fsx") {
+			var f *os.File
+			if f, err = os.Open(arg); err == nil {
+				prog, err = fastsim.ReadProgram(f, arg)
+				f.Close()
+			}
+		} else if strings.HasSuffix(arg, ".mc") {
+			var b []byte
+			if b, err = os.ReadFile(arg); err == nil {
+				prog, err = fastsim.CompileMinC(arg, string(b))
+			}
+		} else {
+			var b []byte
+			if b, err = os.ReadFile(arg); err == nil {
+				prog, err = fastsim.Assemble(arg, string(b))
+			}
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("%s: %d instructions (%d bytes text), %d bytes data, entry %#x\n",
+		prog.Name, len(prog.Text), 4*len(prog.Text), len(prog.Data), prog.Entry)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := fastsim.WriteProgram(f, prog); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	if *dis {
+		fmt.Print(fastsim.Disassemble(prog))
+	}
+	if *run {
+		insts, checksum, exit, err := fastsim.Emulate(prog, 0)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("executed %d instructions; checksum %#08x; exit %d\n",
+			insts, checksum, exit)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fsasm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,95 @@
+package fastsim_test
+
+import (
+	"fmt"
+	"log"
+
+	"fastsim"
+)
+
+// The exactness property: FastSim and SlowSim agree cycle for cycle.
+func ExampleRun() {
+	prog, err := fastsim.Assemble("sum.s", `
+main:
+	li   t0, 100
+	li   t1, 0
+loop:
+	add  t1, t1, t0
+	addi t0, t0, -1
+	bnez t0, loop
+	mv   a0, t1
+	sys  2
+	li   a0, 0
+	halt
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fast, err := fastsim.Run(prog, fastsim.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := fastsim.DefaultConfig()
+	cfg.Memoize = false
+	slow, err := fastsim.Run(prog, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("identical cycles:", fast.Cycles == slow.Cycles)
+	fmt.Println("checksum:", fast.Checksum == slow.Checksum)
+	// Output:
+	// identical cycles: true
+	// checksum: true
+}
+
+// Functional emulation is the semantic oracle.
+func ExampleEmulate() {
+	prog, err := fastsim.Assemble("answer.s", `
+main:
+	li  a0, 42
+	sys 2
+	li  a0, 0
+	halt
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	insts, _, exit, err := fastsim.Emulate(prog, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(insts, "instructions, exit", exit)
+	// Output:
+	// 6 instructions, exit 0
+}
+
+// Bounding the p-action cache with the paper's flush-on-full policy trades
+// speed for memory, never accuracy.
+func ExampleMemoOptions() {
+	w, _ := fastsim.GetWorkload("129.compress")
+	prog, err := w.Build(0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	unbounded, err := fastsim.Run(prog, fastsim.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := fastsim.DefaultConfig()
+	cfg.Memo = fastsim.MemoOptions{Policy: fastsim.PolicyFlush, Limit: 32 << 10}
+	bounded, err := fastsim.Run(prog, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("same cycle count:", unbounded.Cycles == bounded.Cycles)
+	fmt.Println("flushed:", bounded.Memo.Flushes > 0)
+	// Output:
+	// same cycle count: true
+	// flushed: true
+}

@@ -1,0 +1,79 @@
+// Custompipeline: the iQ abstraction "can be easily adapted to model a
+// variety of pipeline designs" (paper §4.1). This example simulates the
+// same workload on three machines — the paper's R10000-like default, a
+// narrow 2-wide machine, and an aggressive 8-wide one — and shows that
+// memoization stays exact under every configuration while the IPC and the
+// p-action cache shape change with the machine.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fastsim"
+)
+
+func main() {
+	w, ok := fastsim.GetWorkload("103.su2cor")
+	if !ok {
+		log.Fatal("workload missing")
+	}
+	prog, err := w.Build(0.4)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type machine struct {
+		name string
+		cfg  fastsim.Config
+	}
+	narrow := fastsim.DefaultConfig()
+	narrow.Uarch.FetchWidth = 2
+	narrow.Uarch.DecodeWidth = 2
+	narrow.Uarch.RetireWidth = 2
+	narrow.Uarch.IntALUs = 1
+	narrow.Uarch.FPUs = 1
+	narrow.Uarch.ActiveList = 16
+
+	wide := fastsim.DefaultConfig()
+	wide.Uarch.FetchWidth = 8
+	wide.Uarch.DecodeWidth = 8
+	wide.Uarch.RetireWidth = 8
+	wide.Uarch.IntALUs = 4
+	wide.Uarch.FPUs = 4
+	wide.Uarch.AddrAdders = 2
+	wide.Uarch.ActiveList = 64
+	wide.Uarch.MaxSpecBranches = 8
+
+	smallCache := fastsim.DefaultConfig()
+	smallCache.Cache.L1Size = 4 << 10
+	smallCache.Cache.L2Size = 64 << 10
+
+	machines := []machine{
+		{"R10000-like (paper Table 1)", fastsim.DefaultConfig()},
+		{"narrow 2-wide", narrow},
+		{"aggressive 8-wide", wide},
+		{"default core, tiny caches", smallCache},
+	}
+
+	fmt.Printf("workload %s\n\n", w.Name)
+	fmt.Printf("%-28s %12s %7s %10s %10s %9s\n",
+		"machine", "cycles", "IPC", "configs", "cacheKB", "exact")
+	for _, m := range machines {
+		fast, err := fastsim.Run(prog, m.cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		slowCfg := m.cfg
+		slowCfg.Memoize = false
+		slow, err := fastsim.Run(prog, slowCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %12d %7.2f %10d %10d %9v\n",
+			m.name, fast.Cycles, fast.IPC(), fast.Memo.Configs,
+			fast.Memo.PeakBytes>>10, fast.Cycles == slow.Cycles)
+	}
+	fmt.Println("\nWider machines finish in fewer cycles; the memoized results stay")
+	fmt.Println("bit-identical to detailed simulation on every configuration.")
+}

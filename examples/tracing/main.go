@@ -1,0 +1,77 @@
+// Tracing: look inside the mechanisms — disassemble a program, watch
+// speculative direct-execution record control points and roll back wrong
+// paths, and inspect the memoization statistics that drive Tables 4 and 5.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fastsim"
+)
+
+const source = `
+# A loop whose branch alternates direction — hard for 2-bit counters,
+# so speculative direct-execution rolls back often.
+main:
+	li   s0, 300          # iterations
+	li   s1, 0            # accumulator
+loop:
+	andi t0, s0, 1
+	beqz t0, even
+	addi s1, s1, 7        # odd path
+	j    next
+even:
+	slli s1, s1, 1        # even path
+next:
+	addi s0, s0, -1
+	bnez s0, loop
+	mv   a0, s1
+	sys  2
+	li   a0, 0
+	halt
+`
+
+func main() {
+	prog, err := fastsim.Assemble("alternating.s", source)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== disassembly ===")
+	fmt.Print(fastsim.Disassemble(prog))
+
+	res, err := fastsim.Run(prog, fastsim.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n=== speculative direct-execution (paper §3.2) ===")
+	d := res.Direct
+	fmt.Printf("functional instructions executed: %d\n", d.Insts)
+	fmt.Printf("  on wrong (rolled-back) paths:   %d (%.1f%%)\n",
+		d.WrongPathInsts, 100*float64(d.WrongPathInsts)/float64(d.Insts))
+	fmt.Printf("bQ register checkpoints taken:    %d (high water %d of 4)\n",
+		d.Checkpoints, d.BQHighWater)
+	fmt.Printf("rollbacks (mispredicts resolved): %d\n", d.Rollbacks)
+	fmt.Printf("branch predictor: %d/%d mispredicted (%.1f%%)\n",
+		res.BPredMispredicts, res.BPredPredicts,
+		100*float64(res.BPredMispredicts)/float64(res.BPredPredicts))
+
+	fmt.Println("\n=== fast-forwarding (paper §4) ===")
+	m := res.Memo
+	fmt.Printf("configurations: %d (avg %0.1f bytes compressed)\n",
+		m.Configs, float64(m.ConfigBytesC)/float64(m.Configs))
+	fmt.Printf("actions:        %d (%.1f per configuration dynamically)\n",
+		m.Actions, m.ActionsPerConfig())
+	fmt.Printf("lookups:        %d (%d hits)\n", m.Lookups, m.Hits)
+	fmt.Printf("episodes:       %d recorded in detail, %d replayed\n",
+		m.EpisodesRecord, m.EpisodesReplay)
+	fmt.Printf("instructions:   %d detailed vs %d replayed (%.3f%% detailed)\n",
+		m.DetailedInsts, m.ReplayInsts, m.DetailedFraction()*100)
+	fmt.Printf("replay chains:  average %.0f actions, max %d\n",
+		m.AvgChain(), m.ChainMax)
+	fmt.Printf("unseen-outcome stops (new graph branches): %d\n", m.EdgeMisses)
+
+	fmt.Printf("\nfinal: %d cycles, checksum %#x\n", res.Cycles, res.Checksum)
+}

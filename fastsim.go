@@ -1,0 +1,147 @@
+// Package fastsim is a Go reproduction of FastSim, the memoizing
+// out-of-order processor simulator of Schnarr & Larus, "Fast Out-Of-Order
+// Processor Simulation Using Memoization" (ASPLOS-VIII, 1998).
+//
+// FastSim simulates a speculative, out-of-order uniprocessor (a MIPS
+// R10000-like microarchitecture) cycle-accurately, and accelerates the
+// simulation with two techniques:
+//
+//   - Speculative direct-execution: the target program runs functionally,
+//     decoupled from and ahead of the timing model; mispredicted paths are
+//     executed directly and rolled back when the µ-architecture resolves
+//     the branch (paper §3).
+//   - Fast-forwarding: µ-architecture configurations and the simulator
+//     actions they produce are memoized in a p-action cache; revisiting a
+//     configuration replays the actions instead of re-running the detailed
+//     simulator, with bit-identical statistics (paper §4).
+//
+// # Quick start
+//
+//	prog, err := fastsim.Assemble("prog.s", source)
+//	res, err := fastsim.Run(prog, fastsim.DefaultConfig())
+//	fmt.Println(res.Cycles, res.IPC(), res.Memo.AvgChain())
+//
+// Compare FastSim against its non-memoized self (SlowSim) — the results are
+// identical, only the wall time differs:
+//
+//	cfg := fastsim.DefaultConfig()
+//	cfg.Memoize = false
+//	slow, err := fastsim.Run(prog, cfg)
+//
+// The packages under internal/ implement the full system: the SV8 ISA and
+// assembler, the functional emulator, speculative direct-execution, the
+// non-blocking cache hierarchy, the iQ-centric detailed pipeline, the
+// p-action cache with all of §4.3's replacement policies, the
+// SimpleScalar-surrogate baseline, the 18 SPEC95-like workloads, and the
+// harness that regenerates every table and figure of the paper.
+package fastsim
+
+import (
+	"io"
+
+	"fastsim/internal/asm"
+	"fastsim/internal/cachesim"
+	"fastsim/internal/core"
+	"fastsim/internal/emulator"
+	"fastsim/internal/memo"
+	"fastsim/internal/minc"
+	"fastsim/internal/progfile"
+	"fastsim/internal/program"
+	"fastsim/internal/refsim"
+	"fastsim/internal/uarch"
+	"fastsim/internal/workloads"
+)
+
+// Program is a loaded SV8 executable image.
+type Program = program.Program
+
+// Config selects the processor model and simulation options.
+type Config = core.Config
+
+// Result reports one simulation: cycle-accurate statistics plus the
+// program's architectural results.
+type Result = core.Result
+
+// PipelineParams are the out-of-order pipeline parameters (paper Table 1).
+type PipelineParams = uarch.Params
+
+// CacheConfig is the memory-hierarchy configuration (paper Table 1).
+type CacheConfig = cachesim.Config
+
+// MemoOptions configures the p-action cache (policy and size limit).
+type MemoOptions = memo.Options
+
+// MemoPolicy selects a p-action cache replacement policy (§4.3).
+type MemoPolicy = memo.Policy
+
+// MemoStats reports memoization behaviour (Tables 4 and 5).
+type MemoStats = memo.Stats
+
+// Replacement policies of §4.3.
+const (
+	PolicyUnbounded = memo.PolicyUnbounded
+	PolicyFlush     = memo.PolicyFlush
+	PolicyGC        = memo.PolicyGC
+	PolicyGenGC     = memo.PolicyGenGC
+)
+
+// Workload is one of the 18 SPEC95-like benchmarks.
+type Workload = workloads.Workload
+
+// DefaultConfig returns the paper's processor model with memoization
+// enabled and an unbounded p-action cache.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// DefaultPipelineParams returns the paper's Table 1 pipeline.
+func DefaultPipelineParams() PipelineParams { return uarch.DefaultParams() }
+
+// DefaultCacheConfig returns the paper's Table 1 cache hierarchy.
+func DefaultCacheConfig() CacheConfig { return cachesim.DefaultConfig() }
+
+// Run simulates prog cycle-accurately: FastSim when cfg.Memoize is set,
+// SlowSim otherwise. The two produce bit-identical statistics.
+func Run(prog *Program, cfg Config) (*Result, error) { return core.Run(prog, cfg) }
+
+// Assemble translates SV8 assembly source into a runnable Program.
+func Assemble(name, src string) (*Program, error) { return asm.Assemble(name, src) }
+
+// Disassemble renders a program's text segment as an annotated listing.
+func Disassemble(p *Program) string { return asm.Disassemble(p) }
+
+// Emulate runs prog functionally (no timing) and returns the retired
+// instruction count, checksum and exit code. It is the semantic oracle and
+// the "native execution" surrogate of the evaluation.
+func Emulate(prog *Program, maxInsts uint64) (insts uint64, checksum, exitCode uint32, err error) {
+	cpu := emulator.New(prog)
+	if err := cpu.Run(maxInsts); err != nil {
+		return cpu.InstCount, cpu.Checksum, cpu.ExitCode, err
+	}
+	return cpu.InstCount, cpu.Checksum, cpu.ExitCode, nil
+}
+
+// CompileMinC compiles MinC source (a tiny C-like language; see
+// internal/minc) into a runnable Program.
+func CompileMinC(name, src string) (*Program, error) {
+	return minc.CompileProgram(name, src)
+}
+
+// WriteProgram serializes an assembled program to the binary .fsx format.
+func WriteProgram(w io.Writer, p *Program) error { return progfile.Write(w, p) }
+
+// ReadProgram deserializes a program written by WriteProgram.
+func ReadProgram(r io.Reader, name string) (*Program, error) { return progfile.Read(r, name) }
+
+// RefResult reports a run of the conventional (SimpleScalar-surrogate)
+// out-of-order simulator.
+type RefResult = refsim.Result
+
+// RunReference simulates prog on the conventional baseline simulator.
+func RunReference(prog *Program, maxCycles uint64) (*RefResult, error) {
+	return refsim.Run(prog, refsim.DefaultParams(), cachesim.DefaultConfig(), maxCycles)
+}
+
+// Workloads returns the 18 SPEC95-like benchmarks in the paper's order.
+func Workloads() []*Workload { return workloads.All() }
+
+// GetWorkload looks a workload up by name (e.g. "099.go").
+func GetWorkload(name string) (*Workload, bool) { return workloads.Get(name) }

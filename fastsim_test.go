@@ -1,0 +1,102 @@
+package fastsim
+
+import "testing"
+
+const demoSrc = `
+main:
+	li   t0, 400
+	li   t1, 0
+loop:
+	add  t1, t1, t0
+	addi t0, t0, -1
+	bnez t0, loop
+	mv   a0, t1
+	sys  2
+	li   a0, 0
+	halt
+`
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	prog, err := Assemble("demo.s", demoSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	insts, checksum, exit, err := Emulate(prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exit != 0 || checksum == 0 || insts == 0 {
+		t.Fatalf("emulate: insts=%d checksum=%#x exit=%d", insts, checksum, exit)
+	}
+
+	fast, err := Run(prog, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Memoize = false
+	slow, err := Run(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Cycles != slow.Cycles || fast.Checksum != checksum || fast.Insts != insts {
+		t.Errorf("engines disagree: fast=%d slow=%d cycles, checksum %#x vs %#x",
+			fast.Cycles, slow.Cycles, fast.Checksum, checksum)
+	}
+
+	ref, err := RunReference(prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Checksum != checksum {
+		t.Error("reference simulator functional mismatch")
+	}
+
+	if d := Disassemble(prog); len(d) == 0 {
+		t.Error("empty disassembly")
+	}
+}
+
+func TestPublicAPIWorkloads(t *testing.T) {
+	if len(Workloads()) != 18 {
+		t.Fatal("workload registry incomplete")
+	}
+	w, ok := GetWorkload("107.mgrid")
+	if !ok {
+		t.Fatal("mgrid missing")
+	}
+	prog, err := w.Build(0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(prog, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 || !res.Memoized {
+		t.Error("implausible result")
+	}
+}
+
+func TestPublicAPIMemoPolicies(t *testing.T) {
+	prog, err := Assemble("demo.s", demoSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Run(prog, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range []MemoPolicy{PolicyFlush, PolicyGC, PolicyGenGC} {
+		cfg := DefaultConfig()
+		cfg.Memo = MemoOptions{Policy: pol, Limit: 8 << 10}
+		r, err := Run(prog, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		if r.Cycles != base.Cycles {
+			t.Errorf("%v: cycles %d != %d", pol, r.Cycles, base.Cycles)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module fastsim
+
+go 1.22

@@ -1,0 +1,455 @@
+// Package asm implements a two-pass assembler for the SV8 ISA. It supports
+// labels, a text and a data section, data directives, and the usual
+// pseudo-instructions (li, la, mv, nop, call, ret, ...). The workload
+// generators and the example programs are written against it.
+package asm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"fastsim/internal/isa"
+	"fastsim/internal/program"
+)
+
+// Error is an assembly error with source position.
+type Error struct {
+	File string
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg)
+}
+
+// ErrorList collects all errors found in one assembly run.
+type ErrorList []*Error
+
+func (l ErrorList) Error() string {
+	if len(l) == 0 {
+		return "no errors"
+	}
+	var b strings.Builder
+	for i, e := range l {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(e.Error())
+	}
+	return b.String()
+}
+
+type section int
+
+const (
+	secText section = iota
+	secData
+)
+
+// item is one assembled statement awaiting pass-2 resolution.
+type item struct {
+	line    int
+	section section
+	addr    uint32 // address assigned in pass 1
+
+	// text items
+	op   isa.Opcode
+	rd   uint8
+	rs1  uint8
+	rs2  uint8
+	imm  int64  // resolved immediate, or offset for sym
+	sym  string // unresolved symbol; imm acts as addend
+	kind itemKind
+
+	// data items
+	bytes []byte
+}
+
+type itemKind int
+
+const (
+	kindInst    itemKind = iota
+	kindInstSym          // instruction whose immediate is sym+imm (branch/jump target or absolute)
+	kindLiLui            // first half of li/la: lui rd, upper(sym/imm)
+	kindLiOri            // second half of li/la: ori rd, rd, lower(sym/imm)
+	kindData             // raw bytes
+	kindWordSym          // 4-byte data word holding sym+imm
+)
+
+type assembler struct {
+	file   string
+	errs   ErrorList
+	items  []*item
+	labels map[string]uint32
+	text   uint32 // next text address
+	data   uint32 // next data address
+	sec    section
+	entry  string
+}
+
+// Assemble translates SV8 assembly source into a loaded Program.
+func Assemble(name, src string) (*program.Program, error) {
+	a := &assembler{
+		file:   name,
+		labels: make(map[string]uint32),
+		text:   program.TextBase,
+		data:   program.DataBase,
+	}
+	a.pass1(src)
+	if len(a.errs) > 0 {
+		return nil, a.errs
+	}
+	p, err := a.pass2()
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (a *assembler) errorf(line int, format string, args ...interface{}) {
+	if len(a.errs) < 20 {
+		a.errs = append(a.errs, &Error{a.file, line, fmt.Sprintf(format, args...)})
+	}
+}
+
+func stripComment(s string) string {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '#', ';':
+			return s[:i]
+		case '/':
+			if i+1 < len(s) && s[i+1] == '/' {
+				return s[:i]
+			}
+		case '"': // don't cut comments inside string literals
+			for i++; i < len(s) && s[i] != '"'; i++ {
+				if s[i] == '\\' {
+					i++
+				}
+			}
+		}
+	}
+	return s
+}
+
+func (a *assembler) pass1(src string) {
+	for ln, raw := range strings.Split(src, "\n") {
+		line := ln + 1
+		s := strings.TrimSpace(stripComment(raw))
+		for s != "" {
+			// Peel off leading labels; several may share a line.
+			if i := strings.IndexByte(s, ':'); i >= 0 && isLabelName(s[:i]) {
+				a.defineLabel(line, s[:i])
+				s = strings.TrimSpace(s[i+1:])
+				continue
+			}
+			break
+		}
+		if s == "" {
+			continue
+		}
+		if strings.HasPrefix(s, ".") {
+			a.directive(line, s)
+			continue
+		}
+		a.statement(line, s)
+	}
+}
+
+func isLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (a *assembler) defineLabel(line int, name string) {
+	if _, dup := a.labels[name]; dup {
+		a.errorf(line, "label %q redefined", name)
+		return
+	}
+	if a.sec == secText {
+		a.labels[name] = a.text
+	} else {
+		a.labels[name] = a.data
+	}
+}
+
+func (a *assembler) directive(line int, s string) {
+	fields := strings.Fields(s)
+	dir := fields[0]
+	rest := strings.TrimSpace(strings.TrimPrefix(s, dir))
+	switch dir {
+	case ".text":
+		a.sec = secText
+	case ".data":
+		a.sec = secData
+	case ".entry":
+		if len(fields) != 2 {
+			a.errorf(line, ".entry needs one label")
+			return
+		}
+		a.entry = fields[1]
+	case ".word":
+		a.dataWords(line, rest)
+	case ".byte":
+		a.dataInts(line, rest, 1)
+	case ".half":
+		a.dataInts(line, rest, 2)
+	case ".double":
+		a.dataDoubles(line, rest)
+	case ".space":
+		n, err := strconv.ParseUint(strings.TrimSpace(rest), 0, 32)
+		if err != nil {
+			a.errorf(line, ".space: bad size %q", rest)
+			return
+		}
+		a.emitData(line, make([]byte, n))
+	case ".align":
+		n, err := strconv.ParseUint(strings.TrimSpace(rest), 0, 32)
+		if err != nil || n == 0 || n&(n-1) != 0 {
+			a.errorf(line, ".align: need a power of two, got %q", rest)
+			return
+		}
+		cur := a.data
+		if a.sec == secText {
+			a.errorf(line, ".align is only supported in .data")
+			return
+		}
+		pad := (uint32(n) - cur%uint32(n)) % uint32(n)
+		if pad > 0 {
+			a.emitData(line, make([]byte, pad))
+		}
+	case ".asciz":
+		str, err := strconv.Unquote(strings.TrimSpace(rest))
+		if err != nil {
+			a.errorf(line, ".asciz: bad string %q", rest)
+			return
+		}
+		a.emitData(line, append([]byte(str), 0))
+	default:
+		a.errorf(line, "unknown directive %q", dir)
+	}
+}
+
+func (a *assembler) emitData(line int, b []byte) {
+	if a.sec != secData {
+		a.errorf(line, "data directive outside .data section")
+		return
+	}
+	a.items = append(a.items, &item{line: line, section: secData, addr: a.data, kind: kindData, bytes: b})
+	a.data += uint32(len(b))
+}
+
+func (a *assembler) dataWords(line int, rest string) {
+	for _, f := range splitOperands(rest) {
+		if sym, add, ok := parseSymRef(f); ok {
+			if a.sec != secData {
+				a.errorf(line, ".word outside .data")
+				return
+			}
+			a.items = append(a.items, &item{line: line, section: secData, addr: a.data,
+				kind: kindWordSym, sym: sym, imm: add})
+			a.data += 4
+			continue
+		}
+		v, err := parseInt(f)
+		if err != nil {
+			a.errorf(line, ".word: %v", err)
+			return
+		}
+		a.emitData(line, []byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)})
+	}
+}
+
+func (a *assembler) dataInts(line int, rest string, width int) {
+	for _, f := range splitOperands(rest) {
+		v, err := parseInt(f)
+		if err != nil {
+			a.errorf(line, "bad value: %v", err)
+			return
+		}
+		b := make([]byte, width)
+		for k := 0; k < width; k++ {
+			b[k] = byte(v >> (8 * k))
+		}
+		a.emitData(line, b)
+	}
+}
+
+func (a *assembler) dataDoubles(line int, rest string) {
+	for _, f := range splitOperands(rest) {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			a.errorf(line, ".double: bad value %q", f)
+			return
+		}
+		bits := math.Float64bits(v)
+		b := make([]byte, 8)
+		for k := 0; k < 8; k++ {
+			b[k] = byte(bits >> (8 * k))
+		}
+		a.emitData(line, b)
+	}
+}
+
+// emitInst appends one instruction item in the text section.
+func (a *assembler) emitInst(line int, it item) {
+	if a.sec != secText {
+		a.errorf(line, "instruction outside .text section")
+		return
+	}
+	it.line = line
+	it.section = secText
+	it.addr = a.text
+	a.items = append(a.items, &it)
+	a.text += isa.WordSize
+}
+
+func splitOperands(s string) []string {
+	var out []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	last := strings.TrimSpace(s[start:])
+	if last != "" || len(out) > 0 {
+		out = append(out, last)
+	}
+	return out
+}
+
+func parseInt(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if len(s) >= 3 && s[0] == '\'' && s[len(s)-1] == '\'' {
+		body, err := strconv.Unquote(s)
+		if err != nil || len(body) != 1 {
+			return 0, fmt.Errorf("bad character literal %q", s)
+		}
+		return int64(body[0]), nil
+	}
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	v, err := strconv.ParseUint(s, 0, 33)
+	if err != nil {
+		return 0, fmt.Errorf("bad integer %q", s)
+	}
+	r := int64(v)
+	if neg {
+		r = -r
+	}
+	if r < math.MinInt32 || r > math.MaxUint32 {
+		return 0, fmt.Errorf("integer %q out of 32-bit range", s)
+	}
+	return r, nil
+}
+
+// parseSymRef recognizes "label", "label+N" and "label-N".
+func parseSymRef(s string) (sym string, addend int64, ok bool) {
+	s = strings.TrimSpace(s)
+	body := s
+	for i := 1; i < len(s); i++ {
+		if s[i] == '+' || s[i] == '-' {
+			body = s[:i]
+			v, err := parseInt(s[i+1:])
+			if err != nil {
+				return "", 0, false
+			}
+			if s[i] == '-' {
+				v = -v
+			}
+			addend = v
+			break
+		}
+	}
+	if !isLabelName(body) {
+		return "", 0, false
+	}
+	if _, err := strconv.ParseInt(body, 0, 64); err == nil {
+		return "", 0, false
+	}
+	return body, addend, true
+}
+
+func (a *assembler) intReg(line int, s string) uint8 {
+	n := isa.IntRegByName(strings.TrimSpace(s))
+	if n < 0 {
+		a.errorf(line, "bad integer register %q", s)
+		return 0
+	}
+	return uint8(n)
+}
+
+func (a *assembler) fpReg(line int, s string) uint8 {
+	n := isa.FPRegByName(strings.TrimSpace(s))
+	if n < 0 {
+		a.errorf(line, "bad FP register %q", s)
+		return 0
+	}
+	return uint8(n)
+}
+
+// immOrSym fills it.imm / it.sym from operand s.
+func (a *assembler) immOrSym(line int, s string, it *item, kind itemKind) {
+	if sym, add, ok := parseSymRef(s); ok {
+		it.sym = sym
+		it.imm = add
+		it.kind = kind
+		return
+	}
+	v, err := parseInt(s)
+	if err != nil {
+		a.errorf(line, "bad immediate %q", s)
+		return
+	}
+	it.imm = v
+	it.kind = kindInst
+}
+
+// memOperand parses "imm(reg)" or "(reg)" or "label(reg)".
+func (a *assembler) memOperand(line int, s string) (base uint8, imm int64) {
+	s = strings.TrimSpace(s)
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		a.errorf(line, "bad memory operand %q (want imm(reg))", s)
+		return 0, 0
+	}
+	base = a.intReg(line, s[open+1:len(s)-1])
+	if open > 0 {
+		v, err := parseInt(s[:open])
+		if err != nil {
+			a.errorf(line, "bad memory offset in %q", s)
+			return base, 0
+		}
+		imm = v
+	}
+	return base, imm
+}

@@ -1,0 +1,304 @@
+package asm
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"fastsim/internal/isa"
+	"fastsim/internal/program"
+)
+
+func assemble(t *testing.T, src string) *program.Program {
+	t.Helper()
+	p, err := Assemble("test.s", src)
+	if err != nil {
+		t.Fatalf("assemble failed:\n%v", err)
+	}
+	return p
+}
+
+func inst(t *testing.T, p *program.Program, idx int) isa.Inst {
+	t.Helper()
+	return p.MustInstAt(program.TextBase + uint32(idx)*isa.WordSize)
+}
+
+func TestBasicInstructions(t *testing.T) {
+	p := assemble(t, `
+main:
+	add  a0, a1, a2
+	addi t0, t1, -42
+	lui  s0, 0x4000
+	lw   a3, 8(sp)
+	sw   a3, -4(sp)
+	fld  f1, 16(a0)
+	fsd  f1, 24(a0)
+	fadd f2, f3, f4
+	fsqrt f5, f6
+	cvtif f0, a0
+	cvtfi a1, f0
+	feq  t2, f1, f2
+	sys  2
+	halt
+`)
+	want := []isa.Inst{
+		{Op: isa.OpAdd, Rd: isa.RegA0, Rs1: isa.RegA1, Rs2: isa.RegA2},
+		{Op: isa.OpAddi, Rd: isa.RegT0, Rs1: isa.RegT0 + 1, Imm: -42},
+		{Op: isa.OpLui, Rd: isa.RegS0, Imm: 0x4000},
+		{Op: isa.OpLw, Rd: isa.RegA3, Rs1: isa.RegSP, Imm: 8},
+		{Op: isa.OpSw, Rd: isa.RegA3, Rs1: isa.RegSP, Imm: -4},
+		{Op: isa.OpFld, Rd: 1, Rs1: isa.RegA0, Imm: 16},
+		{Op: isa.OpFsd, Rd: 1, Rs1: isa.RegA0, Imm: 24},
+		{Op: isa.OpFadd, Rd: 2, Rs1: 3, Rs2: 4},
+		{Op: isa.OpFsqrt, Rd: 5, Rs1: 6},
+		{Op: isa.OpCvtif, Rd: 0, Rs1: isa.RegA0},
+		{Op: isa.OpCvtfi, Rd: isa.RegA1, Rs1: 0},
+		{Op: isa.OpFeq, Rd: isa.RegT0 + 2, Rs1: 1, Rs2: 2},
+		{Op: isa.OpSys, Imm: isa.SysCheck},
+		{Op: isa.OpHalt},
+	}
+	for k, w := range want {
+		if got := inst(t, p, k); got != w {
+			t.Errorf("inst %d = %+v, want %+v", k, got, w)
+		}
+	}
+}
+
+func TestBranchLabels(t *testing.T) {
+	p := assemble(t, `
+main:
+loop:
+	addi a0, a0, -1
+	bnez a0, loop
+	beq  a0, a1, done
+	j    loop
+done:
+	halt
+`)
+	// bnez at index 1 targets loop (index 0): offset -4.
+	if i := inst(t, p, 1); i.Op != isa.OpBne || i.Imm != -4 {
+		t.Errorf("bnez = %+v", i)
+	}
+	// beq at index 2 targets done (index 4): offset +8.
+	if i := inst(t, p, 2); i.Op != isa.OpBeq || i.Imm != 8 {
+		t.Errorf("beq = %+v", i)
+	}
+	// j at index 3 targets loop: offset -12.
+	if i := inst(t, p, 3); i.Op != isa.OpJ || i.Imm != -12 {
+		t.Errorf("j = %+v", i)
+	}
+}
+
+func TestPseudoInstructions(t *testing.T) {
+	p := assemble(t, `
+main:
+	nop
+	mv   a0, a1
+	not  a0, a1
+	neg  a0, a1
+	li   t0, 0x12345678
+	call f
+	ret
+	jr   t1
+	bgt  a0, a1, main
+	ble  a0, a1, main
+f:	halt
+`)
+	checks := []struct {
+		idx  int
+		want isa.Inst
+	}{
+		{0, isa.Inst{Op: isa.OpAddi}},
+		{1, isa.Inst{Op: isa.OpAddi, Rd: isa.RegA0, Rs1: isa.RegA1}},
+		{2, isa.Inst{Op: isa.OpXori, Rd: isa.RegA0, Rs1: isa.RegA1, Imm: -1}},
+		{3, isa.Inst{Op: isa.OpSub, Rd: isa.RegA0, Rs2: isa.RegA1}},
+		{4, isa.Inst{Op: isa.OpLui, Rd: isa.RegT0, Imm: 0x12345678 &^ 0x1FFF}},
+		{5, isa.Inst{Op: isa.OpOri, Rd: isa.RegT0, Rs1: isa.RegT0, Imm: 0x12345678 & 0x1FFF}},
+		{7, isa.Inst{Op: isa.OpJalr, Rd: 0, Rs1: isa.RegRA}},
+		{8, isa.Inst{Op: isa.OpJalr, Rd: 0, Rs1: isa.RegT0 + 1}},
+		{9, isa.Inst{Op: isa.OpBlt, Rs1: isa.RegA1, Rs2: isa.RegA0, Imm: -36}},
+		{10, isa.Inst{Op: isa.OpBge, Rs1: isa.RegA1, Rs2: isa.RegA0, Imm: -40}},
+	}
+	for _, c := range checks {
+		if got := inst(t, p, c.idx); got != c.want {
+			t.Errorf("inst %d = %+v, want %+v", c.idx, got, c.want)
+		}
+	}
+	// call at 6 targets f at index 11.
+	if i := inst(t, p, 6); i.Op != isa.OpJal || i.Rd != isa.RegRA || i.Imm != (11-6)*4 {
+		t.Errorf("call = %+v", i)
+	}
+}
+
+func TestLiRoundTripValues(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 0x1FFF, 0x2000, 0x7FFFFFFF, -0x80000000, 0x12345678, -42} {
+		p := assemble(t, "main:\n\tli a0, "+itoa(v)+"\n\thalt\n")
+		lui, ori := inst(t, p, 0), inst(t, p, 1)
+		got := uint32(lui.Imm) | uint32(ori.Imm)
+		if got != uint32(v) {
+			t.Errorf("li %d: lui|ori = %#x, want %#x", v, got, uint32(v))
+		}
+	}
+}
+
+func itoa(v int64) string {
+	if v < 0 {
+		return "-" + itoa(-v)
+	}
+	if v < 10 {
+		return string(rune('0' + v))
+	}
+	return itoa(v/10) + string(rune('0'+v%10))
+}
+
+func TestDataSection(t *testing.T) {
+	p := assemble(t, `
+.data
+vals:	.word 1, 2, -1, 0xDEADBEEF
+bytes:	.byte 'A', 10
+	.align 8
+pi:	.double 3.25
+ptr:	.word vals+8
+buf:	.space 16
+str:	.asciz "hi"
+.text
+main:
+	la a0, vals
+	halt
+`)
+	if got := p.Symbols["vals"]; got != program.DataBase {
+		t.Errorf("vals = %#x", got)
+	}
+	d := p.Data
+	if d[0] != 1 || d[4] != 2 || d[8] != 0xFF || d[12] != 0xEF {
+		t.Errorf("words wrong: % x", d[:16])
+	}
+	if d[16] != 'A' || d[17] != 10 {
+		t.Errorf("bytes wrong")
+	}
+	piOff := p.Symbols["pi"] - program.DataBase
+	if piOff%8 != 0 {
+		t.Errorf("pi not aligned: %#x", piOff)
+	}
+	bits := uint64(0)
+	for k := 0; k < 8; k++ {
+		bits |= uint64(d[piOff+uint32(k)]) << (8 * k)
+	}
+	if math.Float64frombits(bits) != 3.25 {
+		t.Errorf("pi = %v", math.Float64frombits(bits))
+	}
+	ptrOff := p.Symbols["ptr"] - program.DataBase
+	got := uint32(d[ptrOff]) | uint32(d[ptrOff+1])<<8 | uint32(d[ptrOff+2])<<16 | uint32(d[ptrOff+3])<<24
+	if got != program.DataBase+8 {
+		t.Errorf("ptr = %#x, want %#x", got, program.DataBase+8)
+	}
+	strOff := p.Symbols["str"] - program.DataBase
+	if string(d[strOff:strOff+3]) != "hi\x00" {
+		t.Errorf("str wrong")
+	}
+	// la expands against the data label.
+	lui, ori := inst(t, p, 0), inst(t, p, 1)
+	if uint32(lui.Imm)|uint32(ori.Imm) != program.DataBase {
+		t.Errorf("la = %#x", uint32(lui.Imm)|uint32(ori.Imm))
+	}
+}
+
+func TestEntryDirective(t *testing.T) {
+	p := assemble(t, `
+.entry start
+pad:	nop
+start:	halt
+`)
+	if p.Entry != program.TextBase+4 {
+		t.Errorf("entry = %#x", p.Entry)
+	}
+	// Default: main label.
+	p2 := assemble(t, "x: nop\nmain: halt\n")
+	if p2.Entry != program.TextBase+4 {
+		t.Errorf("default entry = %#x", p2.Entry)
+	}
+	// No main: text base.
+	p3 := assemble(t, "x: halt\n")
+	if p3.Entry != program.TextBase {
+		t.Errorf("fallback entry = %#x", p3.Entry)
+	}
+}
+
+func TestComments(t *testing.T) {
+	p := assemble(t, `
+main: # comment
+	addi a0, a0, 1 ; another
+	addi a0, a0, 2 // third
+	halt
+`)
+	if len(p.Text) != 3 {
+		t.Errorf("text len = %d", len(p.Text))
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"main:\n\tbogus a0, a1\n", "unknown mnemonic"},
+		{"main:\n\tadd a0, a1\n", "want 3 operands"},
+		{"main:\n\tbeq a0, a1, nowhere\n", "undefined label"},
+		{"main:\n\taddi a0, a1, 99999\n", "out of 14-bit range"},
+		{"main:\nmain:\thalt\n", "redefined"},
+		{"main:\n\tadd q0, a1, a2\n", "bad integer register"},
+		{"main:\n\tfadd a0, f1, f2\n", "bad FP register"},
+		{".data\nx: .word 1\nmain:\n\thalt\n", "instruction outside .text"},
+		{"main:\n\t.word 5\n\thalt\n", "data directive outside .data"},
+		{"main:\n\tlw a0, a1\n", "bad memory operand"},
+		{".entry nowhere\nmain: halt\n", `entry label "nowhere" undefined`},
+		{"main:\n\t.bogus\n\thalt\n", "unknown directive"},
+	}
+	for _, c := range cases {
+		_, err := Assemble("e.s", c.src)
+		if err == nil {
+			t.Errorf("no error for %q", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("error for %q = %q, want substring %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestErrorLineNumbers(t *testing.T) {
+	_, err := Assemble("e.s", "main:\n\tnop\n\tbogus\n")
+	if err == nil || !strings.Contains(err.Error(), "e.s:3:") {
+		t.Errorf("error = %v, want line 3", err)
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	p := assemble(t, `
+main:
+loop:	addi a0, a0, -1
+	bnez a0, loop
+	halt
+`)
+	out := Disassemble(p)
+	for _, want := range []string{"loop:", "addi a0, a0, -1", "-> loop", "halt"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble did not panic on bad source")
+		}
+	}()
+	MustAssemble("bad.s", "main:\n\tbogus\n")
+}
+
+func TestMultipleLabelsPerLine(t *testing.T) {
+	p := assemble(t, "a: b: main: halt\n")
+	if p.Symbols["a"] != p.Symbols["b"] || p.Symbols["b"] != p.Symbols["main"] {
+		t.Error("stacked labels differ")
+	}
+}

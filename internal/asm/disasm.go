@@ -1,0 +1,47 @@
+package asm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fastsim/internal/isa"
+	"fastsim/internal/program"
+)
+
+// Disassemble renders a program's text segment as an annotated listing,
+// resolving branch and jump targets through the symbol table.
+func Disassemble(p *program.Program) string {
+	// Build a reverse symbol map for target annotation.
+	rev := make(map[uint32]string, len(p.Symbols))
+	names := make([]string, 0, len(p.Symbols))
+	for n := range p.Symbols {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if _, taken := rev[p.Symbols[n]]; !taken {
+			rev[p.Symbols[n]] = n
+		}
+	}
+
+	var b strings.Builder
+	for k := range p.Text {
+		pc := program.TextBase + uint32(k)*isa.WordSize
+		if lbl, ok := rev[pc]; ok {
+			fmt.Fprintf(&b, "%s:\n", lbl)
+		}
+		inst := p.MustInstAt(pc)
+		fmt.Fprintf(&b, "  %08x:  %s", pc, inst)
+		if f := inst.Op.Format(); f == isa.FmtB || f == isa.FmtJ {
+			tgt := inst.BranchTarget(pc)
+			if lbl, ok := rev[tgt]; ok {
+				fmt.Fprintf(&b, "    ; -> %s", lbl)
+			} else {
+				fmt.Fprintf(&b, "    ; -> %#x", tgt)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,87 @@
+package asm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestAssembleNeverPanics throws random garbage at the assembler: it must
+// return an error or a program, never panic.
+func TestAssembleNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	alphabet := "abcdefgz0123456789 \t,.():#;-+'\"\\\nmain.loop%$!é"
+	for i := 0; i < 500; i++ {
+		n := r.Intn(200)
+		var b strings.Builder
+		for j := 0; j < n; j++ {
+			b.WriteByte(alphabet[r.Intn(len(alphabet))])
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("panic on input %q: %v", b.String(), p)
+				}
+			}()
+			Assemble("fuzz.s", b.String()) //nolint:errcheck
+		}()
+	}
+}
+
+// TestAssembleMutatedValidSource mutates a known-good program token by
+// token: every mutation must either assemble or produce a located error.
+func TestAssembleMutatedValidSource(t *testing.T) {
+	const good = `
+.data
+buf:	.space 64
+vals:	.word 1, 2, buf
+.text
+main:
+	la   s0, buf
+	li   t0, 10
+loop:
+	sw   t0, 0(s0)
+	lw   t1, 0(s0)
+	addi t0, t0, -1
+	bnez t0, loop
+	call fn
+	halt
+fn:
+	add  t2, t0, t1
+	ret
+`
+	mutants := []string{
+		"la", "s0", "buf", "loop", ".word", ".space", "0(s0)", "call",
+	}
+	r := rand.New(rand.NewSource(3))
+	junk := []string{"", "zz", "99999999999", "f40", "(", ")", ".bogus", "-"}
+	for i := 0; i < 300; i++ {
+		m := mutants[r.Intn(len(mutants))]
+		src := strings.Replace(good, m, junk[r.Intn(len(junk))], 1)
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("panic on mutation %d: %v\n%s", i, p, src)
+				}
+			}()
+			if _, err := Assemble("mut.s", src); err != nil {
+				if !strings.Contains(err.Error(), "mut.s:") {
+					t.Errorf("error without position: %v", err)
+				}
+			}
+		}()
+	}
+}
+
+// TestErrorLimitCap verifies error collection stops at the cap rather than
+// accumulating unboundedly.
+func TestErrorLimitCap(t *testing.T) {
+	src := "main:\n" + strings.Repeat("\tbogus\n", 100)
+	_, err := Assemble("cap.s", src)
+	if err == nil {
+		t.Fatal("no error")
+	}
+	if n := strings.Count(err.Error(), "\n"); n > 25 {
+		t.Errorf("error list too long: %d lines", n)
+	}
+}

@@ -1,0 +1,388 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"fastsim/internal/isa"
+	"fastsim/internal/program"
+)
+
+var mnemonics = map[string]isa.Opcode{
+	"add": isa.OpAdd, "sub": isa.OpSub, "and": isa.OpAnd, "or": isa.OpOr,
+	"xor": isa.OpXor, "sll": isa.OpSll, "srl": isa.OpSrl, "sra": isa.OpSra,
+	"slt": isa.OpSlt, "sltu": isa.OpSltu, "mul": isa.OpMul, "mulh": isa.OpMulh,
+	"div": isa.OpDiv, "rem": isa.OpRem,
+	"addi": isa.OpAddi, "andi": isa.OpAndi, "ori": isa.OpOri, "xori": isa.OpXori,
+	"slli": isa.OpSlli, "srli": isa.OpSrli, "srai": isa.OpSrai, "slti": isa.OpSlti,
+	"lui": isa.OpLui,
+	"lw":  isa.OpLw, "lh": isa.OpLh, "lhu": isa.OpLhu, "lb": isa.OpLb, "lbu": isa.OpLbu,
+	"sw": isa.OpSw, "sh": isa.OpSh, "sb": isa.OpSb, "fld": isa.OpFld, "fsd": isa.OpFsd,
+	"beq": isa.OpBeq, "bne": isa.OpBne, "blt": isa.OpBlt, "bge": isa.OpBge,
+	"bltu": isa.OpBltu, "bgeu": isa.OpBgeu,
+	"j": isa.OpJ, "jal": isa.OpJal, "jalr": isa.OpJalr,
+	"fadd": isa.OpFadd, "fsub": isa.OpFsub, "fmul": isa.OpFmul, "fdiv": isa.OpFdiv,
+	"fsqrt": isa.OpFsqrt, "fmin": isa.OpFmin, "fmax": isa.OpFmax,
+	"fneg": isa.OpFneg, "fabs": isa.OpFabs, "fmov": isa.OpFmov,
+	"cvtif": isa.OpCvtif, "cvtfi": isa.OpCvtfi,
+	"feq": isa.OpFeq, "flt": isa.OpFlt, "fle": isa.OpFle,
+	"sys": isa.OpSys, "halt": isa.OpHalt,
+}
+
+func (a *assembler) statement(line int, s string) {
+	sp := strings.IndexAny(s, " \t")
+	mn := s
+	rest := ""
+	if sp >= 0 {
+		mn = s[:sp]
+		rest = strings.TrimSpace(s[sp+1:])
+	}
+	mn = strings.ToLower(mn)
+	ops := splitOperands(rest)
+
+	// Pseudo-instructions first.
+	switch mn {
+	case "nop":
+		a.need(line, mn, ops, 0)
+		a.emitInst(line, item{op: isa.OpAddi})
+		return
+	case "mv":
+		if !a.need(line, mn, ops, 2) {
+			return
+		}
+		a.emitInst(line, item{op: isa.OpAddi, rd: a.intReg(line, ops[0]), rs1: a.intReg(line, ops[1])})
+		return
+	case "not":
+		if !a.need(line, mn, ops, 2) {
+			return
+		}
+		a.emitInst(line, item{op: isa.OpXori, rd: a.intReg(line, ops[0]), rs1: a.intReg(line, ops[1]), imm: -1})
+		return
+	case "neg":
+		if !a.need(line, mn, ops, 2) {
+			return
+		}
+		a.emitInst(line, item{op: isa.OpSub, rd: a.intReg(line, ops[0]), rs2: a.intReg(line, ops[1])})
+		return
+	case "li", "la":
+		if !a.need(line, mn, ops, 2) {
+			return
+		}
+		// Always two words so pass-1 addresses are stable: lui + ori.
+		rd := a.intReg(line, ops[0])
+		lui := item{op: isa.OpLui, rd: rd}
+		ori := item{op: isa.OpOri, rd: rd, rs1: rd}
+		if sym, add, ok := parseSymRef(ops[1]); ok {
+			lui.sym, lui.imm, lui.kind = sym, add, kindLiLui
+			ori.sym, ori.imm, ori.kind = sym, add, kindLiOri
+		} else {
+			v, err := parseInt(ops[1])
+			if err != nil {
+				a.errorf(line, "%s: bad constant %q", mn, ops[1])
+				return
+			}
+			lui.imm, lui.kind = v, kindLiLui
+			ori.imm, ori.kind = v, kindLiOri
+		}
+		a.emitInst(line, lui)
+		a.emitInst(line, ori)
+		return
+	case "call":
+		if !a.need(line, mn, ops, 1) {
+			return
+		}
+		it := item{op: isa.OpJal, rd: isa.RegRA}
+		a.immOrSym(line, ops[0], &it, kindInstSym)
+		a.emitInst(line, it)
+		return
+	case "ret":
+		a.need(line, mn, ops, 0)
+		a.emitInst(line, item{op: isa.OpJalr, rd: 0, rs1: isa.RegRA})
+		return
+	case "jr":
+		if !a.need(line, mn, ops, 1) {
+			return
+		}
+		a.emitInst(line, item{op: isa.OpJalr, rd: 0, rs1: a.intReg(line, ops[0])})
+		return
+	case "beqz", "bnez":
+		if !a.need(line, mn, ops, 2) {
+			return
+		}
+		op := isa.OpBeq
+		if mn == "bnez" {
+			op = isa.OpBne
+		}
+		it := item{op: op, rs1: a.intReg(line, ops[0])}
+		a.immOrSym(line, ops[1], &it, kindInstSym)
+		a.emitInst(line, it)
+		return
+	case "bgt", "ble", "bgtu", "bleu":
+		if !a.need(line, mn, ops, 3) {
+			return
+		}
+		var op isa.Opcode
+		switch mn {
+		case "bgt":
+			op = isa.OpBlt
+		case "ble":
+			op = isa.OpBge
+		case "bgtu":
+			op = isa.OpBltu
+		case "bleu":
+			op = isa.OpBgeu
+		}
+		// Swap the register operands.
+		it := item{op: op, rs1: a.intReg(line, ops[1]), rs2: a.intReg(line, ops[0])}
+		a.immOrSym(line, ops[2], &it, kindInstSym)
+		a.emitInst(line, it)
+		return
+	}
+
+	op, ok := mnemonics[mn]
+	if !ok {
+		a.errorf(line, "unknown mnemonic %q", mn)
+		return
+	}
+	it := item{op: op}
+	switch op.Format() {
+	case isa.FmtR:
+		a.parseR(line, mn, op, ops, &it)
+	case isa.FmtI:
+		a.parseI(line, mn, op, ops, &it)
+	case isa.FmtB:
+		if !a.need(line, mn, ops, 3) {
+			return
+		}
+		it.rs1 = a.intReg(line, ops[0])
+		it.rs2 = a.intReg(line, ops[1])
+		a.immOrSym(line, ops[2], &it, kindInstSym)
+	case isa.FmtJ:
+		if op == isa.OpJal && len(ops) == 2 {
+			it.rd = a.intReg(line, ops[0])
+			a.immOrSym(line, ops[1], &it, kindInstSym)
+		} else if !a.need(line, mn, ops, 1) {
+			return
+		} else {
+			if op == isa.OpJal {
+				it.rd = isa.RegRA
+			}
+			a.immOrSym(line, ops[0], &it, kindInstSym)
+		}
+	case isa.FmtU:
+		if !a.need(line, mn, ops, 2) {
+			return
+		}
+		it.rd = a.intReg(line, ops[0])
+		v, err := parseInt(ops[1])
+		if err != nil {
+			a.errorf(line, "lui: bad constant %q", ops[1])
+			return
+		}
+		it.imm = v
+	case isa.FmtS:
+		if op == isa.OpHalt {
+			a.need(line, mn, ops, 0)
+		} else {
+			if !a.need(line, mn, ops, 1) {
+				return
+			}
+			v, err := parseInt(ops[0])
+			if err != nil {
+				a.errorf(line, "sys: bad code %q", ops[0])
+				return
+			}
+			it.imm = v
+		}
+	}
+	a.emitInst(line, it)
+}
+
+func (a *assembler) parseR(line int, mn string, op isa.Opcode, ops []string, it *item) {
+	switch op {
+	case isa.OpFsqrt, isa.OpFneg, isa.OpFabs, isa.OpFmov:
+		if !a.need(line, mn, ops, 2) {
+			return
+		}
+		it.rd = a.fpReg(line, ops[0])
+		it.rs1 = a.fpReg(line, ops[1])
+	case isa.OpCvtif:
+		if !a.need(line, mn, ops, 2) {
+			return
+		}
+		it.rd = a.fpReg(line, ops[0])
+		it.rs1 = a.intReg(line, ops[1])
+	case isa.OpCvtfi:
+		if !a.need(line, mn, ops, 2) {
+			return
+		}
+		it.rd = a.intReg(line, ops[0])
+		it.rs1 = a.fpReg(line, ops[1])
+	case isa.OpFeq, isa.OpFlt, isa.OpFle:
+		if !a.need(line, mn, ops, 3) {
+			return
+		}
+		it.rd = a.intReg(line, ops[0])
+		it.rs1 = a.fpReg(line, ops[1])
+		it.rs2 = a.fpReg(line, ops[2])
+	default:
+		if !a.need(line, mn, ops, 3) {
+			return
+		}
+		if op.Class().IsFP() {
+			it.rd = a.fpReg(line, ops[0])
+			it.rs1 = a.fpReg(line, ops[1])
+			it.rs2 = a.fpReg(line, ops[2])
+		} else {
+			it.rd = a.intReg(line, ops[0])
+			it.rs1 = a.intReg(line, ops[1])
+			it.rs2 = a.intReg(line, ops[2])
+		}
+	}
+}
+
+func (a *assembler) parseI(line int, mn string, op isa.Opcode, ops []string, it *item) {
+	switch op.Class() {
+	case isa.ClassLoad, isa.ClassStore:
+		if !a.need(line, mn, ops, 2) {
+			return
+		}
+		if op == isa.OpFld || op == isa.OpFsd {
+			it.rd = a.fpReg(line, ops[0])
+		} else {
+			it.rd = a.intReg(line, ops[0])
+		}
+		base, imm := a.memOperand(line, ops[1])
+		it.rs1, it.imm = base, imm
+	case isa.ClassJumpInd:
+		if !a.need(line, mn, ops, 3) {
+			return
+		}
+		it.rd = a.intReg(line, ops[0])
+		it.rs1 = a.intReg(line, ops[1])
+		v, err := parseInt(ops[2])
+		if err != nil {
+			a.errorf(line, "jalr: bad offset %q", ops[2])
+			return
+		}
+		it.imm = v
+	default:
+		if !a.need(line, mn, ops, 3) {
+			return
+		}
+		it.rd = a.intReg(line, ops[0])
+		it.rs1 = a.intReg(line, ops[1])
+		v, err := parseInt(ops[2])
+		if err != nil {
+			a.errorf(line, "%s: bad immediate %q", mn, ops[2])
+			return
+		}
+		it.imm = v
+	}
+}
+
+func (a *assembler) need(line int, mn string, ops []string, n int) bool {
+	if len(ops) != n {
+		a.errorf(line, "%s: want %d operands, got %d", mn, n, len(ops))
+		return false
+	}
+	return true
+}
+
+// pass2 resolves symbols and encodes the final image.
+func (a *assembler) pass2() (*program.Program, error) {
+	resolve := func(it *item) (int64, bool) {
+		if it.sym == "" {
+			return it.imm, true
+		}
+		base, ok := a.labels[it.sym]
+		if !ok {
+			a.errorf(it.line, "undefined label %q", it.sym)
+			return 0, false
+		}
+		return int64(base) + it.imm, true
+	}
+
+	text := make([]uint32, 0, 1024)
+	data := make([]byte, a.data-program.DataBase)
+	for _, it := range a.items {
+		switch it.kind {
+		case kindData:
+			copy(data[it.addr-program.DataBase:], it.bytes)
+		case kindWordSym:
+			v, ok := resolve(it)
+			if !ok {
+				continue
+			}
+			off := it.addr - program.DataBase
+			data[off] = byte(v)
+			data[off+1] = byte(v >> 8)
+			data[off+2] = byte(v >> 16)
+			data[off+3] = byte(v >> 24)
+		case kindInst, kindInstSym, kindLiLui, kindLiOri:
+			inst := isa.Inst{Op: it.op, Rd: it.rd, Rs1: it.rs1, Rs2: it.rs2}
+			v, ok := resolve(it)
+			if !ok {
+				continue
+			}
+			switch it.kind {
+			case kindLiLui:
+				inst.Imm = int32(v) &^ 0x1FFF
+			case kindLiOri:
+				inst.Imm = int32(v) & 0x1FFF
+			case kindInstSym:
+				// PC-relative for branches and direct jumps.
+				switch it.op.Format() {
+				case isa.FmtB, isa.FmtJ:
+					inst.Imm = int32(v - int64(it.addr))
+				default:
+					inst.Imm = int32(v)
+				}
+			default:
+				switch it.op.Format() {
+				case isa.FmtB, isa.FmtJ:
+					if it.sym == "" {
+						// Numeric branch offsets are already PC-relative.
+						inst.Imm = int32(v)
+					}
+				default:
+					inst.Imm = int32(v)
+				}
+			}
+			w, err := isa.Encode(inst)
+			if err != nil {
+				a.errorf(it.line, "%v", err)
+				continue
+			}
+			text = append(text, w)
+		}
+	}
+	if len(a.errs) > 0 {
+		return nil, a.errs
+	}
+
+	entry := uint32(program.TextBase)
+	switch {
+	case a.entry != "":
+		e, ok := a.labels[a.entry]
+		if !ok {
+			return nil, ErrorList{{a.file, 0, fmt.Sprintf("entry label %q undefined", a.entry)}}
+		}
+		entry = e
+	default:
+		if e, ok := a.labels["main"]; ok {
+			entry = e
+		}
+	}
+	return program.New(a.file, entry, text, data, a.labels)
+}
+
+// MustAssemble is Assemble for known-good sources; it panics on error.
+// The workload generators use it, as their sources are produced by code.
+func MustAssemble(name, src string) *program.Program {
+	p, err := Assemble(name, src)
+	if err != nil {
+		panic(fmt.Sprintf("asm: %v", err))
+	}
+	return p
+}

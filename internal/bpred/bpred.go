@@ -1,0 +1,81 @@
+// Package bpred implements the branch predictor of the paper's processor
+// model (Table 1): a 512-entry branch history table of 2-bit saturating
+// counters. As in FastSim, the predictor is consulted by the
+// direct-execution instrumentation at every conditional branch — including
+// branches on mispredicted (wrong) paths, since the instrumentation is
+// unconditional — and its state is deliberately *not* part of the memoized
+// µ-architecture configuration: the prediction outcome reaches the
+// fast-forwarder as an external input labelling action-chain edges.
+package bpred
+
+// DefaultEntries matches the paper's 512-entry BHT.
+const DefaultEntries = 512
+
+// Predictor2Bit is the paper's predictor: a table of 2-bit saturating
+// counters. Counter values 0 and 1 predict not-taken; 2 and 3 predict
+// taken. Counters start at 1 (weakly not-taken).
+type Predictor2Bit struct {
+	table []uint8
+	mask  uint32
+
+	predictions uint64
+	mispredicts uint64
+}
+
+// New returns a predictor with the given number of entries, which must be a
+// power of two. With n <= 0 the paper's default size is used.
+func New(n int) *Predictor2Bit {
+	if n <= 0 {
+		n = DefaultEntries
+	}
+	if n&(n-1) != 0 {
+		panic("bpred: table size must be a power of two")
+	}
+	p := &Predictor2Bit{table: make([]uint8, n), mask: uint32(n - 1)}
+	for i := range p.table {
+		p.table[i] = 1
+	}
+	return p
+}
+
+func (p *Predictor2Bit) index(pc uint32) uint32 { return (pc >> 2) & p.mask }
+
+// Predict returns the predicted direction for the branch at pc.
+func (p *Predictor2Bit) Predict(pc uint32) bool {
+	return p.table[p.index(pc)] >= 2
+}
+
+// Update trains the counter for pc with the actual direction and records
+// accuracy statistics. It returns the prediction that was in effect.
+func (p *Predictor2Bit) Update(pc uint32, taken bool) (predicted bool) {
+	i := p.index(pc)
+	c := p.table[i]
+	predicted = c >= 2
+	if taken {
+		if c < 3 {
+			p.table[i] = c + 1
+		}
+	} else {
+		if c > 0 {
+			p.table[i] = c - 1
+		}
+	}
+	p.predictions++
+	if predicted != taken {
+		p.mispredicts++
+	}
+	return predicted
+}
+
+// Stats returns the number of predictions made and of mispredictions.
+func (p *Predictor2Bit) Stats() (predictions, mispredicts uint64) {
+	return p.predictions, p.mispredicts
+}
+
+// Reset restores the initial weakly-not-taken state and clears statistics.
+func (p *Predictor2Bit) Reset() {
+	for i := range p.table {
+		p.table[i] = 1
+	}
+	p.predictions, p.mispredicts = 0, 0
+}

@@ -1,0 +1,117 @@
+package bpred
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestInitialPredictionNotTaken(t *testing.T) {
+	p := New(0)
+	if p.Predict(0x1000) {
+		t.Error("initial prediction should be not-taken")
+	}
+}
+
+func TestSaturation(t *testing.T) {
+	p := New(64)
+	pc := uint32(0x1000)
+	for i := 0; i < 10; i++ {
+		p.Update(pc, true)
+	}
+	if !p.Predict(pc) {
+		t.Error("saturated taken counter predicts not-taken")
+	}
+	// One not-taken should not flip a saturated counter.
+	p.Update(pc, false)
+	if !p.Predict(pc) {
+		t.Error("counter flipped after one contrary outcome")
+	}
+	p.Update(pc, false)
+	if p.Predict(pc) {
+		t.Error("counter did not flip after two contrary outcomes")
+	}
+}
+
+func TestHysteresisFromInit(t *testing.T) {
+	p := New(64)
+	pc := uint32(0x2000)
+	p.Update(pc, true) // counter 1 -> 2
+	if !p.Predict(pc) {
+		t.Error("counter should be weakly taken after one taken")
+	}
+}
+
+func TestAliasing(t *testing.T) {
+	p := New(4)
+	// pcs 0x0 and 0x10 alias in a 4-entry table (index = pc>>2 & 3).
+	for i := 0; i < 4; i++ {
+		p.Update(0x0, true)
+	}
+	if !p.Predict(0x10) {
+		t.Error("aliased pc should share the counter")
+	}
+	if p.Predict(0x4) {
+		t.Error("non-aliased pc affected")
+	}
+}
+
+func TestStats(t *testing.T) {
+	p := New(64)
+	pc := uint32(0x3000)
+	// init weakly not-taken: first taken outcome is a mispredict.
+	p.Update(pc, true)  // mispredict (predicted NT)
+	p.Update(pc, true)  // predicted T now? counter was 2 -> predicted taken: hit
+	p.Update(pc, false) // mispredict
+	preds, miss := p.Stats()
+	if preds != 3 || miss != 2 {
+		t.Errorf("stats = %d/%d, want 3/2", preds, miss)
+	}
+	p.Reset()
+	preds, miss = p.Stats()
+	if preds != 0 || miss != 0 || p.Predict(pc) {
+		t.Error("reset incomplete")
+	}
+}
+
+func TestLoopPatternAccuracy(t *testing.T) {
+	// A loop branch taken 99 times then not taken once should be predicted
+	// well by 2-bit counters: only ~2 mispredicts per 100 after warmup.
+	p := New(512)
+	pc := uint32(0x4000)
+	miss := 0
+	for iter := 0; iter < 10; iter++ {
+		for k := 0; k < 100; k++ {
+			taken := k != 99
+			if p.Update(pc, taken) != taken {
+				miss++
+			}
+		}
+	}
+	if miss > 25 {
+		t.Errorf("loop mispredicts = %d, want <= 25", miss)
+	}
+}
+
+func TestPowerOfTwoEnforced(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for non-power-of-two size")
+		}
+	}()
+	New(100)
+}
+
+func TestRandomizedBoundsSafety(t *testing.T) {
+	p := New(512)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		pc := r.Uint32()
+		p.Update(pc, r.Intn(2) == 0)
+		p.Predict(pc)
+	}
+	for i, c := range p.table {
+		if c > 3 {
+			t.Fatalf("counter %d out of range: %d", i, c)
+		}
+	}
+}

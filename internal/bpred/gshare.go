@@ -1,0 +1,106 @@
+package bpred
+
+// Predictor is the interface the direct-execution instrumentation consults
+// at every conditional branch. The paper's model uses the 2-bit bimodal
+// table (New); Gshare is provided as an extension for predictor-sensitivity
+// experiments — a better predictor shrinks the mispredicted-outcome edge
+// classes in the p-action cache and reduces rollback work, without
+// affecting memoization correctness (predictions are external inputs).
+type Predictor interface {
+	// Predict returns the predicted direction for the branch at pc.
+	Predict(pc uint32) bool
+	// Update trains the predictor with the actual direction and returns
+	// the prediction that was in effect.
+	Update(pc uint32, taken bool) (predicted bool)
+	// Stats returns predictions made and mispredictions.
+	Stats() (predictions, mispredicts uint64)
+	// Reset restores the initial state and clears statistics.
+	Reset()
+}
+
+// Gshare is a global-history predictor: the branch history register is
+// XORed into the PC index of a 2-bit counter table.
+type Gshare struct {
+	table   []uint8
+	mask    uint32
+	history uint32
+	hmask   uint32
+
+	predictions uint64
+	mispredicts uint64
+}
+
+// NewGshare returns a gshare predictor with the given table size (a power
+// of two; <= 0 selects the default 512) and history length in bits.
+func NewGshare(entries, historyBits int) *Gshare {
+	if entries <= 0 {
+		entries = DefaultEntries
+	}
+	if entries&(entries-1) != 0 {
+		panic("bpred: table size must be a power of two")
+	}
+	if historyBits <= 0 || historyBits > 16 {
+		historyBits = 8
+	}
+	g := &Gshare{
+		table: make([]uint8, entries),
+		mask:  uint32(entries - 1),
+		hmask: (1 << historyBits) - 1,
+	}
+	for i := range g.table {
+		g.table[i] = 1
+	}
+	return g
+}
+
+func (g *Gshare) index(pc uint32) uint32 {
+	return ((pc >> 2) ^ g.history) & g.mask
+}
+
+// Predict returns the predicted direction for the branch at pc.
+func (g *Gshare) Predict(pc uint32) bool {
+	return g.table[g.index(pc)] >= 2
+}
+
+// Update trains the counter and shifts the global history.
+func (g *Gshare) Update(pc uint32, taken bool) (predicted bool) {
+	i := g.index(pc)
+	c := g.table[i]
+	predicted = c >= 2
+	if taken {
+		if c < 3 {
+			g.table[i] = c + 1
+		}
+	} else {
+		if c > 0 {
+			g.table[i] = c - 1
+		}
+	}
+	g.history = (g.history << 1) & g.hmask
+	if taken {
+		g.history |= 1
+	}
+	g.predictions++
+	if predicted != taken {
+		g.mispredicts++
+	}
+	return predicted
+}
+
+// Stats returns predictions made and mispredictions.
+func (g *Gshare) Stats() (uint64, uint64) { return g.predictions, g.mispredicts }
+
+// Reset restores the initial weakly-not-taken state and clears history.
+func (g *Gshare) Reset() {
+	for i := range g.table {
+		g.table[i] = 1
+	}
+	g.history = 0
+	g.predictions, g.mispredicts = 0, 0
+}
+
+// Interface checks.
+var (
+	_ Predictor = (*Predictor2Bit)(nil)
+	_ Predictor = (*Gshare)(nil)
+)

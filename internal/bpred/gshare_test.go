@@ -1,0 +1,78 @@
+package bpred
+
+import "testing"
+
+func TestGshareBasics(t *testing.T) {
+	g := NewGshare(512, 8)
+	if g.Predict(0x1000) {
+		t.Error("initial prediction should be not-taken")
+	}
+	// Train until the all-taken history saturates and the now-stable
+	// index accumulates confidence.
+	for i := 0; i < 20; i++ {
+		g.Update(0x1000, true)
+	}
+	if !g.Predict(0x1000) {
+		t.Error("trained pattern not predicted")
+	}
+	preds, _ := g.Stats()
+	if preds != 20 {
+		t.Errorf("predictions = %d", preds)
+	}
+	g.Reset()
+	if p, m := g.Stats(); p != 0 || m != 0 || g.history != 0 {
+		t.Error("reset incomplete")
+	}
+}
+
+func TestGshareDefaults(t *testing.T) {
+	g := NewGshare(0, 0)
+	if len(g.table) != DefaultEntries {
+		t.Errorf("default entries = %d", len(g.table))
+	}
+	if g.hmask != 0xFF {
+		t.Errorf("default history mask = %#x", g.hmask)
+	}
+}
+
+func TestGsharePanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for non-power-of-two")
+		}
+	}()
+	NewGshare(100, 8)
+}
+
+// TestGshareBeatsBimodalOnCorrelatedPattern demonstrates why gshare exists:
+// a branch whose direction alternates defeats 2-bit counters but is
+// perfectly captured by global history.
+func TestGshareBeatsBimodalOnCorrelatedPattern(t *testing.T) {
+	run := func(p Predictor) (miss int) {
+		for i := 0; i < 2000; i++ {
+			taken := i%2 == 0
+			if p.Update(0x4000, taken) != taken {
+				miss++
+			}
+		}
+		return miss
+	}
+	bim := run(New(512))
+	gsh := run(NewGshare(512, 8))
+	if gsh >= bim {
+		t.Errorf("gshare misses %d >= bimodal %d on an alternating branch", gsh, bim)
+	}
+	if gsh > 100 {
+		t.Errorf("gshare should nearly eliminate misses, got %d", gsh)
+	}
+}
+
+func TestGshareHistoryAffectsIndex(t *testing.T) {
+	g := NewGshare(512, 8)
+	i0 := g.index(0x1000)
+	g.Update(0x2000, true) // shifts history
+	i1 := g.index(0x1000)
+	if i0 == i1 {
+		t.Error("history did not change the index")
+	}
+}

@@ -1,0 +1,83 @@
+// Package core assembles FastSim's components into runnable simulators:
+//
+//   - SlowSim: speculative direct-execution driving the detailed
+//     µ-architecture and cache simulators — FastSim with memoization
+//     disabled, exactly the paper's SlowSim baseline.
+//   - FastSim: the same engines plus the fast-forwarding memoization layer
+//     (internal/memo). By the paper's central claim, FastSim produces
+//     bit-identical statistics to SlowSim while running several times
+//     faster.
+package core
+
+import (
+	"io"
+
+	"fastsim/internal/bpred"
+	"fastsim/internal/cachesim"
+	"fastsim/internal/memo"
+	"fastsim/internal/uarch"
+)
+
+// Config selects the processor model and simulation options.
+type Config struct {
+	Uarch uarch.Params    // pipeline parameters (Table 1)
+	Cache cachesim.Config // cache hierarchy parameters (Table 1)
+	BPred BPredConfig     // branch predictor (default: the paper's 2-bit/512 BHT)
+
+	Memoize bool         // enable fast-forwarding (FastSim vs SlowSim)
+	Memo    memo.Options // p-action cache policy and size limit
+
+	// Trace receives a pipetrace line per cycle (uarch.TextTracer).
+	// Tracing observes detailed simulation only, so it requires Memoize
+	// to be off; Run rejects the combination.
+	Trace io.Writer
+
+	// MemoGraphDot, when non-nil, receives the final p-action graph in
+	// Graphviz DOT format after a memoized run (paper Figure 6).
+	MemoGraphDot io.Writer
+	// MemoGraphMax bounds the exported configurations (0 means 64).
+	MemoGraphMax int
+
+	MaxCycles uint64 // safety bound; 0 means a large default
+}
+
+// DefaultConfig returns the paper's processor model with memoization on
+// and an unbounded p-action cache.
+func DefaultConfig() Config {
+	return Config{
+		Uarch:   uarch.DefaultParams(),
+		Cache:   cachesim.DefaultConfig(),
+		BPred:   BPredConfig{Entries: bpred.DefaultEntries},
+		Memoize: true,
+		Memo:    memo.DefaultOptions(),
+	}
+}
+
+// defaultMaxCycles bounds runaway simulations (target program bugs).
+const defaultMaxCycles = 40_000_000_000
+
+// BPredKind selects the branch predictor implementation.
+type BPredKind uint8
+
+const (
+	// BPred2Bit is the paper's 2-bit saturating-counter BHT.
+	BPred2Bit BPredKind = iota
+	// BPredGshare is the global-history extension (see bpred.Gshare); a
+	// better predictor reduces rollback work and outcome-edge fan-out in
+	// the p-action cache without affecting memoization exactness.
+	BPredGshare
+)
+
+// BPredConfig selects and sizes the branch predictor.
+type BPredConfig struct {
+	Kind        BPredKind
+	Entries     int // table entries; <= 0 selects 512
+	HistoryBits int // gshare history length; <= 0 selects 8
+}
+
+func (b BPredConfig) build() bpred.Predictor {
+	if b.Kind == BPredGshare {
+		return bpred.NewGshare(b.Entries, b.HistoryBits)
+	}
+	return bpred.New(b.Entries)
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+
+	"fastsim/internal/bpred"
+	"fastsim/internal/cachesim"
+	"fastsim/internal/direct"
+	"fastsim/internal/program"
+	"fastsim/internal/uarch"
+)
+
+// runError is the panic payload used to surface environment errors (e.g. a
+// target program jumping to garbage on the committed path) out of the
+// pipeline's call tree, which has no error returns on its hot path. Run
+// recovers it into an ordinary error.
+type runError struct{ err error }
+
+// driver connects the µ-architecture simulator to direct execution and the
+// cache simulator. It implements uarch.Env (and memo.Driver): control
+// outcomes come from the direct-execution record stream, loads and stores
+// go to the cache simulator, and retirement pops the consumed queue
+// prefixes. All of its state is "external" in the memoization sense —
+// continuous across detailed and fast-forwarded simulation.
+type driver struct {
+	prog  *program.Program
+	eng   *direct.Engine
+	pred  bpred.Predictor
+	cache *cachesim.Cache
+
+	recCursor int // next control record to hand to fetch
+	recHead   int // control records retired
+	lqHead    int // lQ entries retired
+	sqHead    int // sQ entries retired
+
+	liveReqs map[int]int // absolute lQ index -> cache request id
+
+	retiredInsts  uint64
+	retiredLoads  uint64
+	retiredStores uint64
+	halted        bool
+
+	popsSinceTrim int
+}
+
+func newDriver(prog *program.Program, cacheCfg cachesim.Config, bp BPredConfig) *driver {
+	pred := bp.build()
+	return &driver{
+		prog:     prog,
+		eng:      direct.New(prog, pred),
+		pred:     pred,
+		cache:    cachesim.New(cacheCfg),
+		liveReqs: make(map[int]int),
+	}
+}
+
+func (d *driver) fail(format string, args ...interface{}) {
+	panic(runError{fmt.Errorf(format, args...)})
+}
+
+// NextOutcome hands fetch the next control record, running direct execution
+// forward when the record stream is exhausted ("return to direct-execution").
+func (d *driver) NextOutcome() uarch.Outcome {
+	if d.recCursor >= d.eng.NumRecs() {
+		if _, err := d.eng.RunToNextControlPoint(); err != nil {
+			d.fail("core: direct execution: %w", err)
+		}
+	}
+	rec := d.eng.Rec(d.recCursor)
+	out := uarch.Outcome{
+		Kind:         rec.Kind,
+		PC:           rec.PC,
+		Taken:        rec.Taken,
+		Mispredicted: rec.Mispredicted,
+		Target:       rec.Target,
+		RecIdx:       d.recCursor,
+	}
+	d.recCursor++
+	return out
+}
+
+// ensure advances direct execution until the queue position the pipeline is
+// about to touch exists. Fetch can run ahead of direct execution through
+// straight-line code (loads and stores before the next control point), and
+// in FastSim functional execution always leads the timing simulation.
+func (d *driver) ensure(have func() int, want int) {
+	for want >= have() {
+		if d.eng.Halted {
+			d.fail("core: pipeline references queue entry %d past program end", want)
+		}
+		if _, err := d.eng.RunToNextControlPoint(); err != nil {
+			d.fail("core: direct execution: %w", err)
+		}
+	}
+}
+
+func (d *driver) IssueLoad(lqIdx int, now uint64) int {
+	d.ensure(d.eng.NumLoads, lqIdx)
+	l := d.eng.Load(lqIdx)
+	id, delay := d.cache.LoadRequest(l.Addr, now)
+	d.liveReqs[lqIdx] = id
+	return delay
+}
+
+func (d *driver) PollLoad(lqIdx int, now uint64) (bool, int) {
+	id, ok := d.liveReqs[lqIdx]
+	if !ok {
+		d.fail("core: poll of load %d with no live request", lqIdx)
+	}
+	ready, delay := d.cache.LoadPoll(id, now)
+	if ready {
+		delete(d.liveReqs, lqIdx)
+	}
+	return ready, delay
+}
+
+func (d *driver) CancelLoad(lqIdx int) {
+	if id, ok := d.liveReqs[lqIdx]; ok {
+		d.cache.Cancel(id)
+		delete(d.liveReqs, lqIdx)
+	}
+}
+
+func (d *driver) IssueStore(sqIdx int, now uint64) {
+	d.ensure(d.eng.NumStores, sqIdx)
+	s := d.eng.Store(sqIdx)
+	d.cache.Store(s.Addr, now)
+}
+
+func (d *driver) Rollback(recIdx int) (int, int) {
+	rec := d.eng.Rec(recIdx)
+	if err := d.eng.Rollback(recIdx); err != nil {
+		d.fail("core: rollback: %w", err)
+	}
+	d.recCursor = recIdx + 1
+	return rec.LQLen, rec.SQLen
+}
+
+func (d *driver) RetirePop(insts, loads, stores, recs int) {
+	d.ApplyPops(insts, loads, stores, recs)
+}
+
+// ApplyPops advances queue heads after in-order retirement and periodically
+// releases the consumed queue prefixes back to the direct-execution engine.
+func (d *driver) ApplyPops(insts, loads, stores, recs int) {
+	d.retiredInsts += uint64(insts)
+	d.retiredLoads += uint64(loads)
+	d.retiredStores += uint64(stores)
+	d.lqHead += loads
+	d.sqHead += stores
+	d.recHead += recs
+
+	d.popsSinceTrim += insts
+	if d.popsSinceTrim >= 1<<16 {
+		d.popsSinceTrim = 0
+		d.eng.Trim(d.recHead, d.lqHead, d.sqHead)
+	}
+}
+
+func (d *driver) HaltRetired() { d.halted = true }
+
+func (d *driver) Heads() uarch.Heads {
+	return uarch.Heads{Rec: d.recHead, LQ: d.lqHead, SQ: d.sqHead}
+}

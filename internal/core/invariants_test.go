@@ -1,0 +1,187 @@
+package core
+
+import (
+	"testing"
+
+	"fastsim/internal/memo"
+	"fastsim/internal/testprog"
+	"fastsim/internal/workloads"
+)
+
+// TestCrossStatisticInvariants checks the accounting identities that tie
+// the engines together, on random programs and on real workloads:
+//
+//   - every retired instruction was attributed to exactly one of detailed
+//     simulation or replay (Table 4's columns partition the total);
+//   - direct execution runs at least as many instructions as retire
+//     (wrong paths only add);
+//   - the cache simulator saw at least as many loads as retired (squashed
+//     speculative loads only add);
+//   - rollbacks never exceed checkpoints (nested mispredicts resolve in one).
+func TestCrossStatisticInvariants(t *testing.T) {
+	check := func(name string, r *Result) {
+		t.Helper()
+		if r.Memoized {
+			if got := r.Memo.DetailedInsts + r.Memo.ReplayInsts; got != r.Insts {
+				t.Errorf("%s: detailed %d + replay %d != retired %d",
+					name, r.Memo.DetailedInsts, r.Memo.ReplayInsts, r.Insts)
+			}
+			if got := r.Memo.DetailedCycles + r.Memo.ReplayCycles; got != r.Cycles {
+				t.Errorf("%s: detailed %d + replay %d cycles != total %d",
+					name, r.Memo.DetailedCycles, r.Memo.ReplayCycles, r.Cycles)
+			}
+		}
+		if r.Direct.Insts < r.Insts {
+			t.Errorf("%s: direct executed %d < retired %d", name, r.Direct.Insts, r.Insts)
+		}
+		if r.Cache.Loads < r.RetiredLoads {
+			t.Errorf("%s: cache loads %d < retired loads %d", name, r.Cache.Loads, r.RetiredLoads)
+		}
+		// Rolling back to an older checkpoint discards nested younger
+		// ones, so rollbacks can only undershoot checkpoints.
+		if r.Direct.Rollbacks > r.Direct.Checkpoints {
+			t.Errorf("%s: rollbacks %d > checkpoints %d",
+				name, r.Direct.Rollbacks, r.Direct.Checkpoints)
+		}
+		if r.Direct.Checkpoints > 0 && r.Direct.Rollbacks == 0 {
+			t.Errorf("%s: checkpoints never resolved", name)
+		}
+		if r.Direct.BQHighWater > DefaultConfig().Uarch.MaxSpecBranches+1 {
+			t.Errorf("%s: bQ high water %d", name, r.Direct.BQHighWater)
+		}
+		if r.Cycles == 0 || r.Insts == 0 {
+			t.Errorf("%s: empty run", name)
+		}
+		if ipc := r.IPC(); ipc <= 0 || ipc > 4 {
+			t.Errorf("%s: IPC %.2f out of range", name, ipc)
+		}
+	}
+
+	for seed := int64(20); seed <= 24; seed++ {
+		p, err := testprog.Build(seed, testprog.Options{Segments: 8, Iterations: 30})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := Run(p, fastCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("rand", r)
+	}
+	for _, name := range []string{"130.li", "102.swim", "134.perl"} {
+		w, _ := workloads.Get(name)
+		p, err := w.Build(0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := Run(p, fastCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(name, r)
+	}
+}
+
+// TestRunIsDeterministic verifies that repeated runs produce identical
+// statistics (wall time aside) — the foundation of every comparison in the
+// evaluation harness.
+func TestRunIsDeterministic(t *testing.T) {
+	p, err := testprog.Build(31, testprog.Options{Segments: 8, Iterations: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := Run(p, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(p, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r2.Cycles || r1.Insts != r2.Insts ||
+		r1.Checksum != r2.Checksum || r1.Cache != r2.Cache ||
+		r1.Memo.Configs != r2.Memo.Configs || r1.Memo.Actions != r2.Memo.Actions {
+		t.Error("repeated runs differ")
+	}
+}
+
+// TestWorkloadsIdenticalAcrossEngines runs a sample of real workloads at a
+// small scale through both engines — the suite-level exactness check that
+// tablegen performs at full scale, kept in the unit tests as well.
+func TestWorkloadsIdenticalAcrossEngines(t *testing.T) {
+	for _, name := range []string{"099.go", "124.m88ksim", "145.fpppp", "146.wave5"} {
+		w, ok := workloads.Get(name)
+		if !ok {
+			t.Fatal(name)
+		}
+		p, err := w.Build(0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, fast := runBoth(t, p)
+		checkIdentical(t, slow, fast, name)
+		checkOracle(t, p, fast, name)
+	}
+}
+
+// TestGshareExactness repeats the FastSim == SlowSim identity under the
+// gshare predictor extension: predictions are external inputs, so the
+// predictor choice cannot affect memoization correctness.
+func TestGshareExactness(t *testing.T) {
+	for seed := int64(40); seed <= 44; seed++ {
+		p, err := testprog.Build(seed, testprog.Options{Segments: 8, Iterations: 30})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig()
+		cfg.BPred = BPredConfig{Kind: BPredGshare, Entries: 1024, HistoryBits: 10}
+		fast, err := Run(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Memoize = false
+		slow, err := Run(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkIdentical(t, slow, fast, "gshare")
+	}
+}
+
+// TestTinyCacheLimitsStress forces constant flushing/collection with limits
+// comparable to a handful of episodes: every rare resume path (collected
+// shells, clipped chains, missing links) gets exercised, and exactness must
+// still hold.
+func TestTinyCacheLimitsStress(t *testing.T) {
+	opts := testprog.DefaultOptions()
+	opts.Iterations = 25
+	opts.Segments = 6
+	for seed := int64(60); seed <= 64; seed++ {
+		p, err := testprog.Build(seed, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := Run(p, slowCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pol := range []memo.Policy{memo.PolicyFlush, memo.PolicyGC, memo.PolicyGenGC} {
+			for _, limit := range []int{600, 2 << 10, 8 << 10} {
+				cfg := fastCfg()
+				cfg.Memo = memo.Options{Policy: pol, Limit: limit, MajorEvery: 2}
+				fast, err := Run(p, cfg)
+				if err != nil {
+					t.Fatalf("seed %d %v/%d: %v", seed, pol, limit, err)
+				}
+				if fast.Cycles != slow.Cycles || fast.Checksum != slow.Checksum {
+					t.Fatalf("seed %d %v/%d: diverged (%d vs %d cycles)",
+						seed, pol, limit, fast.Cycles, slow.Cycles)
+				}
+				if pol != memo.PolicyFlush && fast.Memo.Collections == 0 && limit < 1<<10 {
+					t.Errorf("seed %d %v/%d: no collections under a tiny limit",
+						seed, pol, limit)
+				}
+			}
+		}
+	}
+}

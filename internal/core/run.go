@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"fastsim/internal/cachesim"
+	"fastsim/internal/direct"
+	"fastsim/internal/memo"
+	"fastsim/internal/program"
+	"fastsim/internal/uarch"
+)
+
+// Result is the outcome of one simulation: timing statistics plus the
+// architectural results of the program (which FastSim computes by direct
+// execution, and which must be identical across all engines).
+type Result struct {
+	Cycles        uint64 // simulated cycles
+	Insts         uint64 // retired (committed) instructions
+	RetiredLoads  uint64
+	RetiredStores uint64
+
+	// Architectural results.
+	Checksum uint32
+	ExitCode uint32
+	Output   []byte
+
+	// Component statistics.
+	Direct           direct.Stats
+	Cache            cachesim.Stats
+	BPredPredicts    uint64
+	BPredMispredicts uint64
+
+	Memoized bool
+	Memo     memo.Stats
+
+	WallTime time.Duration // host time spent simulating
+}
+
+// IPC returns retired instructions per simulated cycle.
+func (r *Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Insts) / float64(r.Cycles)
+}
+
+// KInstsPerSec returns simulation speed in thousands of retired
+// instructions per host second (Table 3's metric).
+func (r *Result) KInstsPerSec() float64 {
+	s := r.WallTime.Seconds()
+	if s <= 0 {
+		return 0
+	}
+	return float64(r.Insts) / s / 1000
+}
+
+// Run simulates prog under cfg: FastSim when cfg.Memoize is set, SlowSim
+// otherwise. The two produce bit-identical statistics.
+func Run(prog *program.Program, cfg Config) (res *Result, err error) {
+	maxCycles := cfg.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = defaultMaxCycles
+	}
+	if cfg.Trace != nil && cfg.Memoize {
+		return nil, fmt.Errorf("core: tracing requires Memoize=false (fast-forwarded cycles are not re-simulated)")
+	}
+	drv := newDriver(prog, cfg.Cache, cfg.BPred)
+
+	defer func() {
+		if r := recover(); r != nil {
+			switch v := r.(type) {
+			case runError:
+				err = v.err
+			case uarch.Desync:
+				err = fmt.Errorf("core: %w", v)
+			default:
+				panic(r)
+			}
+		}
+	}()
+
+	start := time.Now()
+	var cycles uint64
+	var memoStats memo.Stats
+	if cfg.Memoize {
+		eng := memo.NewEngine(prog, cfg.Uarch, drv, cfg.Memo)
+		cycles, err = eng.Run(maxCycles)
+		memoStats = eng.Cache.Stats()
+		if err != nil {
+			return nil, err
+		}
+		if cfg.MemoGraphDot != nil {
+			if derr := eng.Cache.ExportDot(cfg.MemoGraphDot, cfg.MemoGraphMax); derr != nil {
+				return nil, fmt.Errorf("core: dot export: %w", derr)
+			}
+		}
+	} else {
+		pl, perr := uarch.New(cfg.Uarch, prog, drv, prog.Entry)
+		if perr != nil {
+			return nil, perr
+		}
+		if cfg.Trace != nil {
+			pl.Tracer = uarch.NewTextTracer(cfg.Trace)
+		}
+		for !pl.Done() {
+			if pl.Now > maxCycles {
+				return nil, fmt.Errorf("core: exceeded %d cycles without halting", maxCycles)
+			}
+			pl.Step()
+		}
+		cycles = pl.Now
+	}
+	wall := time.Since(start)
+
+	if !drv.halted {
+		return nil, fmt.Errorf("core: simulation stopped before the program halted")
+	}
+	st := drv.eng.St
+	preds, miss := drv.pred.Stats()
+	return &Result{
+		Cycles:        cycles,
+		Insts:         drv.retiredInsts,
+		RetiredLoads:  drv.retiredLoads,
+		RetiredStores: drv.retiredStores,
+
+		Checksum: st.Checksum,
+		ExitCode: st.ExitCode,
+		Output:   st.Output,
+
+		Direct:           drv.eng.Stats(),
+		Cache:            drv.cache.Stats(),
+		BPredPredicts:    preds,
+		BPredMispredicts: miss,
+
+		Memoized: cfg.Memoize,
+		Memo:     memoStats,
+
+		WallTime: wall,
+	}, nil
+}

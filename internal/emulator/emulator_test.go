@@ -1,0 +1,372 @@
+package emulator
+
+import (
+	"math"
+	"testing"
+
+	"fastsim/internal/asm"
+	"fastsim/internal/isa"
+	"fastsim/internal/program"
+)
+
+func run(t *testing.T, src string) *CPU {
+	t.Helper()
+	p, err := asm.Assemble("t.s", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(p)
+	if err := c.Run(1_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return c
+}
+
+func TestArithmetic(t *testing.T) {
+	c := run(t, `
+main:
+	li   t0, 100
+	li   t1, 7
+	add  t2, t0, t1     # 107
+	sub  t3, t0, t1     # 93
+	mul  t4, t0, t1     # 700
+	div  t5, t0, t1     # 14
+	rem  t6, t0, t1     # 2
+	halt
+`)
+	want := map[int]uint32{14: 107, 15: 93, 16: 700, 17: 14, 18: 2}
+	for r, v := range want {
+		if c.R[r] != v {
+			t.Errorf("r%d = %d, want %d", r, c.R[r], v)
+		}
+	}
+}
+
+func TestSignedOps(t *testing.T) {
+	c := run(t, `
+main:
+	li   t0, -20
+	li   t1, 7
+	div  t2, t0, t1      # -2
+	rem  t3, t0, t1      # -6
+	sra  t4, t0, t1      # -1 (arith shift of -20 by 7)
+	srl  t5, t0, t1      # big positive
+	slt  t6, t0, t1      # 1
+	sltu t7, t0, t1      # 0 (as unsigned -20 is huge)
+	halt
+`)
+	if int32(c.R[14]) != -2 {
+		t.Errorf("div = %d", int32(c.R[14]))
+	}
+	if int32(c.R[15]) != -6 {
+		t.Errorf("rem = %d", int32(c.R[15]))
+	}
+	if int32(c.R[16]) != -1 {
+		t.Errorf("sra = %d", int32(c.R[16]))
+	}
+	if c.R[17] != uint32(0xFFFFFFEC)>>7 {
+		t.Errorf("srl = %#x", c.R[17])
+	}
+	if c.R[18] != 1 || c.R[19] != 0 {
+		t.Errorf("slt/sltu = %d/%d", c.R[18], c.R[19])
+	}
+}
+
+func TestDivByZeroSemantics(t *testing.T) {
+	c := run(t, `
+main:
+	li  t0, 42
+	li  t1, 0
+	div t2, t0, t1
+	rem t3, t0, t1
+	halt
+`)
+	if c.R[14] != 0xFFFFFFFF {
+		t.Errorf("div/0 = %#x", c.R[14])
+	}
+	if c.R[15] != 42 {
+		t.Errorf("rem/0 = %d", c.R[15])
+	}
+}
+
+func TestDivOverflow(t *testing.T) {
+	c := run(t, `
+main:
+	li  t0, -0x80000000
+	li  t1, -1
+	div t2, t0, t1
+	rem t3, t0, t1
+	halt
+`)
+	if c.R[14] != 0x80000000 || c.R[15] != 0 {
+		t.Errorf("overflow div/rem = %#x/%#x", c.R[14], c.R[15])
+	}
+}
+
+func TestMulh(t *testing.T) {
+	c := run(t, `
+main:
+	li   t0, 0x10000
+	li   t1, 0x10000
+	mulh t2, t0, t1     # (2^16 * 2^16) >> 32 = 1
+	li   t3, -1
+	mulh t4, t3, t3     # (-1 * -1) >> 32 = 0
+	halt
+`)
+	if c.R[14] != 1 || c.R[16] != 0 {
+		t.Errorf("mulh = %d/%d", c.R[14], c.R[16])
+	}
+}
+
+func TestZeroRegisterImmutable(t *testing.T) {
+	c := run(t, `
+main:
+	addi zero, zero, 5
+	li   t0, 9
+	add  zero, t0, t0
+	mv   t1, zero
+	halt
+`)
+	if c.R[0] != 0 || c.R[13] != 0 {
+		t.Errorf("zero = %d, t1 = %d", c.R[0], c.R[13])
+	}
+}
+
+func TestMemoryOps(t *testing.T) {
+	c := run(t, `
+.data
+buf:	.space 64
+.text
+main:
+	la   s0, buf
+	li   t0, -2          # 0xFFFFFFFE
+	sw   t0, 0(s0)
+	lw   t1, 0(s0)
+	lh   t2, 0(s0)       # sign-extended 0xFFFE = -2
+	lhu  t3, 0(s0)       # 0xFFFE
+	lb   t4, 0(s0)       # -2
+	lbu  t5, 0(s0)       # 0xFE
+	sh   t0, 8(s0)
+	lhu  t6, 8(s0)
+	sb   t0, 12(s0)
+	lbu  t7, 12(s0)
+	halt
+`)
+	if c.R[13] != 0xFFFFFFFE {
+		t.Errorf("lw = %#x", c.R[13])
+	}
+	if int32(c.R[14]) != -2 || c.R[15] != 0xFFFE {
+		t.Errorf("lh/lhu = %#x/%#x", c.R[14], c.R[15])
+	}
+	if int32(c.R[16]) != -2 || c.R[17] != 0xFE {
+		t.Errorf("lb/lbu = %#x/%#x", c.R[16], c.R[17])
+	}
+	if c.R[18] != 0xFFFE || c.R[19] != 0xFE {
+		t.Errorf("sh/sb = %#x/%#x", c.R[18], c.R[19])
+	}
+}
+
+func TestFloatingPoint(t *testing.T) {
+	c := run(t, `
+.data
+vals:	.double 2.25, -3.5
+.text
+main:
+	la   s0, vals
+	fld  f1, 0(s0)
+	fld  f2, 8(s0)
+	fadd f3, f1, f2      # -1.25
+	fmul f4, f1, f2      # -7.875
+	fdiv f5, f2, f1
+	fsqrt f6, f1         # 1.5
+	fabs f7, f2          # 3.5
+	fneg f8, f1          # -2.25
+	fmin f9, f1, f2      # -3.5
+	fmax f10, f1, f2     # 2.25
+	flt  t0, f2, f1      # 1
+	fle  t1, f1, f1      # 1
+	feq  t2, f1, f2      # 0
+	cvtfi t3, f2         # -3
+	li   t4, -7
+	cvtif f11, t4
+	fsd  f3, 16(s0)
+	fld  f12, 16(s0)
+	halt
+`)
+	fwant := map[int]float64{3: -1.25, 4: -7.875, 5: -3.5 / 2.25, 6: 1.5,
+		7: 3.5, 8: -2.25, 9: -3.5, 10: 2.25, 11: -7, 12: -1.25}
+	for r, v := range fwant {
+		if c.F[r] != v {
+			t.Errorf("f%d = %v, want %v", r, c.F[r], v)
+		}
+	}
+	if c.R[12] != 1 || c.R[13] != 1 || c.R[14] != 0 {
+		t.Errorf("fp compares = %d/%d/%d", c.R[12], c.R[13], c.R[14])
+	}
+	if int32(c.R[15]) != -3 {
+		t.Errorf("cvtfi = %d", int32(c.R[15]))
+	}
+}
+
+func TestCvtfiEdgeCases(t *testing.T) {
+	if truncToI32(math.NaN()) != 0 {
+		t.Error("NaN")
+	}
+	if truncToI32(1e30) != math.MaxInt32 {
+		t.Error("+inf clamp")
+	}
+	if truncToI32(-1e30) != 0x80000000 {
+		t.Error("-inf clamp")
+	}
+	if int32(truncToI32(-2.9)) != -2 {
+		t.Error("trunc toward zero")
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	c := run(t, `
+main:
+	li   t0, 5
+	li   t1, 0
+loop:
+	add  t1, t1, t0
+	addi t0, t0, -1
+	bnez t0, loop
+	call fn
+	halt
+fn:
+	addi t1, t1, 100
+	ret
+`)
+	if c.R[13] != 15+100 {
+		t.Errorf("sum = %d", c.R[13])
+	}
+}
+
+func TestIndirectJump(t *testing.T) {
+	c := run(t, `
+.data
+table:	.word case0, case1, case2
+.text
+main:
+	li   t0, 1           # select case1
+	la   t1, table
+	slli t2, t0, 2
+	add  t1, t1, t2
+	lw   t3, 0(t1)
+	jr   t3
+case0:	li a0, 100
+	halt
+case1:	li a0, 200
+	halt
+case2:	li a0, 300
+	halt
+`)
+	if c.ExitCode != 200 {
+		t.Errorf("exit = %d", c.ExitCode)
+	}
+}
+
+func TestSyscalls(t *testing.T) {
+	c := run(t, `
+main:
+	li a0, 'H'
+	sys 1
+	li a0, 'i'
+	sys 1
+	li a0, 0xABCD
+	sys 2
+	li a0, 7
+	sys 0
+`)
+	if string(c.Output) != "Hi" {
+		t.Errorf("output = %q", c.Output)
+	}
+	if c.Checksum != FoldCheck(0, 0xABCD) {
+		t.Errorf("checksum = %#x", c.Checksum)
+	}
+	if !c.Exited || c.ExitCode != 7 {
+		t.Errorf("exit = %v/%d", c.Exited, c.ExitCode)
+	}
+}
+
+func TestRunBudget(t *testing.T) {
+	p, err := asm.Assemble("t.s", "main: j main\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(p)
+	if err := c.Run(100); err != ErrBudget {
+		t.Errorf("err = %v, want ErrBudget", err)
+	}
+	if c.InstCount != 100 {
+		t.Errorf("count = %d", c.InstCount)
+	}
+}
+
+func TestInvalidPC(t *testing.T) {
+	// jr to an address outside text.
+	p, err := asm.Assemble("t.s", "main:\n\tli t0, 0x10\n\tjr t0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(p)
+	if err := c.Run(100); err == nil {
+		t.Error("expected invalid pc error")
+	}
+}
+
+func TestJalLinkValue(t *testing.T) {
+	c := run(t, `
+main:
+	call fn
+after:
+	halt
+fn:
+	mv  t0, ra
+	ret
+`)
+	want, _ := c.Prog.Symbol("after")
+	if c.R[12] != want {
+		t.Errorf("ra in fn = %#x, want %#x", c.R[12], want)
+	}
+}
+
+func TestStepInstDeterministicSmoke(t *testing.T) {
+	// Every opcode must execute without panicking on arbitrary state.
+	p, _ := asm.Assemble("t.s", "main: halt\n")
+	for op := isa.Opcode(1); int(op) < isa.NumOpcodes; op++ {
+		if !op.Valid() {
+			continue
+		}
+		s := NewState(p)
+		s.R[2] = program.StackTop
+		i := isa.Inst{Op: op, Rd: 5, Rs1: 6, Rs2: 7, Imm: 0}
+		StepInst(s, i, p.Entry)
+	}
+}
+
+func TestOutputCap(t *testing.T) {
+	// A program writing more than MaxOutput bytes must not grow memory
+	// without bound.
+	p, err := asm.Assemble("t.s", `
+main:
+	li   t0, 70000
+loop:
+	li   a0, 'x'
+	sys  1
+	addi t0, t0, -1
+	bnez t0, loop
+	halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(p)
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Output) != MaxOutput {
+		t.Errorf("output = %d bytes, want capped at %d", len(c.Output), MaxOutput)
+	}
+}

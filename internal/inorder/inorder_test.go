@@ -1,0 +1,161 @@
+package inorder
+
+import (
+	"testing"
+
+	"fastsim/internal/asm"
+	"fastsim/internal/cachesim"
+	"fastsim/internal/emulator"
+	"fastsim/internal/program"
+	"fastsim/internal/testprog"
+)
+
+func build(t *testing.T, src string) *program.Program {
+	t.Helper()
+	p, err := asm.Assemble("t.s", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func run(t *testing.T, p *program.Program) *Result {
+	t.Helper()
+	r, err := Run(p, DefaultParams(), cachesim.DefaultConfig(), 100_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestFunctionalCorrectness(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		p, err := testprog.Build(seed, testprog.Options{Segments: 6, Iterations: 25})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := run(t, p)
+		cpu := emulator.New(p)
+		if err := cpu.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		if r.Checksum != cpu.Checksum || r.Insts != cpu.InstCount {
+			t.Errorf("seed %d: diverged from functional emulation", seed)
+		}
+	}
+}
+
+func TestInOrderSlowerThanIdeal(t *testing.T) {
+	p := build(t, `
+main:
+	li t0, 1000
+loop:
+	mul t1, t1, t2       # 6-cycle producer
+	add t3, t1, t4       # depends on it: must stall in order
+	addi t0, t0, -1
+	bnez t0, loop
+	halt
+`)
+	r := run(t, p)
+	cpi := float64(r.Cycles) / float64(r.Insts)
+	// The dependent chain forces CPI well above 1.
+	if cpi < 1.5 {
+		t.Errorf("CPI = %.2f, dependence stalls not modelled", cpi)
+	}
+}
+
+func TestDualIssuePairsIndependentOps(t *testing.T) {
+	ind := build(t, `
+main:
+	li t0, 2000
+loop:
+	add t1, t2, t3
+	add t4, t5, t6
+	addi t0, t0, -1
+	bnez t0, loop
+	halt
+`)
+	r := run(t, ind)
+	ipc := float64(r.Insts) / float64(r.Cycles)
+	if ipc < 1.05 {
+		t.Errorf("IPC = %.2f: dual issue not visible", ipc)
+	}
+	if ipc > 2.01 {
+		t.Errorf("IPC = %.2f exceeds issue width", ipc)
+	}
+}
+
+func TestBlockingLoadsHurt(t *testing.T) {
+	// Strided misses with the result immediately used: an in-order blocking
+	// machine eats the whole memory latency every iteration.
+	p := build(t, `
+.data
+buf: .space 262144
+.text
+main:
+	li t0, 1000
+	la s0, buf
+loop:
+	slli t1, t0, 8
+	add  t1, s0, t1
+	lw   t2, 0(t1)
+	add  s1, s1, t2
+	addi t0, t0, -1
+	bnez t0, loop
+	halt
+`)
+	r := run(t, p)
+	cpi := float64(r.Cycles) / float64(r.Insts)
+	if cpi < 5 {
+		t.Errorf("CPI = %.2f: blocking cache misses not visible", cpi)
+	}
+	if r.Cache.L2Misses == 0 {
+		t.Error("no L2 misses")
+	}
+}
+
+func TestMispredictPenalty(t *testing.T) {
+	// A data-dependent 50/50 branch vs a well-predicted loop-only branch.
+	noisy := build(t, `
+main:
+	li t0, 4000
+	li s0, 12345
+loop:
+	li   t1, 1103515245
+	mul  s0, s0, t1
+	addi s0, s0, 4321
+	srli t2, s0, 13
+	andi t2, t2, 1
+	beqz t2, skip
+	addi s1, s1, 1
+skip:
+	addi t0, t0, -1
+	bnez t0, loop
+	halt
+`)
+	r := run(t, noisy)
+	if r.Mispredicts < 1000 {
+		t.Errorf("mispredicts = %d, expected ~2000 for a random branch", r.Mispredicts)
+	}
+}
+
+func TestCycleLimit(t *testing.T) {
+	p := build(t, `
+main:
+	li t0, 1000000
+loop:
+	addi t0, t0, -1
+	bnez t0, loop
+	halt
+`)
+	if _, err := Run(p, DefaultParams(), cachesim.DefaultConfig(), 50); err != ErrCycleLimit {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestInvalidPC(t *testing.T) {
+	p := build(t, "main:\n\tli t0, 0x10\n\tjr t0\n")
+	if _, err := Run(p, DefaultParams(), cachesim.DefaultConfig(), 0); err == nil {
+		t.Error("invalid pc accepted")
+	}
+}

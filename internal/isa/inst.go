@@ -1,0 +1,271 @@
+package isa
+
+import "fmt"
+
+// Inst is a decoded SV8 instruction.
+type Inst struct {
+	Op  Opcode
+	Rd  uint8 // destination register number (data source for stores)
+	Rs1 uint8 // first source register number
+	Rs2 uint8 // second source register number
+	Imm int32 // immediate; byte offset for branches/jumps, full value for lui
+}
+
+// immediate field widths.
+const (
+	imm14Min = -(1 << 13)
+	imm14Max = (1 << 13) - 1
+	imm19Min = -(1 << 18)
+	imm19Max = (1 << 18) - 1
+)
+
+// EncodeError reports why an instruction cannot be encoded.
+type EncodeError struct {
+	Inst   Inst
+	Reason string
+}
+
+func (e *EncodeError) Error() string {
+	return fmt.Sprintf("isa: cannot encode %s: %s", e.Inst, e.Reason)
+}
+
+// Encode packs i into its 32-bit binary form.
+func Encode(i Inst) (uint32, error) {
+	if !i.Op.Valid() {
+		return 0, &EncodeError{i, "invalid opcode"}
+	}
+	if i.Rd >= NumIntRegs || i.Rs1 >= NumIntRegs || i.Rs2 >= NumIntRegs {
+		return 0, &EncodeError{i, "register number out of range"}
+	}
+	w := uint32(i.Op) << 24
+	switch i.Op.Format() {
+	case FmtR:
+		w |= uint32(i.Rd)<<19 | uint32(i.Rs1)<<14 | uint32(i.Rs2)<<9
+	case FmtI:
+		if i.Imm < imm14Min || i.Imm > imm14Max {
+			return 0, &EncodeError{i, "immediate out of 14-bit range"}
+		}
+		w |= uint32(i.Rd)<<19 | uint32(i.Rs1)<<14 | uint32(i.Imm)&0x3FFF
+	case FmtB:
+		off, err := wordOffset(i, imm14Min, imm14Max)
+		if err != nil {
+			return 0, err
+		}
+		w |= uint32(i.Rs1)<<19 | uint32(i.Rs2)<<14 | uint32(off)&0x3FFF
+	case FmtJ:
+		off, err := wordOffset(i, imm19Min, imm19Max)
+		if err != nil {
+			return 0, err
+		}
+		w |= uint32(i.Rd)<<19 | uint32(off)&0x7FFFF
+	case FmtU:
+		if i.Imm&((1<<13)-1) != 0 {
+			return 0, &EncodeError{i, "lui constant has low bits set"}
+		}
+		w |= uint32(i.Rd)<<19 | (uint32(i.Imm)>>13)&0x7FFFF
+	case FmtS:
+		if i.Imm < 0 || i.Imm > 0x3FFF { // 14-bit unsigned field
+			return 0, &EncodeError{i, "system code out of range"}
+		}
+		w |= uint32(i.Imm) & 0x3FFF
+	}
+	return w, nil
+}
+
+func wordOffset(i Inst, min, max int32) (int32, error) {
+	if i.Imm%WordSize != 0 {
+		return 0, &EncodeError{i, "branch offset not word aligned"}
+	}
+	off := i.Imm / WordSize
+	if off < min || off > max {
+		return 0, &EncodeError{i, "branch offset out of range"}
+	}
+	return off, nil
+}
+
+// DecodeError reports an undecodable instruction word.
+type DecodeError struct {
+	Word uint32
+}
+
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("isa: cannot decode word %#08x", e.Word)
+}
+
+// Decode unpacks a 32-bit instruction word.
+func Decode(w uint32) (Inst, error) {
+	op := Opcode(w >> 24)
+	if !op.Valid() {
+		return Inst{}, &DecodeError{w}
+	}
+	i := Inst{Op: op}
+	switch op.Format() {
+	case FmtR:
+		i.Rd = uint8(w >> 19 & 0x1F)
+		i.Rs1 = uint8(w >> 14 & 0x1F)
+		i.Rs2 = uint8(w >> 9 & 0x1F)
+	case FmtI:
+		i.Rd = uint8(w >> 19 & 0x1F)
+		i.Rs1 = uint8(w >> 14 & 0x1F)
+		i.Imm = signExtend(w&0x3FFF, 14)
+	case FmtB:
+		i.Rs1 = uint8(w >> 19 & 0x1F)
+		i.Rs2 = uint8(w >> 14 & 0x1F)
+		i.Imm = signExtend(w&0x3FFF, 14) * WordSize
+	case FmtJ:
+		i.Rd = uint8(w >> 19 & 0x1F)
+		i.Imm = signExtend(w&0x7FFFF, 19) * WordSize
+	case FmtU:
+		i.Rd = uint8(w >> 19 & 0x1F)
+		i.Imm = signExtend(w&0x7FFFF, 19) << 13
+	case FmtS:
+		i.Imm = int32(w & 0x3FFF)
+	}
+	return i, nil
+}
+
+func signExtend(v uint32, bits uint) int32 {
+	shift := 32 - bits
+	return int32(v<<shift) >> shift
+}
+
+// Class returns the execution class of the instruction.
+func (i Inst) Class() Class { return i.Op.Class() }
+
+// Uses appends the architectural registers i reads to dst and returns the
+// extended slice. The hardwired zero register is never reported.
+func (i Inst) Uses(dst []Reg) []Reg {
+	add := func(r Reg) {
+		if r != RegNone && !r.IsZero() {
+			dst = append(dst, r)
+		}
+	}
+	switch i.Op {
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpSll, OpSrl, OpSra, OpSlt, OpSltu,
+		OpMul, OpMulh, OpDiv, OpRem:
+		add(IntReg(int(i.Rs1)))
+		add(IntReg(int(i.Rs2)))
+	case OpAddi, OpAndi, OpOri, OpXori, OpSlli, OpSrli, OpSrai, OpSlti:
+		add(IntReg(int(i.Rs1)))
+	case OpLui:
+		// no sources
+	case OpLw, OpLh, OpLhu, OpLb, OpLbu, OpFld:
+		add(IntReg(int(i.Rs1)))
+	case OpSw, OpSh, OpSb:
+		add(IntReg(int(i.Rs1)))
+		add(IntReg(int(i.Rd))) // store data
+	case OpFsd:
+		add(IntReg(int(i.Rs1)))
+		add(FPReg(int(i.Rd))) // store data
+	case OpBeq, OpBne, OpBlt, OpBge, OpBltu, OpBgeu:
+		add(IntReg(int(i.Rs1)))
+		add(IntReg(int(i.Rs2)))
+	case OpJ, OpJal:
+		// no sources
+	case OpJalr:
+		add(IntReg(int(i.Rs1)))
+	case OpFadd, OpFsub, OpFmul, OpFdiv, OpFmin, OpFmax, OpFeq, OpFlt, OpFle:
+		add(FPReg(int(i.Rs1)))
+		add(FPReg(int(i.Rs2)))
+	case OpFsqrt, OpFneg, OpFabs, OpFmov, OpCvtfi:
+		add(FPReg(int(i.Rs1)))
+	case OpCvtif:
+		add(IntReg(int(i.Rs1)))
+	case OpSys, OpHalt:
+		add(IntReg(RegA0))
+	}
+	return dst
+}
+
+// Def returns the architectural register i writes, or RegNone. Writes to
+// the integer zero register are reported as RegNone.
+func (i Inst) Def() Reg {
+	var r Reg = RegNone
+	switch i.Op {
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpSll, OpSrl, OpSra, OpSlt, OpSltu,
+		OpMul, OpMulh, OpDiv, OpRem,
+		OpAddi, OpAndi, OpOri, OpXori, OpSlli, OpSrli, OpSrai, OpSlti, OpLui,
+		OpLw, OpLh, OpLhu, OpLb, OpLbu,
+		OpJal, OpJalr, OpCvtfi, OpFeq, OpFlt, OpFle:
+		r = IntReg(int(i.Rd))
+	case OpFld, OpFadd, OpFsub, OpFmul, OpFdiv, OpFsqrt, OpFmin, OpFmax,
+		OpFneg, OpFabs, OpFmov, OpCvtif:
+		r = FPReg(int(i.Rd))
+	}
+	if r != RegNone && r.IsZero() {
+		return RegNone
+	}
+	return r
+}
+
+// BranchTarget returns the taken target of a branch or direct jump at pc.
+func (i Inst) BranchTarget(pc uint32) uint32 {
+	return pc + uint32(i.Imm)
+}
+
+// String renders the instruction in assembler syntax (without resolving
+// branch targets, which requires the pc).
+func (i Inst) String() string {
+	name := i.Op.String()
+	switch i.Op.Format() {
+	case FmtR:
+		if i.Op.Class().IsFP() {
+			switch i.Op {
+			case OpFsqrt, OpFneg, OpFabs, OpFmov:
+				return fmt.Sprintf("%s f%d, f%d", name, i.Rd, i.Rs1)
+			case OpCvtif:
+				return fmt.Sprintf("%s f%d, %s", name, i.Rd, IntRegName(int(i.Rs1)))
+			case OpCvtfi, OpFeq, OpFlt, OpFle:
+				if i.Op == OpCvtfi {
+					return fmt.Sprintf("%s %s, f%d", name, IntRegName(int(i.Rd)), i.Rs1)
+				}
+				return fmt.Sprintf("%s %s, f%d, f%d", name, IntRegName(int(i.Rd)), i.Rs1, i.Rs2)
+			}
+			return fmt.Sprintf("%s f%d, f%d, f%d", name, i.Rd, i.Rs1, i.Rs2)
+		}
+		return fmt.Sprintf("%s %s, %s, %s", name,
+			IntRegName(int(i.Rd)), IntRegName(int(i.Rs1)), IntRegName(int(i.Rs2)))
+	case FmtI:
+		switch i.Op.Class() {
+		case ClassLoad, ClassStore:
+			rd := IntRegName(int(i.Rd))
+			if i.Op == OpFld || i.Op == OpFsd {
+				rd = fmt.Sprintf("f%d", i.Rd)
+			}
+			return fmt.Sprintf("%s %s, %d(%s)", name, rd, i.Imm, IntRegName(int(i.Rs1)))
+		case ClassJumpInd:
+			return fmt.Sprintf("%s %s, %s, %d", name,
+				IntRegName(int(i.Rd)), IntRegName(int(i.Rs1)), i.Imm)
+		}
+		return fmt.Sprintf("%s %s, %s, %d", name,
+			IntRegName(int(i.Rd)), IntRegName(int(i.Rs1)), i.Imm)
+	case FmtB:
+		return fmt.Sprintf("%s %s, %s, %d", name,
+			IntRegName(int(i.Rs1)), IntRegName(int(i.Rs2)), i.Imm)
+	case FmtJ:
+		if i.Op == OpJal {
+			return fmt.Sprintf("%s %s, %d", name, IntRegName(int(i.Rd)), i.Imm)
+		}
+		return fmt.Sprintf("%s %d", name, i.Imm)
+	case FmtU:
+		return fmt.Sprintf("%s %s, %#x", name, IntRegName(int(i.Rd)), uint32(i.Imm))
+	case FmtS:
+		return fmt.Sprintf("%s %d", name, i.Imm)
+	}
+	return name
+}
+
+// MemWidth returns the access width in bytes for loads and stores, or 0.
+func (i Inst) MemWidth() int {
+	switch i.Op {
+	case OpLw, OpSw:
+		return 4
+	case OpLh, OpLhu, OpSh:
+		return 2
+	case OpLb, OpLbu, OpSb:
+		return 1
+	case OpFld, OpFsd:
+		return 8
+	}
+	return 0
+}

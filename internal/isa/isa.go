@@ -1,0 +1,286 @@
+// Package isa defines SV8, the 32-bit load/store RISC instruction set
+// simulated by FastSim-Go. SV8 plays the role of SPARC v8 in the paper: a
+// fixed-width 32-bit ISA with 32 integer registers, 32 floating-point
+// registers, PC-relative conditional branches, direct and indirect jumps,
+// and a small system-call surface. The package provides instruction
+// definitions, binary encoding/decoding, operand accessors used by the
+// rename/dependence machinery, and a disassembler.
+package isa
+
+import "fmt"
+
+// WordSize is the size of one instruction in bytes. All instructions are
+// fixed width.
+const WordSize = 4
+
+// Opcode identifies an SV8 instruction. The numeric value is the opcode
+// byte in the binary encoding, so the values are stable.
+type Opcode uint8
+
+// Integer register-register arithmetic (format R).
+const (
+	OpAdd Opcode = iota + 1
+	OpSub
+	OpAnd
+	OpOr
+	OpXor
+	OpSll
+	OpSrl
+	OpSra
+	OpSlt
+	OpSltu
+	OpMul
+	OpMulh
+	OpDiv
+	OpRem
+
+	// Integer register-immediate arithmetic (format I).
+	OpAddi
+	OpAndi
+	OpOri
+	OpXori
+	OpSlli
+	OpSrli
+	OpSrai
+	OpSlti
+	OpLui // format U: rd = imm19 << 13
+
+	// Memory (format I: address = rs1 + imm).
+	OpLw
+	OpLh
+	OpLhu
+	OpLb
+	OpLbu
+	OpSw // stores use rd as the data source register
+	OpSh
+	OpSb
+	OpFld // load 64-bit float into FP reg
+	OpFsd // store 64-bit float from FP reg
+
+	// Control transfer.
+	OpBeq // format B: branch if rs1 == rs2, target = pc + imm
+	OpBne
+	OpBlt
+	OpBge
+	OpBltu
+	OpBgeu
+	OpJ    // format J: unconditional direct jump, target = pc + imm
+	OpJal  // format J: rd = pc+4, jump to pc + imm
+	OpJalr // format I: rd = pc+4, jump to (rs1 + imm) &^ 3
+
+	// Floating point (format R over FP registers unless noted).
+	OpFadd
+	OpFsub
+	OpFmul
+	OpFdiv
+	OpFsqrt
+	OpFmin
+	OpFmax
+	OpFneg
+	OpFabs
+	OpFmov
+	OpCvtif // rd(FP) = float64(int32 rs1)
+	OpCvtfi // rd(int) = int32(trunc rs1(FP))
+	OpFeq   // rd(int) = rs1(FP) == rs2(FP)
+	OpFlt
+	OpFle
+
+	// System.
+	OpSys  // format I: system call, code = Imm, argument in a0
+	OpHalt // stop execution; exit code in a0
+
+	opMax // sentinel
+)
+
+// NumOpcodes is one past the largest valid opcode value.
+const NumOpcodes = int(opMax)
+
+// System call codes carried in the immediate of OpSys.
+const (
+	SysExit  = 0 // terminate with exit code a0
+	SysPutc  = 1 // write byte a0 to the program's output stream
+	SysCheck = 2 // fold a0 into the program's running checksum
+)
+
+// Format describes how an instruction's operand fields are laid out.
+type Format uint8
+
+const (
+	FmtR Format = iota // rd, rs1, rs2
+	FmtI               // rd, rs1, imm14
+	FmtB               // rs1, rs2, imm14 (word offset)
+	FmtJ               // rd, imm19 (word offset)
+	FmtU               // rd, imm19 (shifted constant)
+	FmtS               // imm (system)
+)
+
+// Class is the execution class of an instruction: which issue queue it
+// occupies and which functional unit timing it uses. It mirrors the
+// R10000-like machine of the paper's Figure 1.
+type Class uint8
+
+const (
+	ClassIntALU Class = iota
+	ClassIntMul
+	ClassIntDiv
+	ClassLoad
+	ClassStore
+	ClassBranch  // conditional branch
+	ClassJump    // direct jump / call: resolved at decode, no execution
+	ClassJumpInd // indirect jump (jalr): executes in integer ALU
+	ClassFPAdd
+	ClassFPMul
+	ClassFPDiv
+	ClassFPSqrt
+	ClassFPCvt // conversions and FP compares
+	ClassSys
+	ClassHalt
+	NumClasses
+)
+
+// Queue identifies the R10000-style issue queue an instruction waits in.
+type Queue uint8
+
+const (
+	QueueInt  Queue = iota // integer queue (16 entries)
+	QueueFP                // floating-point queue (16 entries)
+	QueueAddr              // address queue for loads/stores (16 entries)
+	QueueNone              // direct jumps: consumed at decode
+	NumQueues
+)
+
+type opInfo struct {
+	name    string
+	format  Format
+	class   Class
+	latency int // execution latency in cycles (loads: address-calc only)
+}
+
+var opTable = [opMax]opInfo{
+	OpAdd:  {"add", FmtR, ClassIntALU, 1},
+	OpSub:  {"sub", FmtR, ClassIntALU, 1},
+	OpAnd:  {"and", FmtR, ClassIntALU, 1},
+	OpOr:   {"or", FmtR, ClassIntALU, 1},
+	OpXor:  {"xor", FmtR, ClassIntALU, 1},
+	OpSll:  {"sll", FmtR, ClassIntALU, 1},
+	OpSrl:  {"srl", FmtR, ClassIntALU, 1},
+	OpSra:  {"sra", FmtR, ClassIntALU, 1},
+	OpSlt:  {"slt", FmtR, ClassIntALU, 1},
+	OpSltu: {"sltu", FmtR, ClassIntALU, 1},
+	OpMul:  {"mul", FmtR, ClassIntMul, 6},
+	OpMulh: {"mulh", FmtR, ClassIntMul, 6},
+	OpDiv:  {"div", FmtR, ClassIntDiv, 34},
+	OpRem:  {"rem", FmtR, ClassIntDiv, 34},
+
+	OpAddi: {"addi", FmtI, ClassIntALU, 1},
+	OpAndi: {"andi", FmtI, ClassIntALU, 1},
+	OpOri:  {"ori", FmtI, ClassIntALU, 1},
+	OpXori: {"xori", FmtI, ClassIntALU, 1},
+	OpSlli: {"slli", FmtI, ClassIntALU, 1},
+	OpSrli: {"srli", FmtI, ClassIntALU, 1},
+	OpSrai: {"srai", FmtI, ClassIntALU, 1},
+	OpSlti: {"slti", FmtI, ClassIntALU, 1},
+	OpLui:  {"lui", FmtU, ClassIntALU, 1},
+
+	OpLw:  {"lw", FmtI, ClassLoad, 1},
+	OpLh:  {"lh", FmtI, ClassLoad, 1},
+	OpLhu: {"lhu", FmtI, ClassLoad, 1},
+	OpLb:  {"lb", FmtI, ClassLoad, 1},
+	OpLbu: {"lbu", FmtI, ClassLoad, 1},
+	OpSw:  {"sw", FmtI, ClassStore, 1},
+	OpSh:  {"sh", FmtI, ClassStore, 1},
+	OpSb:  {"sb", FmtI, ClassStore, 1},
+	OpFld: {"fld", FmtI, ClassLoad, 1},
+	OpFsd: {"fsd", FmtI, ClassStore, 1},
+
+	OpBeq:  {"beq", FmtB, ClassBranch, 1},
+	OpBne:  {"bne", FmtB, ClassBranch, 1},
+	OpBlt:  {"blt", FmtB, ClassBranch, 1},
+	OpBge:  {"bge", FmtB, ClassBranch, 1},
+	OpBltu: {"bltu", FmtB, ClassBranch, 1},
+	OpBgeu: {"bgeu", FmtB, ClassBranch, 1},
+	OpJ:    {"j", FmtJ, ClassJump, 0},
+	OpJal:  {"jal", FmtJ, ClassJump, 0},
+	OpJalr: {"jalr", FmtI, ClassJumpInd, 1},
+
+	OpFadd:  {"fadd", FmtR, ClassFPAdd, 2},
+	OpFsub:  {"fsub", FmtR, ClassFPAdd, 2},
+	OpFmul:  {"fmul", FmtR, ClassFPMul, 2},
+	OpFdiv:  {"fdiv", FmtR, ClassFPDiv, 19},
+	OpFsqrt: {"fsqrt", FmtR, ClassFPSqrt, 33},
+	OpFmin:  {"fmin", FmtR, ClassFPAdd, 2},
+	OpFmax:  {"fmax", FmtR, ClassFPAdd, 2},
+	OpFneg:  {"fneg", FmtR, ClassFPAdd, 1},
+	OpFabs:  {"fabs", FmtR, ClassFPAdd, 1},
+	OpFmov:  {"fmov", FmtR, ClassFPAdd, 1},
+	OpCvtif: {"cvtif", FmtR, ClassFPCvt, 2},
+	OpCvtfi: {"cvtfi", FmtR, ClassFPCvt, 2},
+	OpFeq:   {"feq", FmtR, ClassFPCvt, 1},
+	OpFlt:   {"flt", FmtR, ClassFPCvt, 1},
+	OpFle:   {"fle", FmtR, ClassFPCvt, 1},
+
+	OpSys:  {"sys", FmtS, ClassSys, 1},
+	OpHalt: {"halt", FmtS, ClassHalt, 1},
+}
+
+// Valid reports whether op is a defined opcode.
+func (op Opcode) Valid() bool { return op > 0 && op < opMax && opTable[op].name != "" }
+
+// String returns the assembler mnemonic for op.
+func (op Opcode) String() string {
+	if !op.Valid() {
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+	return opTable[op].name
+}
+
+// Format returns the operand layout of op.
+func (op Opcode) Format() Format { return opTable[op].format }
+
+// Class returns the execution class of op.
+func (op Opcode) Class() Class { return opTable[op].class }
+
+// Latency returns the execution latency of op in cycles. For loads this is
+// the address-calculation latency; the memory access itself is timed by the
+// cache simulator.
+func (op Opcode) Latency() int { return opTable[op].latency }
+
+// Queue returns the issue queue class c occupies.
+func (c Class) Queue() Queue {
+	switch c {
+	case ClassIntALU, ClassIntMul, ClassIntDiv, ClassBranch, ClassJumpInd, ClassSys, ClassHalt:
+		return QueueInt
+	case ClassLoad, ClassStore:
+		return QueueAddr
+	case ClassFPAdd, ClassFPMul, ClassFPDiv, ClassFPSqrt, ClassFPCvt:
+		return QueueFP
+	default:
+		return QueueNone
+	}
+}
+
+// String returns a short name for the class.
+func (c Class) String() string {
+	names := [...]string{
+		"int-alu", "int-mul", "int-div", "load", "store", "branch",
+		"jump", "jump-ind", "fp-add", "fp-mul", "fp-div", "fp-sqrt",
+		"fp-cvt", "sys", "halt",
+	}
+	if int(c) < len(names) {
+		return names[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// IsMem reports whether the class accesses data memory.
+func (c Class) IsMem() bool { return c == ClassLoad || c == ClassStore }
+
+// IsControl reports whether the class transfers control.
+func (c Class) IsControl() bool {
+	return c == ClassBranch || c == ClassJump || c == ClassJumpInd
+}
+
+// IsFP reports whether the class executes in the floating-point pipeline.
+func (c Class) IsFP() bool {
+	return c >= ClassFPAdd && c <= ClassFPCvt
+}

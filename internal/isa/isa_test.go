@@ -1,0 +1,322 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpcodeTableComplete(t *testing.T) {
+	for op := Opcode(1); op < opMax; op++ {
+		if opTable[op].name == "" {
+			t.Errorf("opcode %d has no table entry", op)
+		}
+		if !op.Valid() {
+			t.Errorf("opcode %d (%s) not valid", op, opTable[op].name)
+		}
+	}
+	if Opcode(0).Valid() {
+		t.Error("opcode 0 must be invalid")
+	}
+	if Opcode(opMax).Valid() {
+		t.Error("opMax must be invalid")
+	}
+}
+
+func TestOpcodeLatencies(t *testing.T) {
+	cases := []struct {
+		op   Opcode
+		want int
+	}{
+		{OpAdd, 1}, {OpMul, 6}, {OpDiv, 34}, {OpFadd, 2},
+		{OpFdiv, 19}, {OpFsqrt, 33}, {OpLw, 1}, {OpBeq, 1},
+	}
+	for _, c := range cases {
+		if got := c.op.Latency(); got != c.want {
+			t.Errorf("%s latency = %d, want %d", c.op, got, c.want)
+		}
+	}
+}
+
+func TestClassQueues(t *testing.T) {
+	cases := []struct {
+		op   Opcode
+		want Queue
+	}{
+		{OpAdd, QueueInt}, {OpMul, QueueInt}, {OpBeq, QueueInt},
+		{OpJalr, QueueInt}, {OpSys, QueueInt}, {OpHalt, QueueInt},
+		{OpLw, QueueAddr}, {OpSw, QueueAddr}, {OpFld, QueueAddr}, {OpFsd, QueueAddr},
+		{OpFadd, QueueFP}, {OpFdiv, QueueFP}, {OpFeq, QueueFP},
+		{OpJ, QueueNone}, {OpJal, QueueNone},
+	}
+	for _, c := range cases {
+		if got := c.op.Class().Queue(); got != c.want {
+			t.Errorf("%s queue = %d, want %d", c.op, got, c.want)
+		}
+	}
+}
+
+// randInst builds a random, encodable instruction.
+func randInst(r *rand.Rand) Inst {
+	for {
+		op := Opcode(1 + r.Intn(int(opMax)-1))
+		if !op.Valid() {
+			continue
+		}
+		i := Inst{
+			Op:  op,
+			Rd:  uint8(r.Intn(NumIntRegs)),
+			Rs1: uint8(r.Intn(NumIntRegs)),
+			Rs2: uint8(r.Intn(NumIntRegs)),
+		}
+		switch op.Format() {
+		case FmtI:
+			i.Imm = int32(r.Intn(imm14Max-imm14Min+1)) + imm14Min
+		case FmtB:
+			i.Imm = (int32(r.Intn(imm14Max-imm14Min+1)) + imm14Min) * WordSize
+		case FmtJ:
+			i.Imm = (int32(r.Intn(imm19Max-imm19Min+1)) + imm19Min) * WordSize
+		case FmtU:
+			i.Imm = (int32(r.Intn(imm19Max-imm19Min+1)) + imm19Min) << 13
+		case FmtS:
+			i.Imm = int32(r.Intn(3))
+		case FmtR:
+			// registers only
+		}
+		return i
+	}
+}
+
+func canonical(i Inst) Inst {
+	// Zero fields the format does not encode so the roundtrip compares equal.
+	switch i.Op.Format() {
+	case FmtR:
+		i.Imm = 0
+	case FmtI:
+		i.Rs2 = 0
+	case FmtB:
+		i.Rd = 0
+	case FmtJ, FmtU:
+		i.Rs1, i.Rs2 = 0, 0
+	case FmtS:
+		i.Rd, i.Rs1, i.Rs2 = 0, 0, 0
+	}
+	return i
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		for k := 0; k < 64; k++ {
+			in := canonical(randInst(r))
+			w, err := Encode(in)
+			if err != nil {
+				t.Logf("encode %v: %v", in, err)
+				return false
+			}
+			out, err := Decode(w)
+			if err != nil {
+				t.Logf("decode %#x: %v", w, err)
+				return false
+			}
+			if out != in {
+				t.Logf("roundtrip mismatch: in=%+v out=%+v word=%#x", in, out, w)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeRejectsBadImmediates(t *testing.T) {
+	cases := []Inst{
+		{Op: OpAddi, Imm: imm14Max + 1},
+		{Op: OpAddi, Imm: imm14Min - 1},
+		{Op: OpBeq, Imm: 2},                         // unaligned
+		{Op: OpBeq, Imm: (imm14Max + 1) * WordSize}, // out of range
+		{Op: OpJ, Imm: (imm19Max + 1) * WordSize},
+		{Op: OpLui, Imm: 1}, // low bits set
+		{Op: OpSys, Imm: -1},
+	}
+	for _, c := range cases {
+		if _, err := Encode(c); err == nil {
+			t.Errorf("Encode(%+v) succeeded, want error", c)
+		}
+	}
+}
+
+func TestDecodeRejectsBadOpcodes(t *testing.T) {
+	for _, w := range []uint32{0, uint32(opMax) << 24, 0xFF000000} {
+		if _, err := Decode(w); err == nil {
+			t.Errorf("Decode(%#x) succeeded, want error", w)
+		}
+	}
+}
+
+func TestUsesAndDef(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		uses []Reg
+		def  Reg
+	}{
+		{Inst{Op: OpAdd, Rd: 5, Rs1: 6, Rs2: 7}, []Reg{IntReg(6), IntReg(7)}, IntReg(5)},
+		{Inst{Op: OpAdd, Rd: 0, Rs1: 0, Rs2: 0}, nil, RegNone},
+		{Inst{Op: OpAddi, Rd: 5, Rs1: 6, Imm: 1}, []Reg{IntReg(6)}, IntReg(5)},
+		{Inst{Op: OpLui, Rd: 5}, nil, IntReg(5)},
+		{Inst{Op: OpLw, Rd: 5, Rs1: 6}, []Reg{IntReg(6)}, IntReg(5)},
+		{Inst{Op: OpSw, Rd: 5, Rs1: 6}, []Reg{IntReg(6), IntReg(5)}, RegNone},
+		{Inst{Op: OpFld, Rd: 5, Rs1: 6}, []Reg{IntReg(6)}, FPReg(5)},
+		{Inst{Op: OpFsd, Rd: 5, Rs1: 6}, []Reg{IntReg(6), FPReg(5)}, RegNone},
+		{Inst{Op: OpBeq, Rs1: 6, Rs2: 7}, []Reg{IntReg(6), IntReg(7)}, RegNone},
+		{Inst{Op: OpJal, Rd: 1}, nil, IntReg(1)},
+		{Inst{Op: OpJalr, Rd: 0, Rs1: 1}, []Reg{IntReg(1)}, RegNone},
+		{Inst{Op: OpFadd, Rd: 1, Rs1: 2, Rs2: 3}, []Reg{FPReg(2), FPReg(3)}, FPReg(1)},
+		{Inst{Op: OpFsqrt, Rd: 1, Rs1: 2}, []Reg{FPReg(2)}, FPReg(1)},
+		{Inst{Op: OpCvtif, Rd: 1, Rs1: 2}, []Reg{IntReg(2)}, FPReg(1)},
+		{Inst{Op: OpCvtfi, Rd: 1, Rs1: 2}, []Reg{FPReg(2)}, IntReg(1)},
+		{Inst{Op: OpFeq, Rd: 1, Rs1: 2, Rs2: 3}, []Reg{FPReg(2), FPReg(3)}, IntReg(1)},
+		{Inst{Op: OpSys, Imm: SysExit}, []Reg{IntReg(RegA0)}, RegNone},
+		{Inst{Op: OpHalt}, []Reg{IntReg(RegA0)}, RegNone},
+	}
+	for _, c := range cases {
+		got := c.in.Uses(nil)
+		if len(got) != len(c.uses) {
+			t.Errorf("%s: uses = %v, want %v", c.in, got, c.uses)
+			continue
+		}
+		for k := range got {
+			if got[k] != c.uses[k] {
+				t.Errorf("%s: uses = %v, want %v", c.in, got, c.uses)
+			}
+		}
+		if d := c.in.Def(); d != c.def {
+			t.Errorf("%s: def = %v, want %v", c.in, d, c.def)
+		}
+	}
+}
+
+func TestRegHelpers(t *testing.T) {
+	if IntReg(5).IsFP() || !FPReg(5).IsFP() {
+		t.Error("IsFP misclassifies")
+	}
+	if FPReg(5).Num() != 5 || IntReg(9).Num() != 9 {
+		t.Error("Num wrong")
+	}
+	if !IntReg(0).IsZero() || IntReg(1).IsZero() || FPReg(0).IsZero() {
+		t.Error("IsZero wrong")
+	}
+	if IntRegByName("a0") != RegA0 || IntRegByName("r17") != 17 || IntRegByName("bogus") != -1 {
+		t.Error("IntRegByName wrong")
+	}
+	if FPRegByName("f31") != 31 || FPRegByName("f32") != -1 || FPRegByName("a0") != -1 {
+		t.Error("FPRegByName wrong")
+	}
+	if RegNone.String() != "-" {
+		t.Error("RegNone string")
+	}
+}
+
+func TestMemWidth(t *testing.T) {
+	cases := map[Opcode]int{
+		OpLw: 4, OpSw: 4, OpLh: 2, OpLhu: 2, OpSh: 2,
+		OpLb: 1, OpLbu: 1, OpSb: 1, OpFld: 8, OpFsd: 8, OpAdd: 0,
+	}
+	for op, want := range cases {
+		if got := (Inst{Op: op}).MemWidth(); got != want {
+			t.Errorf("%s width = %d, want %d", op, got, want)
+		}
+	}
+}
+
+func TestBranchTarget(t *testing.T) {
+	i := Inst{Op: OpBeq, Imm: -8}
+	if got := i.BranchTarget(0x1000); got != 0xFF8 {
+		t.Errorf("target = %#x, want 0xFF8", got)
+	}
+	j := Inst{Op: OpJ, Imm: 400}
+	if got := j.BranchTarget(0x2000); got != 0x2190 {
+		t.Errorf("target = %#x, want 0x2190", got)
+	}
+}
+
+func TestClassPredicates(t *testing.T) {
+	if !OpLw.Class().IsMem() || !OpSw.Class().IsMem() || OpAdd.Class().IsMem() {
+		t.Error("IsMem wrong")
+	}
+	if !OpBeq.Class().IsControl() || !OpJ.Class().IsControl() ||
+		!OpJalr.Class().IsControl() || OpAdd.Class().IsControl() {
+		t.Error("IsControl wrong")
+	}
+	if !OpFadd.Class().IsFP() || OpAdd.Class().IsFP() || OpLw.Class().IsFP() {
+		t.Error("IsFP wrong")
+	}
+}
+
+func TestInstStringSmoke(t *testing.T) {
+	// Every opcode must render without panicking and non-empty.
+	for op := Opcode(1); op < opMax; op++ {
+		i := Inst{Op: op, Rd: 1, Rs1: 2, Rs2: 3, Imm: 4}
+		if op.Format() == FmtB || op.Format() == FmtJ {
+			i.Imm = 8
+		}
+		if s := i.String(); s == "" {
+			t.Errorf("empty String() for %v", op)
+		}
+	}
+}
+
+// TestDecodeNeverPanics throws random words at the decoder.
+func TestDecodeNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	decoded := 0
+	for i := 0; i < 200000; i++ {
+		w := r.Uint32()
+		inst, err := Decode(w)
+		if err != nil {
+			continue
+		}
+		decoded++
+		// Anything that decodes must render, classify and re-encode.
+		_ = inst.String()
+		_ = inst.Class().Queue()
+		_ = inst.Uses(nil)
+		_ = inst.Def()
+		if _, err := Encode(inst); err != nil {
+			t.Fatalf("decoded inst %v does not re-encode: %v", inst, err)
+		}
+	}
+	if decoded == 0 {
+		t.Error("no random word decoded — suspicious")
+	}
+}
+
+// TestEncodeDecodeCanonicalFixpoint: encode(decode(w)) reaches a fixpoint
+// after one round (unused format bits are zeroed exactly once).
+func TestEncodeDecodeCanonicalFixpoint(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for i := 0; i < 100000; i++ {
+		w := r.Uint32()
+		inst, err := Decode(w)
+		if err != nil {
+			continue
+		}
+		w1, err := Encode(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst2, err := Decode(w1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w2, err := Encode(inst2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w1 != w2 {
+			t.Fatalf("not a fixpoint: %#x -> %#x -> %#x", w, w1, w2)
+		}
+	}
+}

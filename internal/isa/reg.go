@@ -1,0 +1,109 @@
+package isa
+
+import "fmt"
+
+// NumIntRegs and NumFPRegs are the architectural register file sizes.
+// Integer register 0 is hardwired to zero, as on SPARC and MIPS.
+const (
+	NumIntRegs = 32
+	NumFPRegs  = 32
+)
+
+// Reg names one architectural register in the unified numbering used by the
+// rename and dependence machinery: 0..31 are integer registers, 32..63 are
+// floating-point registers. The integer zero register (Reg 0) never carries
+// a dependence.
+type Reg uint8
+
+// RegNone marks an absent operand.
+const RegNone Reg = 0xFF
+
+// IntReg returns the unified register id for integer register n.
+func IntReg(n int) Reg { return Reg(n) }
+
+// FPReg returns the unified register id for floating-point register n.
+func FPReg(n int) Reg { return Reg(NumIntRegs + n) }
+
+// IsFP reports whether r names a floating-point register.
+func (r Reg) IsFP() bool { return r != RegNone && int(r) >= NumIntRegs }
+
+// IsZero reports whether r is the hardwired integer zero register.
+func (r Reg) IsZero() bool { return r == 0 }
+
+// Num returns the register number within its file.
+func (r Reg) Num() int {
+	if r.IsFP() {
+		return int(r) - NumIntRegs
+	}
+	return int(r)
+}
+
+// Conventional ABI register assignments used by the assembler and the
+// workload generators.
+const (
+	RegZero = 0 // hardwired zero
+	RegRA   = 1 // return address
+	RegSP   = 2 // stack pointer
+	RegFP   = 3 // frame pointer
+	RegA0   = 4 // first argument / return value
+	RegA1   = 5
+	RegA2   = 6
+	RegA3   = 7
+	RegA4   = 8
+	RegA5   = 9
+	RegA6   = 10
+	RegA7   = 11
+	RegT0   = 12 // temporaries t0..t9 = r12..r21
+	RegS0   = 22 // saved s0..s9 = r22..r31
+)
+
+var intRegNames = [NumIntRegs]string{
+	"zero", "ra", "sp", "fp",
+	"a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7",
+	"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9",
+	"s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9",
+}
+
+// IntRegName returns the ABI name for integer register n.
+func IntRegName(n int) string {
+	if n >= 0 && n < NumIntRegs {
+		return intRegNames[n]
+	}
+	return fmt.Sprintf("r%d", n)
+}
+
+// IntRegByName resolves an integer register name ("a0", "r17", ...) to its
+// number. It returns -1 if the name is unknown.
+func IntRegByName(name string) int {
+	for i, n := range intRegNames {
+		if n == name {
+			return i
+		}
+	}
+	var n int
+	if _, err := fmt.Sscanf(name, "r%d", &n); err == nil && n >= 0 && n < NumIntRegs {
+		return n
+	}
+	return -1
+}
+
+// FPRegByName resolves a floating-point register name ("f7") to its number,
+// or -1 if unknown.
+func FPRegByName(name string) int {
+	var n int
+	if _, err := fmt.Sscanf(name, "f%d", &n); err == nil && n >= 0 && n < NumFPRegs {
+		return n
+	}
+	return -1
+}
+
+// String returns the assembler name of r.
+func (r Reg) String() string {
+	if r == RegNone {
+		return "-"
+	}
+	if r.IsFP() {
+		return fmt.Sprintf("f%d", r.Num())
+	}
+	return IntRegName(r.Num())
+}

@@ -1,0 +1,110 @@
+package memo
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// ExportDot writes the p-action graph in Graphviz DOT format — the picture
+// of Figure 6: configuration nodes (boxes) linked to their action chains,
+// with outcome-labelled edges where behaviour can branch. maxConfigs bounds
+// the output for large caches (0 means 64).
+func (c *Cache) ExportDot(w io.Writer, maxConfigs int) error {
+	if maxConfigs <= 0 {
+		maxConfigs = 64
+	}
+	if _, err := fmt.Fprintln(w, "digraph paction {"); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, `  rankdir=LR;`)
+	fmt.Fprintln(w, `  node [fontsize=9];`)
+
+	// Deterministic order.
+	keys := make([]string, 0, len(c.m))
+	for k := range c.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if len(keys) > maxConfigs {
+		keys = keys[:maxConfigs]
+	}
+	kept := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		kept[k] = true
+	}
+
+	cfgID := func(cf *config) string { return fmt.Sprintf("cfg_%p", cf) }
+	actID := func(a *action) string { return fmt.Sprintf("act_%p", a) }
+
+	var emitChain func(a *action)
+	emitChain = func(a *action) {
+		label := a.kind.String()
+		switch a.kind {
+		case actAdvance:
+			label = fmt.Sprintf("advance %d cyc\\nretire %d", a.cycles, a.insts)
+		case actIssueLoad, actPollLoad, actCancelLoad:
+			label = fmt.Sprintf("%s lQ+%d", a.kind, a.rel)
+		case actIssueStore:
+			label = fmt.Sprintf("%s sQ+%d", a.kind, a.rel)
+		case actRollback:
+			label = fmt.Sprintf("rollback rec+%d", a.rel)
+		}
+		fmt.Fprintf(w, "  %s [label=\"%s\" shape=ellipse];\n", actID(a), label)
+		if a.next != nil {
+			fmt.Fprintf(w, "  %s -> %s;\n", actID(a), actID(a.next))
+			emitChain(a.next)
+		}
+		a.eachEdge(func(l int64, to *action) {
+			fmt.Fprintf(w, "  %s -> %s [label=\"%s\"];\n", actID(a), actID(to), edgeLabel(l))
+			emitChain(to)
+		})
+		if a.nextCfg != nil {
+			if kept[a.nextCfg.key] {
+				fmt.Fprintf(w, "  %s -> %s [style=dashed];\n", actID(a), cfgID(a.nextCfg))
+			} else {
+				fmt.Fprintf(w, "  %s -> elided_%p [style=dotted];\n", actID(a), a.nextCfg)
+				fmt.Fprintf(w, "  elided_%p [label=\"...\" shape=plaintext];\n", a.nextCfg)
+			}
+		}
+	}
+
+	for _, k := range keys {
+		cf := c.m[k]
+		fmt.Fprintf(w, "  %s [label=\"config %d insts\\n%d B\" shape=box style=filled fillcolor=lightgrey];\n",
+			cfgID(cf), configInsts(k), len(k))
+		if cf.first != nil {
+			fmt.Fprintf(w, "  %s -> %s;\n", cfgID(cf), actID(cf.first))
+			emitChain(cf.first)
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// configInsts reads the iQ entry count out of an encoded configuration key.
+func configInsts(key string) int {
+	if len(key) >= 6 {
+		return int(key[5])
+	}
+	return 0
+}
+
+// edgeLabel renders an outcome-edge label readably.
+func edgeLabel(l int64) string {
+	switch l >> labelKindShift {
+	case labelKindBranch >> labelKindShift:
+		names := [4]string{"NT/pred", "T/pred", "NT/mis", "T/mis"}
+		return names[l&3]
+	case labelKindIJump >> labelKindShift:
+		return fmt.Sprintf("jmp %#x", uint32(l))
+	case labelKindHalt >> labelKindShift:
+		return "halt"
+	case labelKindStall >> labelKindShift:
+		return "stall"
+	}
+	if l == readyEdgeLabel {
+		return "ready"
+	}
+	return fmt.Sprintf("%d cyc", l)
+}

@@ -1,0 +1,273 @@
+package memo
+
+import (
+	"fmt"
+
+	"fastsim/internal/direct"
+	"fastsim/internal/program"
+	"fastsim/internal/uarch"
+)
+
+// Driver is the environment the memoization engine shares with the detailed
+// µ-architecture simulator: the direct-execution engine, cache simulator
+// and queue-head bookkeeping, as wired up by the core package. During
+// detailed simulation the pipeline calls it through the recording wrapper;
+// during fast-forwarding the replayer calls it directly.
+type Driver interface {
+	uarch.Env
+
+	// Heads returns the current absolute queue-head positions (records,
+	// lQ entries, sQ entries popped so far).
+	Heads() uarch.Heads
+
+	// ApplyPops advances the queue heads and retirement statistics — the
+	// replay-side equivalent of RetirePop.
+	ApplyPops(insts, loads, stores, recs int)
+}
+
+// outcomeLabel encodes a control outcome as an action-edge label: the four
+// conditional-branch outcome classes of §4.2, the concrete indirect-jump
+// target, or the halt/stall markers.
+func outcomeLabel(out uarch.Outcome) int64 {
+	switch out.Kind {
+	case direct.KindBranch:
+		cls := int64(0)
+		if out.Taken {
+			cls |= 1
+		}
+		if out.Mispredicted {
+			cls |= 2
+		}
+		return labelKindBranch | cls
+	case direct.KindIJump:
+		return labelKindIJump | int64(out.Target)
+	case direct.KindHalt:
+		return labelKindHalt
+	case direct.KindStall:
+		return labelKindStall
+	}
+	panic(fmt.Sprintf("memo: bad outcome kind %d", out.Kind))
+}
+
+// scriptEntry is one interaction already performed during a replay episode
+// that stopped at an unseen outcome. The detailed simulator is re-driven
+// through these before touching the real environment again, so no external
+// side effect ever happens twice.
+type scriptEntry struct {
+	kind  actionKind
+	out   uarch.Outcome // actOutcome
+	ready bool          // actPollLoad
+	delay int           // actIssueLoad / actPollLoad
+	lq    int           // actRollback results
+	sq    int
+}
+
+// Engine runs a program with fast-forwarding: detailed simulation records
+// configurations and action chains; revisited configurations replay them
+// with bit-identical results.
+type Engine struct {
+	Cache  *Cache
+	drv    Driver
+	prog   *program.Program
+	params uarch.Params
+
+	now    uint64
+	halted bool
+
+	keyBuf []byte
+	script []scriptEntry
+	chain  uint64 // actions replayed since fast-forwarding last began
+}
+
+// NewEngine prepares a fast-forwarding run.
+func NewEngine(prog *program.Program, params uarch.Params, drv Driver, opts Options) *Engine {
+	return &Engine{
+		Cache:  NewCache(opts),
+		drv:    drv,
+		prog:   prog,
+		params: params,
+	}
+}
+
+// Run simulates the whole program and returns the total cycle count.
+func (e *Engine) Run(maxCycles uint64) (uint64, error) {
+	pl, err := uarch.New(e.params, e.prog, nil, e.prog.Entry)
+	if err != nil {
+		return 0, err
+	}
+	var rec *recorder // recorder of the just-finished episode (for linking)
+
+	for !e.halted {
+		if e.now > maxCycles {
+			return e.now, fmt.Errorf("memo: exceeded %d cycles without halting", maxCycles)
+		}
+		// Detailed mode, at an episode boundary.
+		e.keyBuf = pl.EncodeConfig(e.keyBuf[:0])
+		e.Cache.Reclaim()
+		cfg, _ := e.Cache.getOrCreate(e.keyBuf)
+		e.Cache.mark(cfg)
+		e.Cache.stats.Lookups++
+		if rec != nil {
+			rec.setLink(cfg)
+		}
+
+		if cfg.first != nil {
+			// Hit: fast-forward until the program halts or an unseen
+			// outcome requires detailed simulation again.
+			e.Cache.stats.Hits++
+			e.beginChain()
+			resume := e.replayRun(cfg)
+			if resume == nil {
+				break // halted during replay
+			}
+			// Reconstruct the detailed simulator from the stopping
+			// configuration and re-drive it through the episode's
+			// already-performed interactions.
+			rec = e.newRecorder(resume, e.script)
+			pl, err = uarch.Reconstruct(e.params, e.prog, rec, []byte(resume.key), e.now, e.drv.Heads())
+			if err != nil {
+				return e.now, fmt.Errorf("memo: reconstruct: %w", err)
+			}
+		} else {
+			// Miss (fresh configuration or collected shell): record one
+			// episode into it.
+			rec = e.newRecorder(cfg, nil)
+			pl.Env = rec
+		}
+		e.recordEpisode(pl, rec)
+		if rec.halt {
+			e.halted = true
+		}
+	}
+	return e.now, nil
+}
+
+func (e *Engine) beginChain() { e.chain = 0 }
+
+func (e *Engine) endChain() {
+	s := &e.Cache.stats
+	s.ChainCount++
+	s.ChainTotal += e.chain
+	if e.chain > s.ChainMax {
+		s.ChainMax = e.chain
+	}
+	s.ChainHist.Add(e.chain)
+	e.chain = 0
+}
+
+// recordEpisode steps the detailed simulator until the end of the first
+// cycle containing an interaction (or program halt). The recorder allocates
+// or re-walks action nodes as interactions occur.
+func (e *Engine) recordEpisode(pl *uarch.Pipeline, rec *recorder) {
+	for {
+		rec.cycles++
+		pl.Step()
+		e.now = pl.Now
+		if rec.interacted || pl.Done() {
+			e.Cache.stats.EpisodesRecord++
+			e.Cache.stats.DetailedCycles += uint64(rec.cycles)
+			return
+		}
+	}
+}
+
+// replayRun fast-forwards from cfg along the unbroken action chain. It
+// returns nil when the program halted, or the configuration at which a
+// previously unseen outcome (or a collected gap) stopped fast-forwarding;
+// e.script then holds the episode's already-performed interactions.
+func (e *Engine) replayRun(cfg *config) *config {
+	drv := e.drv
+	c := e.Cache
+	for {
+		adv := cfg.first
+		e.script = e.script[:0]
+		if adv == nil {
+			// Shell left by a collection: the previous episode committed
+			// fully, so simply re-record from this configuration.
+			e.endChain()
+			return cfg
+		}
+		c.mark(cfg)
+		c.markAct(adv)
+		if adv.kind != actAdvance {
+			panic(fmt.Sprintf("memo: episode starts with %v", adv.kind))
+		}
+		// All interactions happen in the episode's final cycle, whose
+		// number is one less than the episode-end cycle counter.
+		now := e.now + uint64(adv.cycles) - 1
+		heads := drv.Heads()
+		act := adv.next
+
+	episode:
+		for {
+			if act == nil {
+				// Successor clipped by a collection mid-episode.
+				c.stats.EdgeMisses++
+				e.endChain()
+				return cfg
+			}
+			c.markAct(act)
+			c.stats.ActionsReplayed++
+			e.chain++
+			switch act.kind {
+			case actOutcome:
+				out := drv.NextOutcome()
+				e.script = append(e.script, scriptEntry{kind: actOutcome, out: out})
+				act = act.edge(outcomeLabel(out))
+			case actIssueLoad:
+				d := drv.IssueLoad(heads.LQ+int(act.rel), now)
+				e.script = append(e.script, scriptEntry{kind: actIssueLoad, delay: d})
+				act = act.edge(int64(d))
+			case actPollLoad:
+				ready, d := drv.PollLoad(heads.LQ+int(act.rel), now)
+				e.script = append(e.script, scriptEntry{kind: actPollLoad, ready: ready, delay: d})
+				lbl := int64(readyEdgeLabel)
+				if !ready {
+					lbl = int64(d)
+				}
+				act = act.edge(lbl)
+			case actIssueStore:
+				drv.IssueStore(heads.SQ+int(act.rel), now)
+				e.script = append(e.script, scriptEntry{kind: actIssueStore})
+				act = act.next
+			case actCancelLoad:
+				drv.CancelLoad(heads.LQ + int(act.rel))
+				e.script = append(e.script, scriptEntry{kind: actCancelLoad})
+				act = act.next
+			case actRollback:
+				lq, sq := drv.Rollback(heads.Rec + int(act.rel))
+				e.script = append(e.script, scriptEntry{kind: actRollback, lq: lq, sq: sq})
+				act = act.next
+			case actHalt:
+				e.commit(adv)
+				drv.HaltRetired()
+				e.halted = true
+				e.endChain()
+				return nil
+			case actLink:
+				if act.nextCfg == nil {
+					c.stats.EdgeMisses++
+					e.endChain()
+					return cfg
+				}
+				e.commit(adv)
+				cfg = act.nextCfg
+				break episode
+			default:
+				panic(fmt.Sprintf("memo: bad action kind %v", act.kind))
+			}
+		}
+	}
+}
+
+// commit applies an episode's advance payload after all its interactions
+// replayed successfully: the cycle counter moves, queue heads pop, and the
+// retired instructions are attributed to replay.
+func (e *Engine) commit(adv *action) {
+	e.now += uint64(adv.cycles)
+	e.drv.ApplyPops(int(adv.insts), int(adv.loads), int(adv.stores), int(adv.recs))
+	s := &e.Cache.stats
+	s.EpisodesReplay++
+	s.ReplayCycles += uint64(adv.cycles)
+	s.ReplayInsts += uint64(adv.insts)
+}

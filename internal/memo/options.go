@@ -1,0 +1,180 @@
+// Package memo implements FastSim's primary contribution: memoization of
+// the µ-architecture simulator (paper §4).
+//
+// The p-action cache maps encoded µ-architecture configurations (snapshots
+// of the iQ between cycles, §4.2) to chains of simulator *actions* — the
+// ways the detailed simulator interacts with the rest of FastSim: advancing
+// the cycle counter and retiring instructions, calling the cache simulator
+// for loads and stores, consuming branch outcomes from direct execution,
+// and signalling rollbacks. Actions whose result can vary (a load's
+// interval, a branch's outcome) carry outcome-labelled edges to their
+// successors; the final action of each configuration's chain links directly
+// to the next configuration, forming the unbroken chains of §4.2.
+//
+// Fast-forwarding replays these chains instead of running the detailed
+// simulator, producing bit-identical statistics. A previously unseen
+// outcome (a missing edge) stops fast-forwarding: the detailed simulator is
+// reconstructed from the configuration, re-driven through the already-
+// performed interactions of the episode, and recorded onward, growing a new
+// branch of the action graph exactly as in the paper's Figure 6.
+//
+// §4.3's replacement policies are all implemented: unbounded growth,
+// flush-on-full, a copying collector keeping only configurations and
+// actions used since the last collection, and a generational variant.
+package memo
+
+import (
+	"fmt"
+
+	"fastsim/internal/stats"
+)
+
+// Policy selects the p-action cache replacement policy of §4.3.
+type Policy uint8
+
+const (
+	// PolicyUnbounded lets the p-action cache grow without limit.
+	PolicyUnbounded Policy = iota
+	// PolicyFlush discards the entire cache when it exceeds the limit —
+	// the paper's recommended "flush on full".
+	PolicyFlush
+	// PolicyGC keeps only configurations and actions used since the last
+	// collection (the paper's copying collector).
+	PolicyGC
+	// PolicyGenGC is the generational variant: young allocations are
+	// collected frequently; survivors are promoted and collected rarely.
+	PolicyGenGC
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case PolicyUnbounded:
+		return "unbounded"
+	case PolicyFlush:
+		return "flush"
+	case PolicyGC:
+		return "gc"
+	case PolicyGenGC:
+		return "gengc"
+	}
+	return fmt.Sprintf("policy(%d)", uint8(p))
+}
+
+// ParsePolicy converts a policy name to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	for p := PolicyUnbounded; p <= PolicyGenGC; p++ {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("memo: unknown policy %q", s)
+}
+
+// Options configures the p-action cache.
+type Options struct {
+	Policy Policy
+	Limit  int // bytes; <= 0 means unlimited (forced for PolicyUnbounded)
+
+	// MajorEvery is, for PolicyGenGC, the number of minor collections
+	// between major collections (default 4).
+	MajorEvery int
+}
+
+// DefaultOptions returns an unbounded p-action cache.
+func DefaultOptions() Options {
+	return Options{Policy: PolicyUnbounded, MajorEvery: 4}
+}
+
+// Stats reports memoization activity (the measurements of Tables 4 and 5).
+type Stats struct {
+	// Static allocation counts (Table 5).
+	Configs      uint64 // configurations allocated, cumulative
+	Actions      uint64 // actions allocated, cumulative
+	Bytes        int    // current p-action cache footprint
+	PeakBytes    int    // high-water footprint
+	ConfigBytesC uint64 // cumulative bytes of allocated configurations
+	// NaiveBytesC is what the configurations would have cost without the
+	// paper's §4.2 compression (a flat 16-byte-per-instruction snapshot
+	// plus header) — the encoding ablation's comparison figure.
+	NaiveBytesC uint64
+
+	// Dynamic behaviour.
+	Lookups         uint64 // configuration lookups from detailed mode
+	Hits            uint64 // lookups that began fast-forwarding
+	EpisodesRecord  uint64 // episodes recorded by the detailed simulator
+	EpisodesReplay  uint64 // episodes replayed by fast-forwarding
+	ActionsReplayed uint64 // individual actions replayed
+	EdgeMisses      uint64 // replays stopped by a previously unseen outcome
+
+	// Instruction attribution (Table 4): retired instructions by mode.
+	DetailedInsts uint64
+	ReplayInsts   uint64
+	// Cycle attribution.
+	DetailedCycles uint64
+	ReplayCycles   uint64
+
+	// Replacement policy activity.
+	Flushes        uint64
+	Collections    uint64
+	Survivors      uint64 // actions surviving collections, cumulative
+	LiveBeforeColl uint64 // live actions at the start of each collection, cumulative
+
+	// Replay chain lengths: actions replayed without stopping for
+	// detailed simulation (Table 5's final columns), plus the full
+	// distribution.
+	ChainCount uint64
+	ChainTotal uint64
+	ChainMax   uint64
+	ChainHist  stats.Histogram
+}
+
+// SurvivalPct returns the average fraction of the p-action cache surviving
+// each copying collection (the paper observed ~18%).
+func (s *Stats) SurvivalPct() float64 {
+	if s.LiveBeforeColl == 0 {
+		return 0
+	}
+	return 100 * float64(s.Survivors) / float64(s.LiveBeforeColl)
+}
+
+// ActionsPerConfig returns the dynamic actions-per-configuration ratio
+// (Table 5), counting both replayed and recorded episodes.
+func (s *Stats) ActionsPerConfig() float64 {
+	episodes := s.EpisodesRecord + s.EpisodesReplay
+	if episodes == 0 {
+		return 0
+	}
+	return float64(s.ActionsReplayed+s.recordedActionsDynamic()) / float64(episodes)
+}
+
+func (s *Stats) recordedActionsDynamic() uint64 {
+	// Every recorded episode executed its actions once while recording.
+	return s.Actions
+}
+
+// CyclesPerConfig returns the dynamic cycles-per-configuration ratio.
+func (s *Stats) CyclesPerConfig() float64 {
+	episodes := s.EpisodesRecord + s.EpisodesReplay
+	if episodes == 0 {
+		return 0
+	}
+	return float64(s.DetailedCycles+s.ReplayCycles) / float64(episodes)
+}
+
+// AvgChain returns the average replay chain length.
+func (s *Stats) AvgChain() float64 {
+	if s.ChainCount == 0 {
+		return 0
+	}
+	return float64(s.ChainTotal) / float64(s.ChainCount)
+}
+
+// DetailedFraction returns Table 4's detailed-instruction fraction.
+func (s *Stats) DetailedFraction() float64 {
+	t := s.DetailedInsts + s.ReplayInsts
+	if t == 0 {
+		return 0
+	}
+	return float64(s.DetailedInsts) / float64(t)
+}

@@ -1,0 +1,359 @@
+package memo
+
+import "fmt"
+
+// actionKind enumerates the simulator actions of §4.2. Every way the
+// detailed µ-architecture simulator touches the world outside the iQ is one
+// of these.
+type actionKind uint8
+
+const (
+	actAdvance    actionKind = iota // advance cycles; retire (pop) instructions
+	actOutcome                      // consume a control outcome (labelled edges)
+	actIssueLoad                    // cache LoadRequest (edges labelled by interval)
+	actPollLoad                     // cache LoadPoll (edges: ready / new interval)
+	actIssueStore                   // cache Store
+	actCancelLoad                   // cancel a squashed load's cache request
+	actRollback                     // mispredicted branch resolved: roll back
+	actHalt                         // the halt instruction retired
+	actLink                         // end of episode: link to the next configuration
+)
+
+func (k actionKind) String() string {
+	return [...]string{"advance", "outcome", "issue-load", "poll-load",
+		"issue-store", "cancel-load", "rollback", "halt", "link"}[k]
+}
+
+// Approximate memory footprint charged per allocation, mirroring the
+// paper's p-action cache accounting.
+const (
+	actionBytes     = 64 // one action node, including two inline edges
+	edgeExtraBytes  = 24 // each edge beyond the inline pair
+	configOverhead  = 48 // config struct + hash-table slot
+	readyEdgeLabel  = -1 // PollLoad label when the data was ready
+	labelKindShift  = 34 // outcome labels: kind in high bits, payload below
+	labelKindBranch = 1 << labelKindShift
+	labelKindIJump  = 2 << labelKindShift
+	labelKindHalt   = 3 << labelKindShift
+	labelKindStall  = 4 << labelKindShift
+)
+
+// action is one node of the p-action graph.
+type action struct {
+	kind actionKind
+	rel  int32 // queue slot relative to the episode-start head
+
+	// actAdvance payload: cycles simulated and instructions retired in
+	// this episode.
+	cycles uint32
+	insts  int32
+	loads  int32
+	stores int32
+	recs   int32
+
+	next    *action // successor for unlabelled kinds
+	nextCfg *config // actLink target
+
+	// Labelled successors: two inline slots, then an overflow map.
+	l1, l2 int64
+	e1, e2 *action
+	edges  map[int64]*action
+
+	gen uint32 // generation of last use (collection policies)
+	old bool   // survived a minor collection (generational policy)
+}
+
+// edge returns the successor for a label, or nil.
+func (a *action) edge(label int64) *action {
+	if a.e1 != nil && a.l1 == label {
+		return a.e1
+	}
+	if a.e2 != nil && a.l2 == label {
+		return a.e2
+	}
+	if a.edges != nil {
+		return a.edges[label]
+	}
+	return nil
+}
+
+// setEdge installs a successor for a label and returns the bytes charged.
+func (a *action) setEdge(label int64, to *action) int {
+	switch {
+	case a.e1 == nil || a.l1 == label:
+		a.l1, a.e1 = label, to
+		return 0
+	case a.e2 == nil || a.l2 == label:
+		a.l2, a.e2 = label, to
+		return 0
+	default:
+		if a.edges == nil {
+			a.edges = make(map[int64]*action)
+		}
+		if _, exists := a.edges[label]; exists {
+			a.edges[label] = to
+			return 0
+		}
+		a.edges[label] = to
+		return edgeExtraBytes
+	}
+}
+
+// eachEdge calls f for every labelled successor.
+func (a *action) eachEdge(f func(label int64, to *action)) {
+	if a.e1 != nil {
+		f(a.l1, a.e1)
+	}
+	if a.e2 != nil {
+		f(a.l2, a.e2)
+	}
+	for l, t := range a.edges {
+		f(l, t)
+	}
+}
+
+// config is one memoized µ-architecture configuration.
+type config struct {
+	key   string  // encoded iQ snapshot (uarch.EncodeConfig)
+	first *action // episode chain; nil for shells awaiting re-recording
+	gen   uint32
+	old   bool
+}
+
+// Cache is the p-action cache with its replacement policy.
+type Cache struct {
+	opts   Options
+	m      map[string]*config
+	bytes  int
+	live   int // live action nodes (for per-collection survival rates)
+	gen    uint32
+	minors int
+	stats  Stats
+}
+
+// NewCache returns an empty p-action cache.
+func NewCache(opts Options) *Cache {
+	if opts.MajorEvery <= 0 {
+		opts.MajorEvery = 4
+	}
+	if opts.Policy == PolicyUnbounded {
+		opts.Limit = 0
+	}
+	return &Cache{opts: opts, m: make(map[string]*config), gen: 1}
+}
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Bytes returns the current footprint.
+func (c *Cache) Bytes() int { return c.bytes }
+
+// Len returns the number of configurations (including shells).
+func (c *Cache) Len() int { return len(c.m) }
+
+// lookup finds a configuration without allocating.
+func (c *Cache) lookup(key []byte) *config {
+	return c.m[string(key)]
+}
+
+// getOrCreate returns the configuration for key, allocating it if needed.
+func (c *Cache) getOrCreate(key []byte) (cfg *config, created bool) {
+	if cfg = c.m[string(key)]; cfg != nil {
+		return cfg, false
+	}
+	cfg = &config{key: string(key), gen: c.gen}
+	c.m[cfg.key] = cfg
+	c.stats.Configs++
+	c.stats.ConfigBytesC += uint64(len(key) + configOverhead)
+	if len(key) >= 6 {
+		// Byte 5 of a uarch configuration key is the iQ entry count; a
+		// naive (uncompressed) snapshot would spend ~16 bytes per entry.
+		c.stats.NaiveBytesC += uint64(16 + 16*int(key[5]))
+	}
+	c.addBytes(len(key) + configOverhead)
+	return cfg, true
+}
+
+// newAction allocates an action node.
+func (c *Cache) newAction(kind actionKind, rel int32) *action {
+	c.stats.Actions++
+	c.live++
+	c.addBytes(actionBytes)
+	return &action{kind: kind, rel: rel, gen: c.gen}
+}
+
+func (c *Cache) addBytes(n int) {
+	c.bytes += n
+	if c.bytes > c.stats.PeakBytes {
+		c.stats.PeakBytes = c.bytes
+	}
+	c.stats.Bytes = c.bytes
+}
+
+// overLimit reports whether the cache exceeds its configured limit.
+func (c *Cache) overLimit() bool {
+	return c.opts.Limit > 0 && c.bytes > c.opts.Limit
+}
+
+// Reclaim applies the replacement policy if the cache is over its limit.
+// It must only be called at an episode boundary in recording mode (no
+// replay position can be held across it).
+func (c *Cache) Reclaim() {
+	if !c.overLimit() {
+		return
+	}
+	switch c.opts.Policy {
+	case PolicyFlush:
+		c.flush()
+	case PolicyGC:
+		c.collect(false)
+	case PolicyGenGC:
+		c.minors++
+		c.collect(c.minors%c.opts.MajorEvery != 0)
+	}
+}
+
+// flush discards the entire p-action cache (§4.3's "flush on full").
+func (c *Cache) flush() {
+	c.m = make(map[string]*config)
+	c.bytes = 0
+	c.live = 0
+	c.stats.Bytes = 0
+	c.stats.Flushes++
+}
+
+// collect keeps only configurations and actions used since the last
+// collection (gen == current). With minorOnly, entries that survived a
+// previous collection (old) are exempt — the generational policy.
+func (c *Cache) collect(minorOnly bool) {
+	c.stats.Collections++
+	c.stats.LiveBeforeColl += uint64(c.live)
+	keepAct := func(a *action) bool {
+		return a.gen == c.gen || (minorOnly && a.old)
+	}
+	keepCfg := func(cf *config) bool {
+		return cf.gen == c.gen || (minorOnly && cf.old)
+	}
+
+	// Pass 1: walk kept chains, clipping pointers to dead actions and
+	// remembering which configurations surviving links reference.
+	referenced := make(map[*config]bool)
+	bytes := 0
+	var survivors uint64
+	var walk func(a *action)
+	walk = func(a *action) {
+		survivors++
+		a.old = true
+		bytes += actionBytes
+		if a.next != nil {
+			if keepAct(a.next) {
+				walk(a.next)
+			} else {
+				a.next = nil
+			}
+		}
+		if a.nextCfg != nil {
+			referenced[a.nextCfg] = true
+		}
+		if a.e1 != nil {
+			if keepAct(a.e1) {
+				walk(a.e1)
+			} else {
+				a.e1 = nil
+			}
+		}
+		if a.e2 != nil {
+			if keepAct(a.e2) {
+				walk(a.e2)
+			} else {
+				a.e2 = nil
+			}
+		}
+		extra := 0
+		for l, t := range a.edges {
+			if keepAct(t) {
+				walk(t)
+				extra += edgeExtraBytes
+			} else {
+				delete(a.edges, l)
+			}
+		}
+		bytes += extra
+	}
+	kept := make([]*config, 0, len(c.m))
+	for _, cf := range c.m {
+		if keepCfg(cf) {
+			kept = append(kept, cf)
+			if cf.first != nil {
+				if keepAct(cf.first) {
+					walk(cf.first)
+				} else {
+					cf.first = nil
+				}
+			}
+		}
+	}
+
+	// Pass 2: rebuild the map. Dropped configurations still referenced by
+	// surviving links stay as shells (key only, chain re-recorded on the
+	// next visit); unreferenced ones disappear.
+	next := make(map[string]*config, len(kept))
+	for _, cf := range kept {
+		cf.old = true
+		next[cf.key] = cf
+		bytes += len(cf.key) + configOverhead
+	}
+	for cf := range referenced {
+		if next[cf.key] == nil {
+			cf.first = nil
+			cf.old = true
+			next[cf.key] = cf
+			bytes += len(cf.key) + configOverhead
+		}
+	}
+	c.stats.Survivors += survivors
+	c.live = int(survivors)
+	c.m = next
+	c.bytes = bytes
+	c.stats.Bytes = bytes
+	c.gen++
+	if c.gen == 0 { // wrapped; restart marking cleanly
+		c.gen = 1
+	}
+}
+
+// mark records a use of cfg for the collection policies.
+func (c *Cache) mark(cfg *config) { cfg.gen = c.gen }
+
+// markAct records a use of an action.
+func (c *Cache) markAct(a *action) { a.gen = c.gen }
+
+// dump renders the graph rooted at key for debugging.
+func (c *Cache) dump(key string) string {
+	cfg := c.m[key]
+	if cfg == nil {
+		return "<none>"
+	}
+	s := ""
+	var walk func(a *action, depth int)
+	walk = func(a *action, depth int) {
+		for i := 0; i < depth; i++ {
+			s += "  "
+		}
+		s += fmt.Sprintf("%s rel=%d cyc=%d\n", a.kind, a.rel, a.cycles)
+		if a.next != nil {
+			walk(a.next, depth+1)
+		}
+		a.eachEdge(func(l int64, t *action) {
+			for i := 0; i < depth; i++ {
+				s += "  "
+			}
+			s += fmt.Sprintf("[%d]->\n", l)
+			walk(t, depth+1)
+		})
+	}
+	if cfg.first != nil {
+		walk(cfg.first, 0)
+	}
+	return s
+}

@@ -1,0 +1,97 @@
+package micro
+
+import (
+	"strings"
+	"testing"
+
+	"fastsim/internal/core"
+)
+
+// TestCalibrationMatchesConfiguredMachine is the end-to-end validation: the
+// latencies extracted from probe programs must reflect the configured
+// Table 1 parameters through the whole stack (assembler, direct execution,
+// pipeline, cache hierarchy).
+func TestCalibrationMatchesConfiguredMachine(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cal, err := Calibrate(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + cal.Render())
+
+	l1 := cal.LoadUse[8<<10]   // fits the 16 KiB L1
+	l2 := cal.LoadUse[256<<10] // fits the 1 MiB L2, misses L1
+	mem := cal.LoadUse[4<<20]  // misses both
+
+	// L1-resident chasing: load-use near the 2-cycle hit latency plus
+	// pipeline overheads.
+	if l1 < 2 || l1 > 8 {
+		t.Errorf("L1 load-use = %.1f, want ~2-8", l1)
+	}
+	// L2: L1MissLat(6) + L2HitExtra(4) on top.
+	if l2 < l1+5 || l2 > l1+20 {
+		t.Errorf("L2 load-use = %.1f (L1 %.1f), want ~+10", l2, l1)
+	}
+	// Memory: MemLat(40) + bus dominates.
+	if mem < l2+20 {
+		t.Errorf("memory load-use = %.1f (L2 %.1f), want ≫", mem, l2)
+	}
+	// A 4-wide machine with 2 ALUs sustains ~2 adds/cycle; total IPC
+	// including loop overhead lands between 1.5 and 3.
+	if cal.IssueIPC < 1.2 || cal.IssueIPC > 3.2 {
+		t.Errorf("issue IPC = %.2f", cal.IssueIPC)
+	}
+	// The *effective* cost per mispredict: the out-of-order window absorbs
+	// much of the refetch bubble in a tight loop, so this lands well below
+	// the raw pipeline-depth penalty.
+	if cal.MispredictCost < 0.4 || cal.MispredictCost > 30 {
+		t.Errorf("mispredict cost = %.1f cycles", cal.MispredictCost)
+	}
+}
+
+// TestCalibrationTracksConfigChanges re-probes with a slower memory and a
+// narrower machine: the extracted numbers must move accordingly.
+func TestCalibrationTracksConfigChanges(t *testing.T) {
+	base, err := Calibrate(core.DefaultConfig(), []int{4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := core.DefaultConfig()
+	slow.Cache.MemLat = 200
+	slowCal, err := Calibrate(slow, []int{4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slowCal.LoadUse[4<<20] < base.LoadUse[4<<20]+100 {
+		t.Errorf("memory latency increase invisible: %.1f vs %.1f",
+			slowCal.LoadUse[4<<20], base.LoadUse[4<<20])
+	}
+
+	narrow := core.DefaultConfig()
+	narrow.Uarch.IntALUs = 1
+	narrow.Uarch.FetchWidth = 1
+	narrow.Uarch.DecodeWidth = 1
+	narrow.Uarch.RetireWidth = 1
+	narrowCal, err := Calibrate(narrow, []int{8 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseIPC, err := Calibrate(core.DefaultConfig(), []int{8 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if narrowCal.IssueIPC >= baseIPC.IssueIPC {
+		t.Errorf("narrow machine IPC %.2f not below base %.2f",
+			narrowCal.IssueIPC, baseIPC.IssueIPC)
+	}
+}
+
+func TestRenderShape(t *testing.T) {
+	cal := &Calibration{LoadUse: map[int]float64{1024: 3}, IssueIPC: 2, MispredictCost: 6}
+	out := cal.Render()
+	for _, want := range []string{"load-use", "IPC", "mispredict"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}

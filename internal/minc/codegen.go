@@ -1,0 +1,523 @@
+package minc
+
+import (
+	"fmt"
+	"strings"
+
+	"fastsim/internal/asm"
+	"fastsim/internal/program"
+)
+
+// Compile translates MinC source into SV8 assembly text.
+func Compile(file, src string) (string, error) {
+	toks, err := lex(file, src)
+	if err != nil {
+		return "", err
+	}
+	p := &parser{file: file, toks: toks}
+	ast, err := p.parseProgram()
+	if err != nil {
+		return "", err
+	}
+	g := &codegen{file: file, funcs: map[string]*funcDecl{}}
+	return g.program(ast)
+}
+
+// CompileProgram compiles and assembles MinC source into a runnable
+// program.
+func CompileProgram(file, src string) (*program.Program, error) {
+	s, err := Compile(file, src)
+	if err != nil {
+		return nil, err
+	}
+	return asm.Assemble(file, s)
+}
+
+type globalSym struct {
+	label string
+	isArr bool
+}
+
+type localSym struct {
+	off   int // negative offset from fp
+	isArr bool
+}
+
+type codegen struct {
+	file    string
+	out     strings.Builder
+	globals map[string]globalSym
+	funcs   map[string]*funcDecl
+	label   int
+
+	// per-function state
+	locals  map[string]localSym
+	frame   int // local bytes
+	retName string
+}
+
+func (g *codegen) f(format string, a ...interface{}) {
+	fmt.Fprintf(&g.out, format+"\n", a...)
+}
+
+func (g *codegen) newLabel() string {
+	g.label++
+	return fmt.Sprintf("Lmc%d", g.label)
+}
+
+func (g *codegen) errf(line int, format string, a ...interface{}) error {
+	return &Error{g.file, line, fmt.Sprintf(format, a...)}
+}
+
+func (g *codegen) program(ast *programAST) (string, error) {
+	g.globals = map[string]globalSym{}
+	for _, f := range ast.funcs {
+		if _, dup := g.funcs[f.name]; dup {
+			return "", g.errf(f.line, "function %q redefined", f.name)
+		}
+		g.funcs[f.name] = f
+	}
+	if _, ok := g.funcs["main"]; !ok {
+		return "", &Error{g.file, 1, "no main function"}
+	}
+
+	g.f(".data")
+	for _, d := range ast.globals {
+		if _, dup := g.globals[d.name]; dup {
+			return "", g.errf(d.line, "global %q redefined", d.name)
+		}
+		lbl := "g_" + d.name
+		g.globals[d.name] = globalSym{label: lbl, isArr: d.isArr}
+		switch {
+		case d.isArr:
+			g.f("%s:\t.space %d", lbl, 4*d.size)
+		case d.init != nil:
+			g.f("%s:\t.word %d", lbl, d.init.(*numExpr).v)
+		default:
+			g.f("%s:\t.word 0", lbl)
+		}
+	}
+
+	g.f(".text")
+	// Startup stub: run main, exit with its return value.
+	g.f("main:")
+	g.f("\tcall mc_main")
+	g.f("\tsys  0")
+
+	for _, f := range ast.funcs {
+		if err := g.function(f); err != nil {
+			return "", err
+		}
+	}
+	return g.out.String(), nil
+}
+
+// collectLocals lays out every local declared anywhere in the body.
+func (g *codegen) collectLocals(f *funcDecl) error {
+	g.locals = map[string]localSym{}
+	g.frame = 0
+	alloc := func(name string, words, line int, isArr bool) error {
+		if _, dup := g.locals[name]; dup {
+			return g.errf(line, "local %q redefined", name)
+		}
+		// Locals may shadow globals.
+		g.frame += 4 * words
+		g.locals[name] = localSym{off: -g.frame, isArr: isArr}
+		return nil
+	}
+	for _, pn := range f.params {
+		if err := alloc(pn, 1, f.line, false); err != nil {
+			return err
+		}
+	}
+	var walk func(ss []stmt) error
+	walk = func(ss []stmt) error {
+		for _, s := range ss {
+			switch v := s.(type) {
+			case *varDecl:
+				words := 1
+				if v.isArr {
+					words = v.size
+				}
+				if err := alloc(v.name, words, v.line, v.isArr); err != nil {
+					return err
+				}
+			case *ifStmt:
+				if err := walk(v.then); err != nil {
+					return err
+				}
+				if err := walk(v.els); err != nil {
+					return err
+				}
+			case *whileStmt:
+				if err := walk(v.body); err != nil {
+					return err
+				}
+			case *blockStmt:
+				if err := walk(v.body); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	return walk(f.body)
+}
+
+func (g *codegen) function(f *funcDecl) error {
+	if err := g.collectLocals(f); err != nil {
+		return err
+	}
+	g.retName = "mc_" + f.name + "_ret"
+	g.f("mc_%s:", f.name)
+	g.f("\taddi sp, sp, -8")
+	g.f("\tsw   ra, 4(sp)")
+	g.f("\tsw   fp, 0(sp)")
+	g.f("\tmv   fp, sp")
+	g.adjustSP(-g.frame)
+	for i, pn := range f.params {
+		g.storeLocal(g.locals[pn].off, fmt.Sprintf("a%d", i))
+	}
+	if err := g.stmts(f.body); err != nil {
+		return err
+	}
+	// Fall off the end: return 0.
+	g.f("\tli   a0, 0")
+	g.f("%s:", g.retName)
+	g.f("\tmv   sp, fp")
+	g.f("\tlw   fp, 0(sp)")
+	g.f("\tlw   ra, 4(sp)")
+	g.f("\taddi sp, sp, 8")
+	g.f("\tret")
+	return nil
+}
+
+// adjustSP moves sp by delta, handling out-of-immediate-range frames.
+func (g *codegen) adjustSP(delta int) {
+	if delta == 0 {
+		return
+	}
+	if delta >= -8000 && delta <= 8000 {
+		g.f("\taddi sp, sp, %d", delta)
+		return
+	}
+	g.f("\tli   t9, %d", delta)
+	g.f("\tadd  sp, sp, t9")
+}
+
+// localAddr leaves the address fp+off in reg (t8/t9 scratch safe).
+func (g *codegen) localAddr(off int, reg string) {
+	if off >= -8000 && off <= 8000 {
+		g.f("\taddi %s, fp, %d", reg, off)
+		return
+	}
+	g.f("\tli   %s, %d", reg, off)
+	g.f("\tadd  %s, fp, %s", reg, reg)
+}
+
+func (g *codegen) loadLocal(off int, reg string) {
+	if off >= -8000 && off <= 8000 {
+		g.f("\tlw   %s, %d(fp)", reg, off)
+		return
+	}
+	g.localAddr(off, "t8")
+	g.f("\tlw   %s, 0(t8)", reg)
+}
+
+func (g *codegen) storeLocal(off int, reg string) {
+	if off >= -8000 && off <= 8000 {
+		g.f("\tsw   %s, %d(fp)", reg, off)
+		return
+	}
+	g.localAddr(off, "t8")
+	g.f("\tsw   %s, 0(t8)", reg)
+}
+
+func (g *codegen) push() {
+	g.f("\taddi sp, sp, -4")
+	g.f("\tsw   t0, 0(sp)")
+}
+
+func (g *codegen) pop(reg string) {
+	g.f("\tlw   %s, 0(sp)", reg)
+	g.f("\taddi sp, sp, 4")
+}
+
+func (g *codegen) stmts(ss []stmt) error {
+	for _, s := range ss {
+		if err := g.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *codegen) stmt(s stmt) error {
+	switch v := s.(type) {
+	case *varDecl:
+		if v.init != nil {
+			if err := g.expr(v.init); err != nil {
+				return err
+			}
+			g.storeLocal(g.locals[v.name].off, "t0")
+		}
+	case *exprStmt:
+		return g.expr(v.e)
+	case *ifStmt:
+		lElse, lEnd := g.newLabel(), g.newLabel()
+		if err := g.expr(v.cond); err != nil {
+			return err
+		}
+		g.f("\tbeqz t0, %s", lElse)
+		if err := g.stmts(v.then); err != nil {
+			return err
+		}
+		g.f("\tj    %s", lEnd)
+		g.f("%s:", lElse)
+		if err := g.stmts(v.els); err != nil {
+			return err
+		}
+		g.f("%s:", lEnd)
+	case *whileStmt:
+		lCond, lEnd := g.newLabel(), g.newLabel()
+		g.f("%s:", lCond)
+		if err := g.expr(v.cond); err != nil {
+			return err
+		}
+		g.f("\tbeqz t0, %s", lEnd)
+		if err := g.stmts(v.body); err != nil {
+			return err
+		}
+		g.f("\tj    %s", lCond)
+		g.f("%s:", lEnd)
+	case *returnStmt:
+		if v.e != nil {
+			if err := g.expr(v.e); err != nil {
+				return err
+			}
+			g.f("\tmv   a0, t0")
+		} else {
+			g.f("\tli   a0, 0")
+		}
+		g.f("\tj    %s", g.retName)
+	case *checkStmt:
+		if err := g.expr(v.e); err != nil {
+			return err
+		}
+		g.f("\tmv   a0, t0")
+		g.f("\tsys  2")
+	case *putcStmt:
+		if err := g.expr(v.e); err != nil {
+			return err
+		}
+		g.f("\tmv   a0, t0")
+		g.f("\tsys  1")
+	case *blockStmt:
+		return g.stmts(v.body)
+	}
+	return nil
+}
+
+// expr generates code leaving the value in t0.
+func (g *codegen) expr(e expr) error {
+	switch v := e.(type) {
+	case *numExpr:
+		g.f("\tli   t0, %d", int32(v.v))
+	case *varExpr:
+		if l, ok := g.locals[v.name]; ok {
+			if l.isArr {
+				g.localAddr(l.off, "t0")
+			} else {
+				g.loadLocal(l.off, "t0")
+			}
+			return nil
+		}
+		if gl, ok := g.globals[v.name]; ok {
+			g.f("\tla   t0, %s", gl.label)
+			if !gl.isArr {
+				g.f("\tlw   t0, 0(t0)")
+			}
+			return nil
+		}
+		return g.errf(v.line, "undefined variable %q", v.name)
+	case *indexExpr:
+		if err := g.elementAddr(v); err != nil {
+			return err
+		}
+		g.f("\tlw   t0, 0(t0)")
+	case *assignExpr:
+		return g.assign(v)
+	case *callExpr:
+		return g.call(v)
+	case *unaryExpr:
+		if err := g.expr(v.x); err != nil {
+			return err
+		}
+		switch v.op {
+		case "-":
+			g.f("\tsub  t0, zero, t0")
+		case "~":
+			g.f("\tnot  t0, t0")
+		case "!":
+			g.f("\tsltu t0, zero, t0")
+			g.f("\txori t0, t0, 1")
+		}
+	case *binExpr:
+		return g.binary(v)
+	}
+	return nil
+}
+
+// elementAddr leaves &arr[idx] in t0.
+func (g *codegen) elementAddr(v *indexExpr) error {
+	if err := g.expr(&varExpr{name: v.arr, line: v.line}); err != nil {
+		return err
+	}
+	g.push()
+	if err := g.expr(v.idx); err != nil {
+		return err
+	}
+	g.f("\tslli t0, t0, 2")
+	g.pop("t1")
+	g.f("\tadd  t0, t1, t0")
+	return nil
+}
+
+func (g *codegen) assign(v *assignExpr) error {
+	switch tgt := v.target.(type) {
+	case *varExpr:
+		if err := g.expr(v.value); err != nil {
+			return err
+		}
+		if l, ok := g.locals[tgt.name]; ok {
+			if l.isArr {
+				return g.errf(tgt.line, "cannot assign to array %q", tgt.name)
+			}
+			g.storeLocal(l.off, "t0")
+			return nil
+		}
+		if gl, ok := g.globals[tgt.name]; ok {
+			if gl.isArr {
+				return g.errf(tgt.line, "cannot assign to array %q", tgt.name)
+			}
+			g.f("\tla   t8, %s", gl.label)
+			g.f("\tsw   t0, 0(t8)")
+			return nil
+		}
+		return g.errf(tgt.line, "undefined variable %q", tgt.name)
+	case *indexExpr:
+		if err := g.elementAddr(tgt); err != nil {
+			return err
+		}
+		g.push() // element address
+		if err := g.expr(v.value); err != nil {
+			return err
+		}
+		g.pop("t1")
+		g.f("\tsw   t0, 0(t1)")
+		return nil
+	}
+	return g.errf(v.line, "invalid assignment target")
+}
+
+func (g *codegen) call(v *callExpr) error {
+	f, ok := g.funcs[v.fn]
+	if !ok {
+		return g.errf(v.line, "undefined function %q", v.fn)
+	}
+	if len(v.args) != len(f.params) {
+		return g.errf(v.line, "%q takes %d arguments, got %d",
+			v.fn, len(f.params), len(v.args))
+	}
+	for _, a := range v.args {
+		if err := g.expr(a); err != nil {
+			return err
+		}
+		g.push()
+	}
+	for i := len(v.args) - 1; i >= 0; i-- {
+		g.pop(fmt.Sprintf("a%d", i))
+	}
+	g.f("\tcall mc_%s", v.fn)
+	g.f("\tmv   t0, a0")
+	return nil
+}
+
+func (g *codegen) binary(v *binExpr) error {
+	// Short-circuit forms first.
+	if v.op == "&&" || v.op == "||" {
+		lShort, lEnd := g.newLabel(), g.newLabel()
+		if err := g.expr(v.l); err != nil {
+			return err
+		}
+		if v.op == "&&" {
+			g.f("\tbeqz t0, %s", lShort)
+		} else {
+			g.f("\tbnez t0, %s", lShort)
+		}
+		if err := g.expr(v.r); err != nil {
+			return err
+		}
+		g.f("\tsltu t0, zero, t0") // normalize to 0/1
+		g.f("\tj    %s", lEnd)
+		g.f("%s:", lShort)
+		if v.op == "&&" {
+			g.f("\tli   t0, 0")
+		} else {
+			g.f("\tli   t0, 1")
+		}
+		g.f("%s:", lEnd)
+		return nil
+	}
+
+	if err := g.expr(v.l); err != nil {
+		return err
+	}
+	g.push()
+	if err := g.expr(v.r); err != nil {
+		return err
+	}
+	g.pop("t1") // t1 = left, t0 = right
+	switch v.op {
+	case "+":
+		g.f("\tadd  t0, t1, t0")
+	case "-":
+		g.f("\tsub  t0, t1, t0")
+	case "*":
+		g.f("\tmul  t0, t1, t0")
+	case "/":
+		g.f("\tdiv  t0, t1, t0")
+	case "%":
+		g.f("\trem  t0, t1, t0")
+	case "&":
+		g.f("\tand  t0, t1, t0")
+	case "|":
+		g.f("\tor   t0, t1, t0")
+	case "^":
+		g.f("\txor  t0, t1, t0")
+	case "<<":
+		g.f("\tsll  t0, t1, t0")
+	case ">>":
+		g.f("\tsra  t0, t1, t0")
+	case "<":
+		g.f("\tslt  t0, t1, t0")
+	case ">":
+		g.f("\tslt  t0, t0, t1")
+	case "<=":
+		g.f("\tslt  t0, t0, t1")
+		g.f("\txori t0, t0, 1")
+	case ">=":
+		g.f("\tslt  t0, t1, t0")
+		g.f("\txori t0, t0, 1")
+	case "==":
+		g.f("\tsub  t0, t1, t0")
+		g.f("\tsltu t0, zero, t0")
+		g.f("\txori t0, t0, 1")
+	case "!=":
+		g.f("\tsub  t0, t1, t0")
+		g.f("\tsltu t0, zero, t0")
+	default:
+		return g.errf(0, "unsupported operator %q", v.op)
+	}
+	return nil
+}

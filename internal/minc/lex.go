@@ -1,0 +1,197 @@
+// Package minc implements MinC, a tiny C-like language that compiles to
+// SV8 assembly. It exists so that workloads and examples can be written at
+// a high level instead of hand-written assembly — the role the C-compiled
+// SPEC binaries played for the original FastSim.
+//
+//	func fib(n) {
+//	    if (n < 2) { return n; }
+//	    return fib(n-1) + fib(n-2);
+//	}
+//	func main() {
+//	    check(fib(20));
+//	    return 0;
+//	}
+//
+// The language: 32-bit signed integers only; globals and locals (including
+// fixed-size arrays); functions with up to 6 parameters; if/else, while,
+// return; the full C expression set minus pointers (arrays index with
+// `a[i]`); `check(e)` folds a value into the program checksum and `putc(e)`
+// writes a byte of output.
+package minc
+
+import "fmt"
+
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tNum
+	tPunct // operators and separators, in tok.text
+	tKw    // keyword, in tok.text
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  int64
+	line int
+}
+
+var keywords = map[string]bool{
+	"func": true, "var": true, "if": true, "else": true,
+	"while": true, "return": true, "check": true, "putc": true,
+}
+
+// Error is a compile error with position.
+type Error struct {
+	File string
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg) }
+
+type lexer struct {
+	file string
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+// multi-character operators, longest first.
+var punct2 = []string{
+	"<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+}
+
+func lex(file, src string) ([]token, error) {
+	l := &lexer{file: file, src: src, line: 1}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case isDigit(c):
+			l.lexNum()
+		case isIdentStart(c):
+			l.lexIdent()
+		case c == '\'':
+			if err := l.lexChar(); err != nil {
+				return nil, err
+			}
+		default:
+			if !l.lexPunct() {
+				return nil, &Error{l.file, l.line, fmt.Sprintf("unexpected character %q", c)}
+			}
+		}
+	}
+	l.toks = append(l.toks, token{kind: tEOF, line: l.line})
+	return l.toks, nil
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || (c|0x20 >= 'a' && c|0x20 <= 'z') }
+func isIdent(c byte) bool      { return isIdentStart(c) || isDigit(c) }
+
+func (l *lexer) lexNum() {
+	start := l.pos
+	base := int64(10)
+	if l.src[l.pos] == '0' && l.pos+1 < len(l.src) && (l.src[l.pos+1] == 'x' || l.src[l.pos+1] == 'X') {
+		base = 16
+		l.pos += 2
+		start = l.pos
+	}
+	var v int64
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		var d int64
+		switch {
+		case isDigit(c):
+			d = int64(c - '0')
+		case base == 16 && c|0x20 >= 'a' && c|0x20 <= 'f':
+			d = int64(c|0x20-'a') + 10
+		default:
+			goto done
+		}
+		v = v*base + d
+		l.pos++
+	}
+done:
+	_ = start
+	l.toks = append(l.toks, token{kind: tNum, num: v, line: l.line})
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdent(l.src[l.pos]) {
+		l.pos++
+	}
+	name := l.src[start:l.pos]
+	k := tIdent
+	if keywords[name] {
+		k = tKw
+	}
+	l.toks = append(l.toks, token{kind: k, text: name, line: l.line})
+}
+
+func (l *lexer) lexChar() error {
+	// 'c' or '\n' style character literal -> number.
+	if l.pos+2 >= len(l.src) {
+		return &Error{l.file, l.line, "unterminated character literal"}
+	}
+	l.pos++
+	var v int64
+	if l.src[l.pos] == '\\' {
+		l.pos++
+		switch l.src[l.pos] {
+		case 'n':
+			v = '\n'
+		case 't':
+			v = '\t'
+		case '\\':
+			v = '\\'
+		case '\'':
+			v = '\''
+		case '0':
+			v = 0
+		default:
+			return &Error{l.file, l.line, "unknown escape"}
+		}
+	} else {
+		v = int64(l.src[l.pos])
+	}
+	l.pos++
+	if l.pos >= len(l.src) || l.src[l.pos] != '\'' {
+		return &Error{l.file, l.line, "unterminated character literal"}
+	}
+	l.pos++
+	l.toks = append(l.toks, token{kind: tNum, num: v, line: l.line})
+	return nil
+}
+
+func (l *lexer) lexPunct() bool {
+	rest := l.src[l.pos:]
+	for _, p := range punct2 {
+		if len(rest) >= 2 && rest[:2] == p {
+			l.toks = append(l.toks, token{kind: tPunct, text: p, line: l.line})
+			l.pos += 2
+			return true
+		}
+	}
+	switch rest[0] {
+	case '+', '-', '*', '/', '%', '&', '|', '^', '~', '!', '<', '>', '=',
+		'(', ')', '{', '}', '[', ']', ',', ';':
+		l.toks = append(l.toks, token{kind: tPunct, text: rest[:1], line: l.line})
+		l.pos++
+		return true
+	}
+	return false
+}

@@ -1,0 +1,374 @@
+package minc
+
+import (
+	"strings"
+	"testing"
+
+	"fastsim/internal/core"
+	"fastsim/internal/emulator"
+)
+
+// runMC compiles and functionally executes a MinC program, returning the
+// final CPU state.
+func runMC(t *testing.T, src string) *emulator.CPU {
+	t.Helper()
+	prog, err := CompileProgram("t.mc", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	cpu := emulator.New(prog)
+	if err := cpu.Run(200_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return cpu
+}
+
+// checks computes the expected checksum of a sequence of check() values.
+func checks(vals ...uint32) uint32 {
+	var sum uint32
+	for _, v := range vals {
+		sum = emulator.FoldCheck(sum, v)
+	}
+	return sum
+}
+
+func TestArithmeticAndPrecedence(t *testing.T) {
+	cpu := runMC(t, `
+func main() {
+	check(2 + 3 * 4);          // 14
+	check((2 + 3) * 4);        // 20
+	check(100 / 7);            // 14
+	check(100 % 7);            // 2
+	check(1 << 10);            // 1024
+	check(-20 >> 2);           // -5 (arithmetic shift)
+	check(0xF0 & 0x3C);        // 0x30
+	check(0xF0 | 0x0F);        // 0xFF
+	check(0xFF ^ 0x0F);        // 0xF0
+	check(~0);                 // -1
+	check(-(5));               // -5
+	return 0;
+}
+`)
+	neg5 := uint32(0xFFFFFFFB)
+	want := checks(14, 20, 14, 2, 1024, neg5, 0x30, 0xFF, 0xF0,
+		0xFFFFFFFF, neg5)
+	if cpu.Checksum != want {
+		t.Errorf("checksum %#x, want %#x", cpu.Checksum, want)
+	}
+	if cpu.ExitCode != 0 {
+		t.Errorf("exit %d", cpu.ExitCode)
+	}
+}
+
+func TestComparisonsAndLogic(t *testing.T) {
+	cpu := runMC(t, `
+func side() {
+	check(777);
+	return 1;
+}
+func main() {
+	check(3 < 4);
+	check(4 < 3);
+	check(4 <= 4);
+	check(5 >= 6);
+	check(5 > 2);
+	check(7 == 7);
+	check(7 != 7);
+	check(!0);
+	check(!9);
+	check(1 && 2);             // normalized to 1
+	check(0 && side());        // short-circuit: side() must not run
+	check(0 || 3);             // 1
+	check(2 || side());        // short-circuit again
+	return 0;
+}
+`)
+	want := checks(1, 0, 1, 0, 1, 1, 0, 1, 0, 1, 0, 1, 1)
+	if cpu.Checksum != want {
+		t.Errorf("checksum %#x, want %#x (short-circuit broken?)", cpu.Checksum, want)
+	}
+}
+
+func TestRecursionFibonacci(t *testing.T) {
+	cpu := runMC(t, `
+func fib(n) {
+	if (n < 2) { return n; }
+	return fib(n-1) + fib(n-2);
+}
+func main() {
+	check(fib(15));
+	return fib(10);
+}
+`)
+	if cpu.Checksum != checks(610) {
+		t.Errorf("fib(15) checksum wrong: %#x", cpu.Checksum)
+	}
+	if cpu.ExitCode != 55 {
+		t.Errorf("exit = %d, want fib(10)=55", cpu.ExitCode)
+	}
+}
+
+func TestGlobalsAndArrays(t *testing.T) {
+	cpu := runMC(t, `
+var total = 7;
+var table[64];
+
+func fill(n) {
+	var i = 0;
+	while (i < n) {
+		table[i] = i * i;
+		i = i + 1;
+	}
+	return 0;
+}
+func main() {
+	fill(64);
+	var i = 0;
+	while (i < 64) {
+		total = total + table[i];
+		i = i + 1;
+	}
+	check(total);              // 7 + sum i^2, i<64 = 7 + 85344
+	return 0;
+}
+`)
+	if cpu.Checksum != checks(85351) {
+		t.Errorf("checksum %#x", cpu.Checksum)
+	}
+}
+
+func TestLocalArraysAndSort(t *testing.T) {
+	cpu := runMC(t, `
+func main() {
+	var a[16];
+	var i = 0;
+	var seed = 12345;
+	while (i < 16) {
+		seed = seed * 1103515245 + 12345;
+		a[i] = (seed >> 16) & 0xFF;
+		i = i + 1;
+	}
+	// bubble sort
+	var n = 16;
+	i = 0;
+	while (i < n) {
+		var j = 0;
+		while (j < n - 1 - i) {
+			if (a[j] > a[j+1]) {
+				var tmp = a[j];
+				a[j] = a[j+1];
+				a[j+1] = tmp;
+			}
+			j = j + 1;
+		}
+		i = i + 1;
+	}
+	// verify sorted and fold values
+	i = 1;
+	var sorted = 1;
+	while (i < 16) {
+		if (a[i-1] > a[i]) { sorted = 0; }
+		check(a[i]);
+		i = i + 1;
+	}
+	check(sorted);
+	return 0;
+}
+`)
+	// Compute the expectation in Go.
+	var a [16]int32
+	seed := int32(12345)
+	for i := 0; i < 16; i++ {
+		seed = seed*1103515245 + 12345
+		a[i] = (seed >> 16) & 0xFF
+	}
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 15-i; j++ {
+			if a[j] > a[j+1] {
+				a[j], a[j+1] = a[j+1], a[j]
+			}
+		}
+	}
+	var vals []uint32
+	for i := 1; i < 16; i++ {
+		vals = append(vals, uint32(a[i]))
+	}
+	vals = append(vals, 1)
+	if cpu.Checksum != checks(vals...) {
+		t.Errorf("sort checksum %#x, want %#x", cpu.Checksum, checks(vals...))
+	}
+}
+
+func TestPutcOutput(t *testing.T) {
+	cpu := runMC(t, `
+func main() {
+	putc('H'); putc('i'); putc('\n');
+	return 0;
+}
+`)
+	if string(cpu.Output) != "Hi\n" {
+		t.Errorf("output %q", cpu.Output)
+	}
+}
+
+func TestIfElseChain(t *testing.T) {
+	cpu := runMC(t, `
+func grade(x) {
+	if (x >= 90) { return 4; }
+	else if (x >= 80) { return 3; }
+	else if (x >= 70) { return 2; }
+	else { return 0; }
+}
+func main() {
+	check(grade(95));
+	check(grade(85));
+	check(grade(75));
+	check(grade(10));
+	return 0;
+}
+`)
+	if cpu.Checksum != checks(4, 3, 2, 0) {
+		t.Errorf("checksum %#x", cpu.Checksum)
+	}
+}
+
+func TestSieveUnderAllEngines(t *testing.T) {
+	// An end-to-end workload: a prime sieve compiled from MinC, simulated
+	// by FastSim and SlowSim with identical results.
+	prog, err := CompileProgram("sieve.mc", `
+var sieve[2000];
+
+func main() {
+	var n = 2000;
+	var i = 2;
+	while (i < n) { sieve[i] = 1; i = i + 1; }
+	i = 2;
+	while (i * i < n) {
+		if (sieve[i]) {
+			var j = i * i;
+			while (j < n) { sieve[j] = 0; j = j + i; }
+		}
+		i = i + 1;
+	}
+	var count = 0;
+	i = 2;
+	while (i < n) { count = count + sieve[i]; i = i + 1; }
+	check(count);              // 303 primes below 2000
+	return 0;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := emulator.New(prog)
+	if err := cpu.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if cpu.Checksum != checks(303) {
+		t.Fatalf("sieve checksum %#x (count wrong)", cpu.Checksum)
+	}
+	fast, err := core.Run(prog, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowCfg := core.DefaultConfig()
+	slowCfg.Memoize = false
+	slow, err := core.Run(prog, slowCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Cycles != slow.Cycles || fast.Checksum != cpu.Checksum {
+		t.Error("engines disagree on compiled code")
+	}
+}
+
+func TestBigFrame(t *testing.T) {
+	// A local array beyond the 8 KiB immediate range exercises the
+	// out-of-range frame paths.
+	cpu := runMC(t, `
+func main() {
+	var big[4000];
+	var i = 0;
+	while (i < 4000) { big[i] = i; i = i + 1; }
+	check(big[0] + big[1999] + big[3999]);
+	return 0;
+}
+`)
+	if cpu.Checksum != checks(0+1999+3999) {
+		t.Errorf("checksum %#x", cpu.Checksum)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"func main() { return x; }", "undefined variable"},
+		{"func main() { y(); }", "undefined function"},
+		{"func f(a) { return a; } func main() { f(1,2); }", "takes 1 arguments"},
+		{"func main() { var a; var a; }", `local "a" redefined`},
+		{"var g; var g; func main() {}", `global "g" redefined`},
+		{"func f() {}", "no main function"},
+		{"func main() { 3 = 4; }", "invalid assignment target"},
+		{"func main() { var a[4]; a = 3; }", "cannot assign to array"},
+		{"func main() { if (1 { } }", `expected ")"`},
+		{"func main() { @ }", "unexpected character"},
+		{"func main() { var a[0]; }", "array size"},
+		{"func f(a,b,c,d,e,g,h) {} func main() {}", "at most 6 parameters"},
+		{"func main() {} func main() {}", "redefined"},
+	}
+	for _, c := range cases {
+		_, err := Compile("e.mc", c.src)
+		if err == nil {
+			t.Errorf("no error for %q", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("error for %q = %q, want substring %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestCommentsAndHex(t *testing.T) {
+	cpu := runMC(t, `
+// leading comment
+func main() {
+	var x = 0x10; // sixteen
+	check(x + 0xF);
+	return 0;
+}
+`)
+	if cpu.Checksum != checks(0x1F) {
+		t.Errorf("checksum %#x", cpu.Checksum)
+	}
+}
+
+// TestCompileNeverPanics fuzzes the compiler with mutations of a valid
+// program: errors are fine, panics are not.
+func TestCompileNeverPanics(t *testing.T) {
+	const good = `
+var g[8];
+func f(a, b) { return a * b + g[a & 7]; }
+func main() {
+	var i = 0;
+	while (i < 10) { g[i & 7] = f(i, i + 1); i = i + 1; }
+	check(g[3]);
+	return 0;
+}
+`
+	frags := []string{"var", "func", "while", "return", "(", ")", "{", "}",
+		"[", "]", ";", "&", "*", "+", "i", "g", "f", "main", "check", "="}
+	r := []int{0, 3, 7, 11, 17, 23, 29}
+	for _, start := range r {
+		for k, frag := range frags {
+			// Delete one occurrence, insert another fragment.
+			src := strings.Replace(good, frag, frags[(k+start)%len(frags)], 1)
+			func() {
+				defer func() {
+					if p := recover(); p != nil {
+						t.Fatalf("panic on mutation %q->%q: %v", frag, frags[(k+start)%len(frags)], p)
+					}
+				}()
+				Compile("fuzz.mc", src) //nolint:errcheck
+			}()
+		}
+	}
+}

@@ -1,0 +1,510 @@
+package minc
+
+import "fmt"
+
+// AST node kinds.
+
+type expr interface{ exprNode() }
+
+type numExpr struct{ v int64 }
+type varExpr struct {
+	name string
+	line int
+}
+type indexExpr struct {
+	arr  string
+	idx  expr
+	line int
+}
+type callExpr struct {
+	fn   string
+	args []expr
+	line int
+}
+type unaryExpr struct {
+	op string
+	x  expr
+}
+type binExpr struct {
+	op   string
+	l, r expr
+}
+type assignExpr struct {
+	target expr // varExpr or indexExpr
+	value  expr
+	line   int
+}
+
+func (*numExpr) exprNode()    {}
+func (*varExpr) exprNode()    {}
+func (*indexExpr) exprNode()  {}
+func (*callExpr) exprNode()   {}
+func (*unaryExpr) exprNode()  {}
+func (*binExpr) exprNode()    {}
+func (*assignExpr) exprNode() {}
+
+type stmt interface{ stmtNode() }
+
+type varDecl struct {
+	name  string
+	size  int // array elements; 0 for scalar
+	init  expr
+	line  int
+	isArr bool
+}
+type exprStmt struct{ e expr }
+type ifStmt struct {
+	cond       expr
+	then, els  []stmt
+	hasElse    bool
+	elseIfNest *ifStmt
+}
+type whileStmt struct {
+	cond expr
+	body []stmt
+}
+type returnStmt struct {
+	e    expr // may be nil
+	line int
+}
+type checkStmt struct{ e expr }
+type putcStmt struct{ e expr }
+type blockStmt struct{ body []stmt }
+
+func (*varDecl) stmtNode()    {}
+func (*exprStmt) stmtNode()   {}
+func (*ifStmt) stmtNode()     {}
+func (*whileStmt) stmtNode()  {}
+func (*returnStmt) stmtNode() {}
+func (*checkStmt) stmtNode()  {}
+func (*putcStmt) stmtNode()   {}
+func (*blockStmt) stmtNode()  {}
+
+type funcDecl struct {
+	name   string
+	params []string
+	body   []stmt
+	line   int
+}
+
+type programAST struct {
+	globals []*varDecl
+	funcs   []*funcDecl
+}
+
+type parser struct {
+	file string
+	toks []token
+	pos  int
+}
+
+func (p *parser) tok() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(line int, format string, args ...interface{}) error {
+	return &Error{p.file, line, fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expectPunct(s string) error {
+	t := p.tok()
+	if t.kind != tPunct || t.text != s {
+		return p.errf(t.line, "expected %q, got %q", s, t.text)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	t := p.tok()
+	if t.kind == tPunct && t.text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptKw(s string) bool {
+	t := p.tok()
+	if t.kind == tKw && t.text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) ident() (string, int, error) {
+	t := p.tok()
+	if t.kind != tIdent {
+		return "", t.line, p.errf(t.line, "expected identifier, got %q", t.text)
+	}
+	p.pos++
+	return t.text, t.line, nil
+}
+
+func (p *parser) parseProgram() (*programAST, error) {
+	prog := &programAST{}
+	for p.tok().kind != tEOF {
+		switch {
+		case p.acceptKw("var"):
+			d, err := p.parseVarTail(true)
+			if err != nil {
+				return nil, err
+			}
+			prog.globals = append(prog.globals, d)
+		case p.acceptKw("func"):
+			f, err := p.parseFunc()
+			if err != nil {
+				return nil, err
+			}
+			prog.funcs = append(prog.funcs, f)
+		default:
+			t := p.tok()
+			return nil, p.errf(t.line, "expected 'func' or 'var' at top level, got %q", t.text)
+		}
+	}
+	return prog, nil
+}
+
+// parseVarTail parses the remainder of a var declaration after 'var'.
+func (p *parser) parseVarTail(global bool) (*varDecl, error) {
+	name, line, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	d := &varDecl{name: name, line: line}
+	if p.acceptPunct("[") {
+		t := p.tok()
+		if t.kind != tNum || t.num <= 0 || t.num > 1<<22 {
+			return nil, p.errf(t.line, "array size must be a positive literal")
+		}
+		p.pos++
+		d.size = int(t.num)
+		d.isArr = true
+		if err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptPunct("=") {
+		if d.isArr {
+			return nil, p.errf(line, "array initializers are not supported")
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if global {
+			n, ok := e.(*numExpr)
+			if !ok {
+				return nil, p.errf(line, "global initializers must be literals")
+			}
+			d.init = n
+		} else {
+			d.init = e
+		}
+	}
+	return d, p.expectPunct(";")
+}
+
+func (p *parser) parseFunc() (*funcDecl, error) {
+	name, line, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	f := &funcDecl{name: name, line: line}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	if !p.acceptPunct(")") {
+		for {
+			pn, _, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			f.params = append(f.params, pn)
+			if p.acceptPunct(")") {
+				break
+			}
+			if err := p.expectPunct(","); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(f.params) > 6 {
+		return nil, p.errf(line, "at most 6 parameters are supported")
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	f.body = body
+	return f, nil
+}
+
+func (p *parser) parseBlock() ([]stmt, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	var out []stmt
+	for !p.acceptPunct("}") {
+		if p.tok().kind == tEOF {
+			return nil, p.errf(p.tok().line, "unexpected end of file in block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func (p *parser) parseStmt() (stmt, error) {
+	t := p.tok()
+	switch {
+	case p.acceptKw("var"):
+		return p.parseVarTail(false)
+	case p.acceptKw("if"):
+		return p.parseIf()
+	case p.acceptKw("while"):
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &whileStmt{cond: cond, body: body}, nil
+	case p.acceptKw("return"):
+		rs := &returnStmt{line: t.line}
+		if !p.acceptPunct(";") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			rs.e = e
+			if err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+		}
+		return rs, nil
+	case p.acceptKw("check"):
+		e, err := p.parseParenExprSemi()
+		if err != nil {
+			return nil, err
+		}
+		return &checkStmt{e: e}, nil
+	case p.acceptKw("putc"):
+		e, err := p.parseParenExprSemi()
+		if err != nil {
+			return nil, err
+		}
+		return &putcStmt{e: e}, nil
+	case t.kind == tPunct && t.text == "{":
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &blockStmt{body: body}, nil
+	default:
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &exprStmt{e: e}, nil
+	}
+}
+
+func (p *parser) parseIf() (stmt, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	s := &ifStmt{cond: cond, then: then}
+	if p.acceptKw("else") {
+		if p.tok().kind == tKw && p.tok().text == "if" {
+			p.pos++
+			nested, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			s.hasElse = true
+			s.els = []stmt{nested}
+		} else {
+			els, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			s.hasElse = true
+			s.els = els
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) parseParenExprSemi() (expr, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return e, p.expectPunct(";")
+}
+
+// Expression parsing: precedence climbing.
+
+var binLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", "<=", ">", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) parseExpr() (expr, error) { return p.parseAssign() }
+
+func (p *parser) parseAssign() (expr, error) {
+	lhs, err := p.parseBin(0)
+	if err != nil {
+		return nil, err
+	}
+	t := p.tok()
+	if t.kind == tPunct && t.text == "=" {
+		switch lhs.(type) {
+		case *varExpr, *indexExpr:
+		default:
+			return nil, p.errf(t.line, "invalid assignment target")
+		}
+		p.pos++
+		rhs, err := p.parseAssign()
+		if err != nil {
+			return nil, err
+		}
+		return &assignExpr{target: lhs, value: rhs, line: t.line}, nil
+	}
+	return lhs, nil
+}
+
+func (p *parser) parseBin(level int) (expr, error) {
+	if level >= len(binLevels) {
+		return p.parseUnary()
+	}
+	l, err := p.parseBin(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.tok()
+		if t.kind != tPunct || !contains(binLevels[level], t.text) {
+			return l, nil
+		}
+		p.pos++
+		r, err := p.parseBin(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		l = &binExpr{op: t.text, l: l, r: r}
+	}
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *parser) parseUnary() (expr, error) {
+	t := p.tok()
+	if t.kind == tPunct && (t.text == "-" || t.text == "!" || t.text == "~") {
+		p.pos++
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryExpr{op: t.text, x: x}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (expr, error) {
+	t := p.next()
+	switch {
+	case t.kind == tNum:
+		return &numExpr{v: t.num}, nil
+	case t.kind == tPunct && t.text == "(":
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expectPunct(")")
+	case t.kind == tIdent:
+		name := t.text
+		switch {
+		case p.acceptPunct("("):
+			c := &callExpr{fn: name, line: t.line}
+			if !p.acceptPunct(")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					c.args = append(c.args, a)
+					if p.acceptPunct(")") {
+						break
+					}
+					if err := p.expectPunct(","); err != nil {
+						return nil, err
+					}
+				}
+			}
+			if len(c.args) > 6 {
+				return nil, p.errf(t.line, "at most 6 arguments are supported")
+			}
+			return c, nil
+		case p.acceptPunct("["):
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			return &indexExpr{arr: name, idx: idx, line: t.line}, nil
+		default:
+			return &varExpr{name: name, line: t.line}, nil
+		}
+	}
+	return nil, p.errf(t.line, "unexpected token %q in expression", t.text)
+}

@@ -1,0 +1,131 @@
+// Package profile is a target-program profiler built on functional
+// execution — the kind of tool the paper's EEL substrate existed to build.
+// It counts executions per PC, aggregates them by function (using the
+// symbol table), and renders a flat profile with hot-instruction
+// annotation.
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fastsim/internal/emulator"
+	"fastsim/internal/isa"
+	"fastsim/internal/program"
+)
+
+// Profile holds per-PC execution counts for one run.
+type Profile struct {
+	Prog   *program.Program
+	Counts []uint64 // indexed by (pc - TextBase) / 4
+	Total  uint64
+}
+
+// Run executes prog functionally, counting every retired instruction.
+func Run(prog *program.Program, maxInsts uint64) (*Profile, error) {
+	p := &Profile{
+		Prog:   prog,
+		Counts: make([]uint64, len(prog.Text)),
+	}
+	cpu := emulator.New(prog)
+	for !cpu.Exited {
+		if maxInsts > 0 && cpu.InstCount >= maxInsts {
+			return nil, emulator.ErrBudget
+		}
+		idx := (cpu.PC - program.TextBase) / isa.WordSize
+		if err := cpu.Step(); err != nil {
+			return nil, err
+		}
+		p.Counts[idx]++
+	}
+	p.Total = cpu.InstCount
+	return p, nil
+}
+
+// FuncStat aggregates a symbol-delimited region.
+type FuncStat struct {
+	Name   string
+	Start  uint32
+	End    uint32
+	Count  uint64 // instructions executed within the region
+	HotPC  uint32
+	HotCnt uint64
+}
+
+// ByFunction splits the text segment at symbol boundaries and aggregates
+// counts per region, sorted by descending count.
+func (p *Profile) ByFunction() []*FuncStat {
+	type sym struct {
+		name string
+		addr uint32
+	}
+	var syms []sym
+	for n, a := range p.Prog.Symbols {
+		if a >= program.TextBase && a < p.Prog.TextEnd() {
+			syms = append(syms, sym{n, a})
+		}
+	}
+	sort.Slice(syms, func(i, j int) bool {
+		if syms[i].addr != syms[j].addr {
+			return syms[i].addr < syms[j].addr
+		}
+		return syms[i].name < syms[j].name
+	})
+	if len(syms) == 0 || syms[0].addr != program.TextBase {
+		syms = append([]sym{{"<text>", program.TextBase}}, syms...)
+	}
+	// Collapse duplicate addresses (stacked labels): keep the first name.
+	var out []*FuncStat
+	for i := 0; i < len(syms); i++ {
+		if i > 0 && syms[i].addr == syms[i-1].addr {
+			continue
+		}
+		end := p.Prog.TextEnd()
+		for j := i + 1; j < len(syms); j++ {
+			if syms[j].addr != syms[i].addr {
+				end = syms[j].addr
+				break
+			}
+		}
+		fs := &FuncStat{Name: syms[i].name, Start: syms[i].addr, End: end}
+		for pc := fs.Start; pc < fs.End; pc += isa.WordSize {
+			c := p.Counts[(pc-program.TextBase)/isa.WordSize]
+			fs.Count += c
+			if c > fs.HotCnt {
+				fs.HotCnt, fs.HotPC = c, pc
+			}
+		}
+		out = append(out, fs)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Count > out[j].Count })
+	return out
+}
+
+// Render formats a flat profile: per-region totals plus the hottest
+// instruction of each, up to topN regions (0 means 20).
+func (p *Profile) Render(topN int) string {
+	if topN <= 0 {
+		topN = 20
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "flat profile: %d instructions executed\n\n", p.Total)
+	fmt.Fprintf(&b, "%7s %10s  %-18s %s\n", "%", "insts", "region", "hottest instruction")
+	funcs := p.ByFunction()
+	if len(funcs) > topN {
+		funcs = funcs[:topN]
+	}
+	for _, f := range funcs {
+		if f.Count == 0 {
+			continue
+		}
+		hot := ""
+		if f.HotCnt > 0 {
+			inst := p.Prog.MustInstAt(f.HotPC)
+			hot = fmt.Sprintf("%#x: %s (%d)", f.HotPC, inst, f.HotCnt)
+		}
+		fmt.Fprintf(&b, "%6.2f%% %10d  %-18s %s\n",
+			100*float64(f.Count)/float64(p.Total), f.Count, f.Name, hot)
+	}
+	return b.String()
+}

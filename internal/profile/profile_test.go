@@ -1,0 +1,127 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+
+	"fastsim/internal/asm"
+	"fastsim/internal/emulator"
+	"fastsim/internal/minc"
+	"fastsim/internal/workloads"
+)
+
+func TestCountsAndRegions(t *testing.T) {
+	prog, err := asm.Assemble("p.s", `
+main:
+	li   t0, 100
+loop:
+	addi t0, t0, -1
+	bnez t0, loop
+	call helper
+	halt
+helper:
+	addi t1, t1, 1
+	ret
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Run(prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 li + 100*(addi+bnez) + call + halt + addi + ret = 206
+	if p.Total != 206 {
+		t.Errorf("total = %d, want 206", p.Total)
+	}
+	funcs := p.ByFunction()
+	if len(funcs) < 3 {
+		t.Fatalf("regions: %d", len(funcs))
+	}
+	// Hottest region must be the loop.
+	if funcs[0].Name != "loop" || funcs[0].Count != 202 { // addi+bnez x100, call, halt
+		t.Errorf("hottest = %s (%d), want loop (202)", funcs[0].Name, funcs[0].Count)
+	}
+	var helper *FuncStat
+	for _, f := range funcs {
+		if f.Name == "helper" {
+			helper = f
+		}
+	}
+	if helper == nil || helper.Count != 2 {
+		t.Errorf("helper = %+v", helper)
+	}
+	out := p.Render(0)
+	for _, want := range []string{"flat profile", "loop", "helper", "addi"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestProfileSumsToTotal(t *testing.T) {
+	w, _ := workloads.Get("130.li")
+	prog := w.MustBuild(0.03)
+	p, err := Run(prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum uint64
+	for _, c := range p.Counts {
+		sum += c
+	}
+	if sum != p.Total {
+		t.Errorf("per-PC counts sum %d != total %d", sum, p.Total)
+	}
+	funcs := p.ByFunction()
+	var fsum uint64
+	for _, f := range funcs {
+		fsum += f.Count
+	}
+	if fsum != p.Total {
+		t.Errorf("per-region sum %d != total %d", fsum, p.Total)
+	}
+	// And the emulator agrees on the instruction count.
+	cpu := emulator.New(prog)
+	if err := cpu.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if cpu.InstCount != p.Total {
+		t.Errorf("emulator count %d != profile %d", cpu.InstCount, p.Total)
+	}
+}
+
+func TestProfileMinC(t *testing.T) {
+	prog, err := minc.CompileProgram("f.mc", `
+func hot() {
+	var i = 0;
+	while (i < 1000) { i = i + 1; }
+	return i;
+}
+func main() {
+	check(hot());
+	return 0;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Run(prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	funcs := p.ByFunction()
+	if funcs[0].Name != "mc_hot" && !strings.HasPrefix(funcs[0].Name, "Lmc") {
+		t.Errorf("hottest region = %q, want inside mc_hot", funcs[0].Name)
+	}
+}
+
+func TestBudget(t *testing.T) {
+	prog, err := asm.Assemble("p.s", "main: j main\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(prog, 100); err != emulator.ErrBudget {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,134 @@
+// Package progfile serializes assembled programs to a compact binary
+// format (".fsx"), the reproduction's analogue of the statically linked
+// executables FastSim consumed. fsasm writes them; fastsim and fsbench run
+// them; symbol tables travel along so disassembly stays annotated.
+//
+// Layout (all integers little-endian):
+//
+//	magic   "FSX1"                       4 bytes
+//	entry   uint32
+//	ntext   uint32                       instruction words
+//	ndata   uint32                       data bytes
+//	nsyms   uint32
+//	text    ntext × uint32
+//	data    ndata bytes
+//	symbols nsyms × { nameLen uint16, name, addr uint32 }
+package progfile
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"fastsim/internal/program"
+)
+
+var magic = [4]byte{'F', 'S', 'X', '1'}
+
+// limits guard against corrupt headers allocating absurd amounts.
+const (
+	maxText = 1 << 24 // 64 MiB of code
+	maxData = 1 << 28
+	maxSyms = 1 << 20
+	maxName = 4096
+)
+
+// Write serializes p to w.
+func Write(w io.Writer, p *program.Program) error {
+	var hdr [20]byte
+	copy(hdr[:4], magic[:])
+	binary.LittleEndian.PutUint32(hdr[4:], p.Entry)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(p.Text)))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(p.Data)))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(len(p.Symbols)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	buf := make([]byte, 4*len(p.Text))
+	for i, t := range p.Text {
+		binary.LittleEndian.PutUint32(buf[4*i:], t)
+	}
+	if _, err := w.Write(buf); err != nil {
+		return err
+	}
+	if _, err := w.Write(p.Data); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(p.Symbols))
+	for n := range p.Symbols {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if len(n) > maxName {
+			return fmt.Errorf("progfile: symbol name %q too long", n[:32])
+		}
+		var sh [2]byte
+		binary.LittleEndian.PutUint16(sh[:], uint16(len(n)))
+		if _, err := w.Write(sh[:]); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, n); err != nil {
+			return err
+		}
+		var ab [4]byte
+		binary.LittleEndian.PutUint32(ab[:], p.Symbols[n])
+		if _, err := w.Write(ab[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Read deserializes a program written by Write.
+func Read(r io.Reader, name string) (*program.Program, error) {
+	var hdr [20]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("progfile: header: %w", err)
+	}
+	if [4]byte(hdr[:4]) != magic {
+		return nil, fmt.Errorf("progfile: bad magic %q", hdr[:4])
+	}
+	entry := binary.LittleEndian.Uint32(hdr[4:])
+	ntext := binary.LittleEndian.Uint32(hdr[8:])
+	ndata := binary.LittleEndian.Uint32(hdr[12:])
+	nsyms := binary.LittleEndian.Uint32(hdr[16:])
+	if ntext > maxText || ndata > maxData || nsyms > maxSyms {
+		return nil, fmt.Errorf("progfile: implausible sizes text=%d data=%d syms=%d",
+			ntext, ndata, nsyms)
+	}
+	buf := make([]byte, 4*ntext)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("progfile: text: %w", err)
+	}
+	text := make([]uint32, ntext)
+	for i := range text {
+		text[i] = binary.LittleEndian.Uint32(buf[4*i:])
+	}
+	data := make([]byte, ndata)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return nil, fmt.Errorf("progfile: data: %w", err)
+	}
+	syms := make(map[string]uint32, nsyms)
+	for i := uint32(0); i < nsyms; i++ {
+		var sh [2]byte
+		if _, err := io.ReadFull(r, sh[:]); err != nil {
+			return nil, fmt.Errorf("progfile: symbol %d: %w", i, err)
+		}
+		nl := binary.LittleEndian.Uint16(sh[:])
+		if int(nl) > maxName {
+			return nil, fmt.Errorf("progfile: symbol %d name too long", i)
+		}
+		nb := make([]byte, nl)
+		if _, err := io.ReadFull(r, nb); err != nil {
+			return nil, fmt.Errorf("progfile: symbol %d: %w", i, err)
+		}
+		var ab [4]byte
+		if _, err := io.ReadFull(r, ab[:]); err != nil {
+			return nil, fmt.Errorf("progfile: symbol %d: %w", i, err)
+		}
+		syms[string(nb)] = binary.LittleEndian.Uint32(ab[:])
+	}
+	return program.New(name, entry, text, data, syms)
+}

@@ -1,0 +1,131 @@
+package progfile
+
+import (
+	"bytes"
+	"testing"
+
+	"fastsim/internal/asm"
+	"fastsim/internal/emulator"
+	"fastsim/internal/workloads"
+)
+
+func TestRoundTrip(t *testing.T) {
+	src := `
+.data
+msg:	.asciz "hi"
+vals:	.word 1, 2, 3
+.text
+main:
+	la  a0, vals
+	lw  a0, 4(a0)
+	sys 2
+	li  a0, 0
+	halt
+`
+	p, err := asm.Assemble("t.s", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Read(&buf, "t.fsx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Entry != p.Entry || len(q.Text) != len(p.Text) || len(q.Data) != len(p.Data) {
+		t.Fatal("shape mismatch")
+	}
+	for i := range p.Text {
+		if p.Text[i] != q.Text[i] {
+			t.Fatalf("text[%d] differs", i)
+		}
+	}
+	if !bytes.Equal(p.Data, q.Data) {
+		t.Fatal("data differs")
+	}
+	if len(q.Symbols) != len(p.Symbols) {
+		t.Fatal("symbols lost")
+	}
+	for n, a := range p.Symbols {
+		if q.Symbols[n] != a {
+			t.Fatalf("symbol %s differs", n)
+		}
+	}
+	// And it still runs identically.
+	c1, c2 := emulator.New(p), emulator.New(q)
+	if err := c1.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if c1.Checksum != c2.Checksum || c1.InstCount != c2.InstCount {
+		t.Error("deserialized program behaves differently")
+	}
+}
+
+func TestRoundTripWorkload(t *testing.T) {
+	w, _ := workloads.Get("124.m88ksim")
+	p := w.MustBuild(0.02)
+	var buf bytes.Buffer
+	if err := Write(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Read(&buf, "w.fsx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, c2 := emulator.New(p), emulator.New(q)
+	if err := c1.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if c1.Checksum != c2.Checksum {
+		t.Error("workload round trip diverged")
+	}
+}
+
+func TestRejectCorruptInputs(t *testing.T) {
+	p, err := asm.Assemble("t.s", "main: halt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte(nil), good...)
+	bad[0] = 'X'
+	if _, err := Read(bytes.NewReader(bad), "x"); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Implausible sizes.
+	bad = append([]byte(nil), good...)
+	bad[8] = 0xFF
+	bad[9] = 0xFF
+	bad[10] = 0xFF
+	bad[11] = 0xFF
+	if _, err := Read(bytes.NewReader(bad), "x"); err == nil {
+		t.Error("huge ntext accepted")
+	}
+	// Truncations at every length must error, never panic.
+	for cut := 0; cut < len(good); cut++ {
+		if _, err := Read(bytes.NewReader(good[:cut]), "x"); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	// Garbage instruction words are rejected by program.New.
+	bad = append([]byte(nil), good...)
+	bad[20] = 0xFF
+	bad[23] = 0xFF
+	if _, err := Read(bytes.NewReader(bad), "x"); err == nil {
+		t.Error("undecodable text accepted")
+	}
+}

@@ -1,0 +1,252 @@
+// Package program defines the executable image produced by the assembler
+// and the sparse byte-addressed memory that target programs run in. It is
+// the loader of FastSim-Go: the equivalent of the statically linked SPARC
+// executable (after rewriting by the paper's fs tool) that every simulation
+// engine shares.
+package program
+
+import (
+	"fmt"
+
+	"fastsim/internal/isa"
+)
+
+// Default memory layout. The text segment starts at TextBase, initialized
+// data at DataBase, and the stack grows down from StackTop.
+const (
+	TextBase = 0x0000_1000
+	DataBase = 0x0020_0000
+	StackTop = 0x7FFF_F000
+)
+
+// Program is a loaded SV8 executable image.
+type Program struct {
+	Name    string
+	Entry   uint32            // initial program counter
+	Text    []uint32          // encoded instructions, word-indexed from TextBase
+	Data    []byte            // initialized data segment at DataBase
+	Symbols map[string]uint32 // label -> address
+
+	insts []isa.Inst // decoded text, same indexing as Text
+}
+
+// New builds a Program from encoded text and data, decoding all
+// instructions up front (the simulators never decode on the hot path).
+func New(name string, entry uint32, text []uint32, data []byte, symbols map[string]uint32) (*Program, error) {
+	p := &Program{
+		Name:    name,
+		Entry:   entry,
+		Text:    text,
+		Data:    data,
+		Symbols: symbols,
+		insts:   make([]isa.Inst, len(text)),
+	}
+	for k, w := range text {
+		inst, err := isa.Decode(w)
+		if err != nil {
+			return nil, fmt.Errorf("program %s: text word %d at %#x: %w",
+				name, k, TextBase+uint32(k)*isa.WordSize, err)
+		}
+		p.insts[k] = inst
+	}
+	if entry < TextBase || entry >= p.TextEnd() {
+		return nil, fmt.Errorf("program %s: entry %#x outside text [%#x,%#x)",
+			name, entry, TextBase, p.TextEnd())
+	}
+	return p, nil
+}
+
+// TextEnd returns the first address past the text segment.
+func (p *Program) TextEnd() uint32 {
+	return TextBase + uint32(len(p.Text))*isa.WordSize
+}
+
+// InstAt returns the decoded instruction at pc. ok is false if pc is
+// outside the text segment or unaligned.
+func (p *Program) InstAt(pc uint32) (isa.Inst, bool) {
+	if pc < TextBase || pc%isa.WordSize != 0 {
+		return isa.Inst{}, false
+	}
+	idx := (pc - TextBase) / isa.WordSize
+	if int(idx) >= len(p.insts) {
+		return isa.Inst{}, false
+	}
+	return p.insts[idx], true
+}
+
+// MustInstAt is InstAt for addresses known to be valid; it panics otherwise.
+// The simulators use it on pre-validated fetch paths.
+func (p *Program) MustInstAt(pc uint32) isa.Inst {
+	i, ok := p.InstAt(pc)
+	if !ok {
+		panic(fmt.Sprintf("program %s: fetch from invalid pc %#x", p.Name, pc))
+	}
+	return i
+}
+
+// Symbol returns the address of a label.
+func (p *Program) Symbol(name string) (uint32, bool) {
+	a, ok := p.Symbols[name]
+	return a, ok
+}
+
+const (
+	pageShift = 12
+	pageSize  = 1 << pageShift
+	pageMask  = pageSize - 1
+)
+
+// Memory is a sparse, little-endian, byte-addressed 32-bit memory. Pages
+// are allocated on first touch and read as zero before any write. A
+// one-entry translation cache keeps sequential access fast.
+type Memory struct {
+	pages map[uint32]*[pageSize]byte
+
+	lastPageNo uint32
+	lastPage   *[pageSize]byte
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint32]*[pageSize]byte)}
+}
+
+// Load maps p's text and data segments into m and returns the initial
+// stack pointer.
+func (m *Memory) Load(p *Program) uint32 {
+	for k, w := range p.Text {
+		m.WriteU32(TextBase+uint32(k)*isa.WordSize, w)
+	}
+	for k, b := range p.Data {
+		m.WriteU8(DataBase+uint32(k), b)
+	}
+	return StackTop
+}
+
+func (m *Memory) page(addr uint32, write bool) *[pageSize]byte {
+	no := addr >> pageShift
+	if m.lastPage != nil && m.lastPageNo == no {
+		return m.lastPage
+	}
+	pg := m.pages[no]
+	if pg == nil {
+		if !write {
+			return nil
+		}
+		pg = new([pageSize]byte)
+		m.pages[no] = pg
+	}
+	m.lastPageNo, m.lastPage = no, pg
+	return pg
+}
+
+// ReadU8 returns the byte at addr.
+func (m *Memory) ReadU8(addr uint32) byte {
+	pg := m.page(addr, false)
+	if pg == nil {
+		return 0
+	}
+	return pg[addr&pageMask]
+}
+
+// WriteU8 stores b at addr.
+func (m *Memory) WriteU8(addr uint32, b byte) {
+	m.page(addr, true)[addr&pageMask] = b
+}
+
+// ReadU16 returns the little-endian 16-bit value at addr.
+func (m *Memory) ReadU16(addr uint32) uint16 {
+	if addr&pageMask <= pageSize-2 {
+		if pg := m.page(addr, false); pg != nil {
+			o := addr & pageMask
+			return uint16(pg[o]) | uint16(pg[o+1])<<8
+		}
+		return 0
+	}
+	return uint16(m.ReadU8(addr)) | uint16(m.ReadU8(addr+1))<<8
+}
+
+// WriteU16 stores a little-endian 16-bit value at addr.
+func (m *Memory) WriteU16(addr uint32, v uint16) {
+	if addr&pageMask <= pageSize-2 {
+		pg := m.page(addr, true)
+		o := addr & pageMask
+		pg[o] = byte(v)
+		pg[o+1] = byte(v >> 8)
+		return
+	}
+	m.WriteU8(addr, byte(v))
+	m.WriteU8(addr+1, byte(v>>8))
+}
+
+// ReadU32 returns the little-endian 32-bit value at addr.
+func (m *Memory) ReadU32(addr uint32) uint32 {
+	if addr&pageMask <= pageSize-4 {
+		if pg := m.page(addr, false); pg != nil {
+			o := addr & pageMask
+			return uint32(pg[o]) | uint32(pg[o+1])<<8 | uint32(pg[o+2])<<16 | uint32(pg[o+3])<<24
+		}
+		return 0
+	}
+	return uint32(m.ReadU16(addr)) | uint32(m.ReadU16(addr+2))<<16
+}
+
+// WriteU32 stores a little-endian 32-bit value at addr.
+func (m *Memory) WriteU32(addr uint32, v uint32) {
+	if addr&pageMask <= pageSize-4 {
+		pg := m.page(addr, true)
+		o := addr & pageMask
+		pg[o] = byte(v)
+		pg[o+1] = byte(v >> 8)
+		pg[o+2] = byte(v >> 16)
+		pg[o+3] = byte(v >> 24)
+		return
+	}
+	m.WriteU16(addr, uint16(v))
+	m.WriteU16(addr+2, uint16(v>>16))
+}
+
+// ReadU64 returns the little-endian 64-bit value at addr.
+func (m *Memory) ReadU64(addr uint32) uint64 {
+	return uint64(m.ReadU32(addr)) | uint64(m.ReadU32(addr+4))<<32
+}
+
+// WriteU64 stores a little-endian 64-bit value at addr.
+func (m *Memory) WriteU64(addr uint32, v uint64) {
+	m.WriteU32(addr, uint32(v))
+	m.WriteU32(addr+4, uint32(v>>32))
+}
+
+// ReadN reads width bytes (1, 2, 4 or 8) at addr as an unsigned value.
+func (m *Memory) ReadN(addr uint32, width int) uint64 {
+	switch width {
+	case 1:
+		return uint64(m.ReadU8(addr))
+	case 2:
+		return uint64(m.ReadU16(addr))
+	case 4:
+		return uint64(m.ReadU32(addr))
+	case 8:
+		return m.ReadU64(addr)
+	}
+	panic(fmt.Sprintf("program: bad read width %d", width))
+}
+
+// WriteN writes width bytes (1, 2, 4 or 8) of v at addr.
+func (m *Memory) WriteN(addr uint32, width int, v uint64) {
+	switch width {
+	case 1:
+		m.WriteU8(addr, byte(v))
+	case 2:
+		m.WriteU16(addr, uint16(v))
+	case 4:
+		m.WriteU32(addr, uint32(v))
+	case 8:
+		m.WriteU64(addr, v)
+	default:
+		panic(fmt.Sprintf("program: bad write width %d", width))
+	}
+}
+
+// Pages returns the number of allocated pages (for tests and stats).
+func (m *Memory) Pages() int { return len(m.pages) }

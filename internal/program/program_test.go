@@ -1,0 +1,206 @@
+package program
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fastsim/internal/isa"
+)
+
+func encode(t *testing.T, insts ...isa.Inst) []uint32 {
+	t.Helper()
+	out := make([]uint32, len(insts))
+	for k, i := range insts {
+		w, err := isa.Encode(i)
+		if err != nil {
+			t.Fatalf("encode %v: %v", i, err)
+		}
+		out[k] = w
+	}
+	return out
+}
+
+func TestProgramInstAt(t *testing.T) {
+	text := encode(t,
+		isa.Inst{Op: isa.OpAddi, Rd: 4, Rs1: 0, Imm: 7},
+		isa.Inst{Op: isa.OpHalt},
+	)
+	p, err := New("t", TextBase, text, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i, ok := p.InstAt(TextBase)
+	if !ok || i.Op != isa.OpAddi || i.Imm != 7 {
+		t.Fatalf("InstAt(TextBase) = %v,%v", i, ok)
+	}
+	if _, ok := p.InstAt(TextBase + 8); ok {
+		t.Error("InstAt past end should fail")
+	}
+	if _, ok := p.InstAt(TextBase + 1); ok {
+		t.Error("unaligned InstAt should fail")
+	}
+	if _, ok := p.InstAt(0); ok {
+		t.Error("InstAt below text should fail")
+	}
+	if p.TextEnd() != TextBase+8 {
+		t.Errorf("TextEnd = %#x", p.TextEnd())
+	}
+}
+
+func TestProgramRejectsBadEntry(t *testing.T) {
+	text := encode(t, isa.Inst{Op: isa.OpHalt})
+	if _, err := New("t", TextBase+64, text, nil, nil); err == nil {
+		t.Error("entry past text accepted")
+	}
+	if _, err := New("t", 0, text, nil, nil); err == nil {
+		t.Error("entry 0 accepted")
+	}
+}
+
+func TestProgramRejectsBadText(t *testing.T) {
+	if _, err := New("t", TextBase, []uint32{0xFFFFFFFF}, nil, nil); err == nil {
+		t.Error("undecodable text accepted")
+	}
+}
+
+func TestMustInstAtPanics(t *testing.T) {
+	text := encode(t, isa.Inst{Op: isa.OpHalt})
+	p, err := New("t", TextBase, text, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustInstAt on bad pc did not panic")
+		}
+	}()
+	p.MustInstAt(0)
+}
+
+func TestMemoryZeroBeforeWrite(t *testing.T) {
+	m := NewMemory()
+	if m.ReadU32(0x1234) != 0 || m.ReadU8(0) != 0 || m.ReadU64(0xFFFF_0000) != 0 {
+		t.Error("fresh memory not zero")
+	}
+	if m.Pages() != 0 {
+		t.Error("reads must not allocate pages")
+	}
+}
+
+func TestMemoryReadWriteWidths(t *testing.T) {
+	m := NewMemory()
+	m.WriteU8(0x100, 0xAB)
+	m.WriteU16(0x200, 0xBEEF)
+	m.WriteU32(0x300, 0xDEADBEEF)
+	m.WriteU64(0x400, 0x0123456789ABCDEF)
+	if m.ReadU8(0x100) != 0xAB {
+		t.Error("u8")
+	}
+	if m.ReadU16(0x200) != 0xBEEF {
+		t.Error("u16")
+	}
+	if m.ReadU32(0x300) != 0xDEADBEEF {
+		t.Error("u32")
+	}
+	if m.ReadU64(0x400) != 0x0123456789ABCDEF {
+		t.Error("u64")
+	}
+	// little-endian byte order
+	if m.ReadU8(0x300) != 0xEF || m.ReadU8(0x303) != 0xDE {
+		t.Error("not little endian")
+	}
+}
+
+func TestMemoryCrossPageAccess(t *testing.T) {
+	m := NewMemory()
+	base := uint32(pageSize - 2)
+	m.WriteU32(base, 0x11223344)
+	if m.ReadU32(base) != 0x11223344 {
+		t.Error("cross-page u32 roundtrip failed")
+	}
+	if m.ReadU16(base+2) != 0x1122 {
+		t.Error("cross-page halves wrong")
+	}
+	b8 := uint32(2*pageSize - 4)
+	m.WriteU64(b8, 0xA1B2C3D4E5F60718)
+	if m.ReadU64(b8) != 0xA1B2C3D4E5F60718 {
+		t.Error("cross-page u64 roundtrip failed")
+	}
+}
+
+func TestMemoryReadWriteNRoundTrip(t *testing.T) {
+	f := func(addr uint32, v uint64, w uint8) bool {
+		width := []int{1, 2, 4, 8}[w%4]
+		m := NewMemory()
+		m.WriteN(addr, width, v)
+		want := v
+		switch width {
+		case 1:
+			want &= 0xFF
+		case 2:
+			want &= 0xFFFF
+		case 4:
+			want &= 0xFFFFFFFF
+		}
+		return m.ReadN(addr, width) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryRandomizedVsModel(t *testing.T) {
+	// Compare against a flat map model under random mixed-width traffic.
+	r := rand.New(rand.NewSource(42))
+	m := NewMemory()
+	model := map[uint32]byte{}
+	for k := 0; k < 20000; k++ {
+		addr := uint32(r.Intn(3 * pageSize))
+		width := []int{1, 2, 4, 8}[r.Intn(4)]
+		if r.Intn(2) == 0 {
+			v := r.Uint64()
+			m.WriteN(addr, width, v)
+			for b := 0; b < width; b++ {
+				model[addr+uint32(b)] = byte(v >> (8 * b))
+			}
+		} else {
+			got := m.ReadN(addr, width)
+			var want uint64
+			for b := 0; b < width; b++ {
+				want |= uint64(model[addr+uint32(b)]) << (8 * b)
+			}
+			if got != want {
+				t.Fatalf("read %d@%#x = %#x, want %#x", width, addr, got, want)
+			}
+		}
+	}
+}
+
+func TestLoad(t *testing.T) {
+	text := encode(t,
+		isa.Inst{Op: isa.OpAddi, Rd: 4, Rs1: 0, Imm: 3},
+		isa.Inst{Op: isa.OpHalt},
+	)
+	p, err := New("t", TextBase, text, []byte{1, 2, 3, 4}, map[string]uint32{"x": DataBase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMemory()
+	sp := m.Load(p)
+	if sp != StackTop {
+		t.Errorf("sp = %#x", sp)
+	}
+	if m.ReadU32(TextBase) != text[0] {
+		t.Error("text not loaded")
+	}
+	if m.ReadU32(DataBase) != 0x04030201 {
+		t.Error("data not loaded little-endian")
+	}
+	if a, ok := p.Symbol("x"); !ok || a != DataBase {
+		t.Error("symbol lookup failed")
+	}
+	if _, ok := p.Symbol("nope"); ok {
+		t.Error("bogus symbol found")
+	}
+}

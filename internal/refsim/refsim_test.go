@@ -1,0 +1,223 @@
+package refsim
+
+import (
+	"testing"
+
+	"fastsim/internal/asm"
+	"fastsim/internal/cachesim"
+	"fastsim/internal/emulator"
+	"fastsim/internal/program"
+	"fastsim/internal/testprog"
+)
+
+func build(t *testing.T, src string) *program.Program {
+	t.Helper()
+	p, err := asm.Assemble("t.s", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func run(t *testing.T, p *program.Program) *Result {
+	t.Helper()
+	r, err := Run(p, DefaultParams(), cachesim.DefaultConfig(), 100_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func checkOracle(t *testing.T, p *program.Program, r *Result) {
+	t.Helper()
+	cpu := emulator.New(p)
+	if err := cpu.Run(100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if r.Checksum != cpu.Checksum || r.ExitCode != cpu.ExitCode {
+		t.Errorf("functional results differ from oracle: %#x/%d vs %#x/%d",
+			r.Checksum, r.ExitCode, cpu.Checksum, cpu.ExitCode)
+	}
+	if string(r.Output) != string(cpu.Output) {
+		t.Error("output differs from oracle")
+	}
+	if r.Insts != cpu.InstCount {
+		t.Errorf("committed %d != oracle %d", r.Insts, cpu.InstCount)
+	}
+}
+
+func TestStraightLine(t *testing.T) {
+	p := build(t, `
+main:
+	li  t0, 10
+	li  t1, 32
+	add a0, t0, t1
+	sys 2
+	halt
+`)
+	r := run(t, p)
+	checkOracle(t, p, r)
+	if r.Cycles < 5 || r.Cycles > 100 {
+		t.Errorf("cycles = %d", r.Cycles)
+	}
+}
+
+func TestLoopWithMispredicts(t *testing.T) {
+	p := build(t, `
+main:
+	li t0, 500
+loop:
+	addi t1, t1, 3
+	addi t0, t0, -1
+	bnez t0, loop
+	mv a0, t1
+	sys 2
+	halt
+`)
+	r := run(t, p)
+	checkOracle(t, p, r)
+	if r.Mispredicts == 0 || r.Mispredicts > 20 {
+		t.Errorf("mispredicts = %d", r.Mispredicts)
+	}
+	ipc := float64(r.Insts) / float64(r.Cycles)
+	if ipc < 0.3 || ipc > 4 {
+		t.Errorf("IPC = %.2f", ipc)
+	}
+}
+
+func TestWrongPathDoesNotCorruptState(t *testing.T) {
+	// The first taken branch is mispredicted (cold counters): the
+	// fall-through (wrong path) must not execute functionally.
+	p := build(t, `
+main:
+	li   t0, 1
+	li   t1, 5
+	bnez t0, target
+	li   t1, 99
+	sw   t1, 0(sp)
+target:
+	mv   a0, t1
+	sys  2
+	halt
+`)
+	r := run(t, p)
+	checkOracle(t, p, r)
+	if r.Mispredicts != 1 {
+		t.Errorf("mispredicts = %d, want 1", r.Mispredicts)
+	}
+}
+
+func TestIndirectJumps(t *testing.T) {
+	p := build(t, `
+.data
+tab:	.word c0, c1
+.text
+main:
+	li  t0, 1
+	la  t1, tab
+	slli t2, t0, 2
+	add t1, t1, t2
+	lw  t3, 0(t1)
+	jr  t3
+c0:	li a0, 10
+	sys 2
+	halt
+c1:	li a0, 20
+	sys 2
+	halt
+`)
+	r := run(t, p)
+	checkOracle(t, p, r)
+}
+
+func TestCacheActivity(t *testing.T) {
+	p := build(t, `
+.data
+buf: .space 65536
+.text
+main:
+	li  t0, 500
+	la  s0, buf
+loop:
+	slli t1, t0, 7
+	add  t1, s0, t1
+	lw   t2, 0(t1)
+	sw   t0, 4(t1)
+	add  s1, s1, t2
+	addi t0, t0, -1
+	bnez t0, loop
+	halt
+`)
+	r := run(t, p)
+	checkOracle(t, p, r)
+	if r.Cache.Loads == 0 || r.Cache.Stores == 0 || r.Cache.L1Misses == 0 {
+		t.Errorf("cache stats implausible: %+v", r.Cache)
+	}
+}
+
+func TestRandomProgramsMatchOracle(t *testing.T) {
+	opts := testprog.DefaultOptions()
+	opts.Iterations = 40
+	opts.Segments = 8
+	for seed := int64(1); seed <= 10; seed++ {
+		p, err := testprog.Build(seed, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := run(t, p)
+		checkOracle(t, p, r)
+	}
+}
+
+func TestRunawayProgramError(t *testing.T) {
+	p := build(t, `
+main:
+	li t0, 0x10
+	jr t0
+`)
+	if _, err := Run(p, DefaultParams(), cachesim.DefaultConfig(), 1_000_000); err == nil {
+		t.Error("expected error for committed jump to garbage")
+	}
+}
+
+func TestCycleLimit(t *testing.T) {
+	p := build(t, `
+main:
+	li t0, 1000000
+loop:
+	addi t0, t0, -1
+	bnez t0, loop
+	halt
+`)
+	if _, err := Run(p, DefaultParams(), cachesim.DefaultConfig(), 100); err != ErrCycleLimit {
+		t.Errorf("err = %v, want ErrCycleLimit", err)
+	}
+}
+
+func TestDependentChainSlowerThanIndependent(t *testing.T) {
+	dep := build(t, `
+main:
+	li t0, 2000
+loop:
+	mul t1, t1, t1
+	mul t1, t1, t1
+	addi t0, t0, -1
+	bnez t0, loop
+	halt
+`)
+	ind := build(t, `
+main:
+	li t0, 2000
+loop:
+	mul t1, t1, t2
+	mul t3, t4, t5
+	addi t0, t0, -1
+	bnez t0, loop
+	halt
+`)
+	rd, ri := run(t, dep), run(t, ind)
+	if rd.Cycles <= ri.Cycles {
+		t.Errorf("dependent chain (%d cycles) not slower than independent (%d)",
+			rd.Cycles, ri.Cycles)
+	}
+}

@@ -1,0 +1,133 @@
+// Package stats provides the small statistical instruments the simulators
+// share: power-of-two histograms for latency and chain-length
+// distributions. The paper reports averages and maxima (Table 5); the
+// histograms expose the full shape, which the fastsim command can render.
+package stats
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// nBuckets covers values up to 2^31 in power-of-two buckets, plus a zero
+// bucket.
+const nBuckets = 33
+
+// Histogram counts values in power-of-two buckets: bucket 0 holds zeros,
+// bucket i holds values in [2^(i-1), 2^i). The zero value is ready to use.
+type Histogram struct {
+	buckets [nBuckets]uint64
+	count   uint64
+	sum     uint64
+	max     uint64
+}
+
+// Add records one value.
+func (h *Histogram) Add(v uint64) {
+	i := bits.Len64(v)
+	if i >= nBuckets {
+		i = nBuckets - 1
+	}
+	h.buckets[i]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of recorded values.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Max returns the largest recorded value.
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Mean returns the average recorded value.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Percentile returns an upper bound for the p-th percentile (0 < p <= 100):
+// the upper edge of the bucket containing it.
+func (h *Histogram) Percentile(p float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(p / 100 * float64(h.count))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for i, c := range h.buckets {
+		seen += c
+		if seen >= target {
+			if i == 0 {
+				return 0
+			}
+			return 1<<uint(i) - 1
+		}
+	}
+	return h.max
+}
+
+// Merge adds o's counts into h.
+func (h *Histogram) Merge(o *Histogram) {
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Render formats the non-empty buckets with proportional bars.
+func (h *Histogram) Render(label string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: n=%d mean=%.1f p90<=%d max=%d\n",
+		label, h.count, h.Mean(), h.Percentile(90), h.max)
+	if h.count == 0 {
+		return b.String()
+	}
+	var peak uint64
+	for _, c := range h.buckets {
+		if c > peak {
+			peak = c
+		}
+	}
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		lo, hi := bucketRange(i)
+		bar := strings.Repeat("#", int(1+c*40/peak))
+		fmt.Fprintf(&b, "  %12s %10d %s\n", rangeLabel(lo, hi), c, bar)
+	}
+	return b.String()
+}
+
+func bucketRange(i int) (lo, hi uint64) {
+	if i == 0 {
+		return 0, 0
+	}
+	return 1 << uint(i-1), 1<<uint(i) - 1
+}
+
+func rangeLabel(lo, hi uint64) string {
+	if lo == hi {
+		return fmt.Sprintf("%d", lo)
+	}
+	return fmt.Sprintf("%d-%d", lo, hi)
+}
+
+// MarshalJSON summarizes the distribution (count, mean, p90 bound, max) —
+// enough for machine-readable reports without dumping every bucket.
+func (h Histogram) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf(`{"count":%d,"mean":%.2f,"p90":%d,"max":%d}`,
+		h.count, h.Mean(), h.Percentile(90), h.max)), nil
+}

@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueUsable(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Percentile(50) != 0 {
+		t.Error("zero histogram not neutral")
+	}
+	if out := h.Render("empty"); !strings.Contains(out, "n=0") {
+		t.Error("render of empty histogram")
+	}
+}
+
+func TestBuckets(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 1, 2, 3, 4, 7, 8, 1023, 1024} {
+		h.Add(v)
+	}
+	if h.buckets[0] != 1 { // zero
+		t.Error("zero bucket")
+	}
+	if h.buckets[1] != 1 { // [1,1]
+		t.Error("bucket 1")
+	}
+	if h.buckets[2] != 2 { // [2,3]
+		t.Error("bucket 2")
+	}
+	if h.buckets[3] != 2 { // [4,7]
+		t.Error("bucket 3")
+	}
+	if h.buckets[4] != 1 { // [8,15]
+		t.Error("bucket 4")
+	}
+	if h.buckets[10] != 1 || h.buckets[11] != 1 { // 1023, 1024
+		t.Error("high buckets")
+	}
+	if h.Max() != 1024 || h.Count() != 9 {
+		t.Error("summary stats")
+	}
+}
+
+func TestMeanAndPercentile(t *testing.T) {
+	var h Histogram
+	for i := uint64(1); i <= 100; i++ {
+		h.Add(i)
+	}
+	if m := h.Mean(); m != 50.5 {
+		t.Errorf("mean = %v", m)
+	}
+	// p50 of 1..100 lies in bucket [32,63]; the bound must cover it.
+	if p := h.Percentile(50); p < 50 || p > 63 {
+		t.Errorf("p50 bound = %d", p)
+	}
+	if p := h.Percentile(100); p < 100 {
+		t.Errorf("p100 bound = %d", p)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Histogram
+	a.Add(5)
+	a.Add(100)
+	b.Add(7)
+	a.Merge(&b)
+	if a.Count() != 3 || a.Max() != 100 {
+		t.Errorf("merge: count=%d max=%d", a.Count(), a.Max())
+	}
+}
+
+func TestRenderShape(t *testing.T) {
+	var h Histogram
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		h.Add(uint64(r.Intn(500)))
+	}
+	out := h.Render("latency")
+	if !strings.Contains(out, "latency:") || !strings.Contains(out, "#") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestPropertyCountAndMax(t *testing.T) {
+	f := func(vals []uint16) bool {
+		var h Histogram
+		var max uint64
+		for _, v := range vals {
+			h.Add(uint64(v))
+			if uint64(v) > max {
+				max = uint64(v)
+			}
+		}
+		return h.Count() == uint64(len(vals)) && h.Max() == max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHugeValuesClamp(t *testing.T) {
+	var h Histogram
+	h.Add(1 << 62)
+	if h.buckets[nBuckets-1] != 1 {
+		t.Error("huge value not clamped to last bucket")
+	}
+}
+
+func TestMarshalJSON(t *testing.T) {
+	var h Histogram
+	h.Add(4)
+	h.Add(8)
+	b, err := h.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	if !strings.Contains(s, `"count":2`) || !strings.Contains(s, `"max":8`) {
+		t.Errorf("json = %s", s)
+	}
+}

@@ -1,0 +1,90 @@
+package tablegen
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// SuiteJSON is the machine-readable form of one evaluation run: everything
+// Tables 2-5 tabulate, one record per workload.
+type SuiteJSON struct {
+	Scale     float64           `json:"scale"`
+	Workloads []WorkloadResults `json:"workloads"`
+}
+
+// WorkloadResults carries one workload's measurements.
+type WorkloadResults struct {
+	Name     string `json:"name"`
+	Category string `json:"category"`
+
+	Cycles       uint64  `json:"cycles"`
+	Instructions uint64  `json:"instructions"`
+	IPC          float64 `json:"ipc"`
+
+	EmulatorSeconds float64 `json:"emulatorSeconds"`
+	SlowSimKIPS     float64 `json:"slowsimKinstsPerSec"`
+	FastSimKIPS     float64 `json:"fastsimKinstsPerSec"`
+	RefSimKIPS      float64 `json:"refsimKinstsPerSec,omitempty"`
+	MemoSpeedup     float64 `json:"memoSpeedup"`
+
+	DetailedInsts    uint64  `json:"detailedInsts"`
+	ReplayInsts      uint64  `json:"replayInsts"`
+	DetailedFraction float64 `json:"detailedFraction"`
+
+	PActionCacheBytes int     `json:"pactionCacheBytes"`
+	Configs           uint64  `json:"configs"`
+	Actions           uint64  `json:"actions"`
+	ActionsPerConfig  float64 `json:"actionsPerConfig"`
+	CyclesPerConfig   float64 `json:"cyclesPerConfig"`
+	AvgChain          float64 `json:"avgChain"`
+	MaxChain          uint64  `json:"maxChain"`
+
+	Exact bool `json:"exact"` // FastSim == SlowSim (always re-verified)
+}
+
+// JSON converts the suite for encoding.
+func (s *Suite) JSON() *SuiteJSON {
+	out := &SuiteJSON{Scale: s.Scale}
+	for _, r := range s.Rows {
+		m := r.Fast.Memo
+		wr := WorkloadResults{
+			Name:     r.Name,
+			Category: r.Category.String(),
+
+			Cycles:       r.Fast.Cycles,
+			Instructions: r.Fast.Insts,
+			IPC:          r.Fast.IPC(),
+
+			EmulatorSeconds: r.EmuTime.Seconds(),
+			SlowSimKIPS:     r.Slow.KInstsPerSec(),
+			FastSimKIPS:     r.Fast.KInstsPerSec(),
+			MemoSpeedup:     r.MemoSpeedup(),
+
+			DetailedInsts:    m.DetailedInsts,
+			ReplayInsts:      m.ReplayInsts,
+			DetailedFraction: m.DetailedFraction(),
+
+			PActionCacheBytes: m.PeakBytes,
+			Configs:           m.Configs,
+			Actions:           m.Actions,
+			ActionsPerConfig:  m.ActionsPerConfig(),
+			CyclesPerConfig:   m.CyclesPerConfig(),
+			AvgChain:          m.AvgChain(),
+			MaxChain:          m.ChainMax,
+
+			Exact: r.Fast.Cycles == r.Slow.Cycles,
+		}
+		if r.Ref != nil {
+			wr.RefSimKIPS = r.Ref.KInstsPerSec()
+		}
+		out.Workloads = append(out.Workloads, wr)
+	}
+	return out
+}
+
+// WriteJSON encodes the suite as indented JSON.
+func (s *Suite) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s.JSON())
+}

@@ -1,0 +1,158 @@
+package tablegen
+
+import (
+	"fmt"
+	"strings"
+
+	"fastsim/internal/core"
+	"fastsim/internal/workloads"
+)
+
+// Machine is one named point in a design-space sweep.
+type Machine struct {
+	Name string
+	Mut  func(*core.Config)
+}
+
+// DefaultMachines spans the space a microarchitect would explore with a
+// simulator like FastSim: issue width, window size, memory hierarchy and
+// speculation depth around the paper's R10000-like baseline.
+func DefaultMachines() []Machine {
+	return []Machine{
+		{"baseline-r10k", func(c *core.Config) {}},
+		{"2-wide", func(c *core.Config) {
+			c.Uarch.FetchWidth, c.Uarch.DecodeWidth, c.Uarch.RetireWidth = 2, 2, 2
+			c.Uarch.IntALUs, c.Uarch.FPUs = 1, 1
+			c.Uarch.ActiveList = 16
+		}},
+		{"8-wide", func(c *core.Config) {
+			c.Uarch.FetchWidth, c.Uarch.DecodeWidth, c.Uarch.RetireWidth = 8, 8, 8
+			c.Uarch.IntALUs, c.Uarch.FPUs, c.Uarch.AddrAdders = 4, 4, 2
+			c.Uarch.ActiveList = 64
+			c.Uarch.MaxSpecBranches = 8
+		}},
+		{"small-window", func(c *core.Config) { c.Uarch.ActiveList = 8 }},
+		{"no-speculation", func(c *core.Config) { c.Uarch.MaxSpecBranches = 1 }},
+		{"tiny-caches", func(c *core.Config) {
+			c.Cache.L1Size = 4 << 10
+			c.Cache.L2Size = 64 << 10
+		}},
+		{"slow-memory", func(c *core.Config) { c.Cache.MemLat = 200 }},
+	}
+}
+
+// SweepCell is one (machine, workload) measurement.
+type SweepCell struct {
+	Machine  string
+	Workload string
+	Cycles   uint64
+	IPC      float64
+	Exact    bool // FastSim == SlowSim held at this design point
+}
+
+// SweepResult is the full design-space grid.
+type SweepResult struct {
+	Machines  []string
+	Workloads []string
+	Cells     map[string]map[string]*SweepCell // machine -> workload
+}
+
+// RunSweep simulates every workload on every machine with FastSim,
+// verifying exactness against SlowSim at each design point — the paper's
+// promise is precisely that memoized simulation can drive design-space
+// exploration at replay speed without accuracy loss.
+func RunSweep(machines []Machine, names []string, scale float64, verifyExact bool) (*SweepResult, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	if len(machines) == 0 {
+		machines = DefaultMachines()
+	}
+	if len(names) == 0 {
+		names = []string{"129.compress", "130.li", "101.tomcatv", "107.mgrid"}
+	}
+	res := &SweepResult{Cells: map[string]map[string]*SweepCell{}}
+	for _, m := range machines {
+		res.Machines = append(res.Machines, m.Name)
+		res.Cells[m.Name] = map[string]*SweepCell{}
+	}
+	for _, n := range names {
+		w, ok := workloads.Get(n)
+		if !ok {
+			return nil, fmt.Errorf("unknown workload %q", n)
+		}
+		prog, err := w.Build(scale)
+		if err != nil {
+			return nil, err
+		}
+		res.Workloads = append(res.Workloads, n)
+		for _, m := range machines {
+			cfg := core.DefaultConfig()
+			m.Mut(&cfg)
+			if err := cfg.Uarch.Validate(); err != nil {
+				return nil, fmt.Errorf("machine %s: %w", m.Name, err)
+			}
+			fast, err := core.Run(prog, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", n, m.Name, err)
+			}
+			cell := &SweepCell{
+				Machine: m.Name, Workload: n,
+				Cycles: fast.Cycles, IPC: fast.IPC(), Exact: true,
+			}
+			if verifyExact {
+				slowCfg := cfg
+				slowCfg.Memoize = false
+				slow, err := core.Run(prog, slowCfg)
+				if err != nil {
+					return nil, err
+				}
+				cell.Exact = slow.Cycles == fast.Cycles
+				if !cell.Exact {
+					return nil, fmt.Errorf("%s on %s: memoization diverged", n, m.Name)
+				}
+			}
+			res.Cells[m.Name][n] = cell
+		}
+	}
+	return res, nil
+}
+
+// Render formats the sweep as an IPC grid with per-machine speedups over
+// the baseline (first machine).
+func (r *SweepResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Design-space sweep (FastSim; exactness verified at every point)\n")
+	b.WriteString("IPC by machine and workload:\n\n")
+	fmt.Fprintf(&b, "%-16s", "machine")
+	for _, w := range r.Workloads {
+		fmt.Fprintf(&b, " %14s", w)
+	}
+	b.WriteByte('\n')
+	for _, m := range r.Machines {
+		fmt.Fprintf(&b, "%-16s", m)
+		for _, w := range r.Workloads {
+			c := r.Cells[m][w]
+			fmt.Fprintf(&b, " %14.2f", c.IPC)
+		}
+		b.WriteByte('\n')
+	}
+	if len(r.Machines) > 1 {
+		b.WriteString("\ncycles relative to " + r.Machines[0] + ":\n\n")
+		fmt.Fprintf(&b, "%-16s", "machine")
+		for _, w := range r.Workloads {
+			fmt.Fprintf(&b, " %14s", w)
+		}
+		b.WriteByte('\n')
+		for _, m := range r.Machines[1:] {
+			fmt.Fprintf(&b, "%-16s", m)
+			for _, w := range r.Workloads {
+				base := r.Cells[r.Machines[0]][w].Cycles
+				c := r.Cells[m][w].Cycles
+				fmt.Fprintf(&b, " %13.2fx", float64(c)/float64(base))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,212 @@
+package tablegen
+
+import (
+	"strings"
+	"testing"
+
+	"fastsim/internal/core"
+)
+
+// The tablegen tests run at a tiny scale: they verify plumbing and output
+// shape, not absolute performance (the fsbench command runs full scale).
+const testScale = 0.05
+
+func TestTable1(t *testing.T) {
+	out := Table1()
+	for _, want := range []string{"Decode 4", "2 integer ALUs", "512-entry",
+		"16 KByte", "1 MByte", "8 MSHRs", "split transaction"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q", want)
+		}
+	}
+}
+
+func TestSuiteSubset(t *testing.T) {
+	s, err := Run(Options{
+		Scale:     testScale,
+		Workloads: []string{"129.compress", "107.mgrid"},
+		RunRef:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rows) != 2 {
+		t.Fatalf("rows = %d", len(s.Rows))
+	}
+	for _, r := range s.Rows {
+		if r.Slow.Cycles != r.Fast.Cycles {
+			t.Errorf("%s: engines diverged", r.Name)
+		}
+		if r.MemoSpeedup() <= 0 || r.SlowSlowdown() <= 0 || r.FastSlowdown() <= 0 {
+			t.Errorf("%s: non-positive ratios", r.Name)
+		}
+		if r.Ref == nil {
+			t.Errorf("%s: reference run missing", r.Name)
+		}
+	}
+	for name, table := range map[string]string{
+		"2": s.Table2(), "3": s.Table3(), "4": s.Table4(), "5": s.Table5(),
+	} {
+		if !strings.Contains(table, "129.compress") || !strings.Contains(table, "107.mgrid") {
+			t.Errorf("table %s missing workload rows:\n%s", name, table)
+		}
+	}
+	if !strings.Contains(s.Verify(), "identical") {
+		t.Error("verify line wrong")
+	}
+}
+
+func TestSuiteWithoutRef(t *testing.T) {
+	s, err := Run(Options{Scale: testScale, Workloads: []string{"130.li"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Rows[0].Ref != nil {
+		t.Error("unexpected reference run")
+	}
+	if !strings.Contains(s.Table3(), "-") {
+		t.Error("Table 3 should dash out missing reference columns")
+	}
+}
+
+func TestSuiteUnknownWorkload(t *testing.T) {
+	if _, err := Run(Options{Workloads: []string{"nope"}}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestFigure7SmallSweep(t *testing.T) {
+	res, err := Figure7(Options{
+		Scale:     testScale,
+		Workloads: []string{"129.compress"},
+	}, []int{8 << 10, 64 << 10}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Workloads) != 1 || len(res.Speedup[0]) != 2 {
+		t.Fatalf("shape wrong: %+v", res)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "129.compress") || !strings.Contains(out, "8KB") {
+		t.Errorf("render wrong:\n%s", out)
+	}
+}
+
+func TestGCAblation(t *testing.T) {
+	rows, err := RunGCAblation([]string{"129.compress"}, testScale, 16<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Flush.Speedup <= 0 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if !strings.Contains(RenderGCAblation(rows), "129.compress") {
+		t.Error("render missing workload")
+	}
+}
+
+func TestDirectAblation(t *testing.T) {
+	rows, err := RunDirectAblation([]string{"130.li"}, testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].SlowK <= 0 || rows[0].RefK <= 0 {
+		t.Fatalf("rows = %+v", rows[0])
+	}
+	if !strings.Contains(RenderDirectAblation(rows), "130.li") {
+		t.Error("render missing workload")
+	}
+}
+
+func TestEncodingAblation(t *testing.T) {
+	rows, err := RunEncodingAblation([]string{"107.mgrid"}, testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := rows[0]
+	if a.CompactBytes == 0 || a.NaiveBytes <= a.CompactBytes {
+		t.Errorf("compression not visible: %+v", a)
+	}
+	if !strings.Contains(RenderEncodingAblation(rows), "107.mgrid") {
+		t.Error("render missing workload")
+	}
+}
+
+func TestByteLabel(t *testing.T) {
+	if byteLabel(16<<10) != "16KB" || byteLabel(2<<20) != "2MB" {
+		t.Error("byteLabel wrong")
+	}
+}
+
+func TestBPredAblation(t *testing.T) {
+	rows, err := RunBPredAblation([]string{"129.compress"}, testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := rows[0]
+	if a.TwoBit.Cycles == 0 || a.Gshare.Cycles == 0 {
+		t.Fatal("empty results")
+	}
+	if !strings.Contains(RenderBPredAblation(rows), "129.compress") {
+		t.Error("render missing workload")
+	}
+}
+
+func TestInOrderAblation(t *testing.T) {
+	rows, err := RunInOrderAblation([]string{"129.compress", "101.tomcatv"}, testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range rows {
+		if a.Ratio() <= 1.0 {
+			t.Errorf("%s: in-order (%d) not slower than OOO (%d)",
+				a.Workload, a.InOrder, a.OOO)
+		}
+	}
+	if !strings.Contains(RenderInOrderAblation(rows), "ratio spread") {
+		t.Error("render missing spread")
+	}
+}
+
+func TestSweep(t *testing.T) {
+	machines := []Machine{
+		{"base", func(c *core.Config) {}},
+		{"narrow", func(c *core.Config) {
+			c.Uarch.FetchWidth, c.Uarch.DecodeWidth, c.Uarch.RetireWidth = 2, 2, 2
+		}},
+	}
+	res, err := RunSweep(machines, []string{"130.li"}, testScale, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := res.Cells["base"]["130.li"]
+	narrow := res.Cells["narrow"]["130.li"]
+	if !base.Exact || !narrow.Exact {
+		t.Error("exactness not verified")
+	}
+	if narrow.Cycles <= base.Cycles {
+		t.Errorf("narrow machine (%d) not slower than base (%d)", narrow.Cycles, base.Cycles)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "130.li") || !strings.Contains(out, "relative to base") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestSuiteJSON(t *testing.T) {
+	s, err := Run(Options{Scale: testScale, Workloads: []string{"130.li"}, RunRef: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"name": "130.li"`, `"exact": true`,
+		`"memoSpeedup"`, `"refsimKinstsPerSec"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("json missing %q:\n%.400s", want, out)
+		}
+	}
+}

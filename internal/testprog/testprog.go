@@ -1,0 +1,211 @@
+// Package testprog generates random, terminating SV8 programs with heavy,
+// data-dependent control flow. The property-based tests of the speculative
+// direct-execution engine, the out-of-order pipeline and the memoization
+// layer all use it: a random branchy program is the sharpest tool for
+// catching rollback bugs and memoized-vs-detailed divergence.
+package testprog
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"fastsim/internal/asm"
+	"fastsim/internal/program"
+)
+
+// Options tunes the generated program.
+type Options struct {
+	Segments   int  // body segments inside the main loop (default 16)
+	Iterations int  // outer loop trip count (default 100)
+	FP         bool // include floating-point work
+	Indirect   bool // include indirect-jump dispatch segments
+	Calls      bool // include function calls
+}
+
+// DefaultOptions returns a configuration exercising every feature.
+func DefaultOptions() Options {
+	return Options{Segments: 16, Iterations: 100, FP: true, Indirect: true, Calls: true}
+}
+
+// Source generates assembly source for a random program. The same seed and
+// options always produce the same program.
+func Source(seed int64, o Options) string {
+	if o.Segments <= 0 {
+		o.Segments = 16
+	}
+	if o.Iterations <= 0 {
+		o.Iterations = 100
+	}
+	r := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+
+	fmt.Fprintf(&b, "# random test program, seed %d\n", seed)
+	b.WriteString(".data\n.align 8\nbuf:\t.space 2048\n")
+	if o.FP {
+		b.WriteString("fbuf:\t.double 1.5, -2.25, 3.0, 0.5, -1.0, 8.25, 0.125, 4.0\n")
+	}
+	if o.Indirect {
+		b.WriteString("jtab:\t.word case0, case1, case2, case3\n")
+	}
+	b.WriteString(".text\nmain:\n")
+	fmt.Fprintf(&b, "\tli s0, %d\n", seed|1)
+	fmt.Fprintf(&b, "\tli s1, %d\n", o.Iterations)
+	b.WriteString("\tla s2, buf\n")
+	b.WriteString("\tli s3, 0\n")
+	if o.FP {
+		b.WriteString("\tla s4, fbuf\n\tfld f1, 0(s4)\n\tfld f2, 8(s4)\n")
+	}
+	b.WriteString("loop:\n")
+
+	lbl := 0
+	newLabel := func() string { lbl++; return fmt.Sprintf("L%d", lbl) }
+	t := func() int { return 12 + r.Intn(10) } // t0..t9
+
+	for seg := 0; seg < o.Segments; seg++ {
+		// Mix the LCG state so branch behaviour varies between iterations.
+		fmt.Fprintf(&b, "\t# segment %d\n", seg)
+		fmt.Fprintf(&b, "\tli t0, %d\n", 1103515245)
+		b.WriteString("\tmul s0, s0, t0\n")
+		fmt.Fprintf(&b, "\taddi s0, s0, %d\n", 1+r.Intn(4000))
+
+		nOps := 2 + r.Intn(5)
+		for k := 0; k < nOps; k++ {
+			switch r.Intn(10) {
+			case 0, 1, 2:
+				ops := []string{"add", "sub", "xor", "and", "or"}
+				fmt.Fprintf(&b, "\t%s t%d, t%d, t%d\n", ops[r.Intn(len(ops))], t()-12, t()-12, t()-12)
+			case 3:
+				fmt.Fprintf(&b, "\tslli t%d, t%d, %d\n", t()-12, t()-12, r.Intn(8))
+			case 4:
+				fmt.Fprintf(&b, "\tmul t%d, t%d, t%d\n", t()-12, t()-12, t()-12)
+			case 5:
+				// load from buf
+				fmt.Fprintf(&b, "\tandi t%d, s0, 0x1FC\n", t()-12)
+			case 6:
+				// address-computed load
+				reg := t() - 12
+				fmt.Fprintf(&b, "\tandi t%d, s0, 0x1FC\n", reg)
+				fmt.Fprintf(&b, "\tadd t%d, s2, t%d\n", reg, reg)
+				fmt.Fprintf(&b, "\tlw t%d, 0(t%d)\n", t()-12, reg)
+			case 7:
+				// address-computed store
+				reg := t() - 12
+				src := t() - 12
+				fmt.Fprintf(&b, "\tandi t%d, s0, 0x1FC\n", reg)
+				fmt.Fprintf(&b, "\tadd t%d, s2, t%d\n", reg, reg)
+				fmt.Fprintf(&b, "\tsw t%d, 0(t%d)\n", src, reg)
+			case 8:
+				if o.FP {
+					fops := []string{"fadd", "fsub", "fmul"}
+					fmt.Fprintf(&b, "\t%s f%d, f%d, f%d\n",
+						fops[r.Intn(len(fops))], 1+r.Intn(6), 1+r.Intn(6), 1+r.Intn(6))
+				} else {
+					fmt.Fprintf(&b, "\tadd s3, s3, t%d\n", t()-12)
+				}
+			case 9:
+				fmt.Fprintf(&b, "\tadd s3, s3, t%d\n", t()-12)
+			}
+		}
+
+		// A data-dependent forward branch over a small region.
+		skip := newLabel()
+		conds := []string{"beq", "bne", "blt", "bge", "bltu", "bgeu"}
+		fmt.Fprintf(&b, "\tandi t0, s0, %d\n", 1+r.Intn(7))
+		fmt.Fprintf(&b, "\tandi t1, s1, %d\n", 1+r.Intn(7))
+		fmt.Fprintf(&b, "\t%s t0, t1, %s\n", conds[r.Intn(len(conds))], skip)
+		for k := 0; k < 1+r.Intn(3); k++ {
+			fmt.Fprintf(&b, "\txor s3, s3, t%d\n", t()-12)
+			if r.Intn(3) == 0 {
+				reg := t() - 12
+				fmt.Fprintf(&b, "\tandi t%d, s3, 0x1F8\n", reg)
+				fmt.Fprintf(&b, "\tadd t%d, s2, t%d\n", reg, reg)
+				fmt.Fprintf(&b, "\tsw s3, 4(t%d)\n", reg)
+			}
+		}
+		fmt.Fprintf(&b, "%s:\n", skip)
+
+		if o.Calls && r.Intn(3) == 0 {
+			fmt.Fprintf(&b, "\tcall fn%d\n", r.Intn(3))
+		}
+		if o.Indirect && r.Intn(4) == 0 {
+			out := newLabel()
+			b.WriteString("\tandi t2, s0, 3\n")
+			b.WriteString("\tslli t2, t2, 2\n")
+			b.WriteString("\tla t3, jtab\n")
+			b.WriteString("\tadd t3, t3, t2\n")
+			b.WriteString("\tlw t4, 0(t3)\n")
+			// The four cases converge on a per-segment label via a
+			// register so the same jtab works from every segment.
+			fmt.Fprintf(&b, "\tla t5, %s\n", out)
+			b.WriteString("\tjr t4\n")
+			fmt.Fprintf(&b, "%s:\n", out)
+		}
+	}
+
+	b.WriteString("\taddi s1, s1, -1\n")
+	b.WriteString("\tbnez s1, loop\n")
+
+	// Fold visible state into the checksum.
+	b.WriteString("\t# checksum\n")
+	for k := 0; k < 10; k++ {
+		fmt.Fprintf(&b, "\tmv a0, t%d\n\tsys 2\n", k)
+	}
+	b.WriteString("\tmv a0, s3\n\tsys 2\n")
+	if o.FP {
+		for k := 1; k <= 6; k++ {
+			fmt.Fprintf(&b, "\tcvtfi a0, f%d\n\tsys 2\n", k)
+		}
+	}
+	// Fold a sample of buffer words.
+	b.WriteString("\tli t0, 0\n")
+	b.WriteString("cksum_loop:\n")
+	b.WriteString("\tadd t1, s2, t0\n")
+	b.WriteString("\tlw a0, 0(t1)\n")
+	b.WriteString("\tsys 2\n")
+	b.WriteString("\taddi t0, t0, 64\n")
+	b.WriteString("\tli t2, 2048\n")
+	b.WriteString("\tblt t0, t2, cksum_loop\n")
+	b.WriteString("\tli a0, 0\n\thalt\n")
+
+	if o.Indirect {
+		// Dispatch cases: each does distinct work, then jumps to the
+		// continuation address in t5.
+		for c := 0; c < 4; c++ {
+			fmt.Fprintf(&b, "case%d:\n", c)
+			fmt.Fprintf(&b, "\taddi s3, s3, %d\n", (c+1)*17)
+			b.WriteString("\tjr t5\n")
+		}
+	}
+	if o.Calls {
+		b.WriteString(`
+fn0:
+	add s3, s3, s0
+	ret
+fn1:
+	xor s3, s3, s1
+	slli t6, s3, 1
+	ret
+fn2:
+	andi t7, s0, 0xFF
+	add s3, s3, t7
+	ret
+`)
+	}
+	return b.String()
+}
+
+// Build assembles a random program.
+func Build(seed int64, o Options) (*program.Program, error) {
+	name := fmt.Sprintf("rand-%d.s", seed)
+	return asm.Assemble(name, Source(seed, o))
+}
+
+// MustBuild is Build, panicking on assembly failure (generator bugs).
+func MustBuild(seed int64, o Options) *program.Program {
+	p, err := Build(seed, o)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,82 @@
+package testprog
+
+import (
+	"testing"
+
+	"fastsim/internal/emulator"
+)
+
+func TestDeterministicSource(t *testing.T) {
+	a := Source(42, DefaultOptions())
+	b := Source(42, DefaultOptions())
+	if a != b {
+		t.Error("same seed produced different programs")
+	}
+	c := Source(43, DefaultOptions())
+	if a == c {
+		t.Error("different seeds produced identical programs")
+	}
+}
+
+func TestBuildAndTerminate(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		p, err := Build(seed, DefaultOptions())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		cpu := emulator.New(p)
+		if err := cpu.Run(100_000_000); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if cpu.ExitCode != 0 {
+			t.Errorf("seed %d: exit %d", seed, cpu.ExitCode)
+		}
+		if cpu.Checksum == 0 {
+			t.Errorf("seed %d: zero checksum", seed)
+		}
+	}
+}
+
+func TestOptionsRespected(t *testing.T) {
+	// Without FP, no FP instructions may appear.
+	o := Options{Segments: 8, Iterations: 10}
+	src := Source(5, o)
+	for _, frag := range []string{"fadd", "fmul", "fld", "jtab", "call fn"} {
+		if contains(src, frag) {
+			t.Errorf("disabled feature present: %q", frag)
+		}
+	}
+	o2 := DefaultOptions()
+	src2 := Source(5, o2)
+	for _, frag := range []string{"fadd", "jtab", "fn0"} {
+		if !contains(src2, frag) {
+			t.Errorf("enabled feature missing: %q", frag)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}
+
+func TestIterationsScaleWork(t *testing.T) {
+	small := MustBuild(7, Options{Segments: 6, Iterations: 10})
+	big := MustBuild(7, Options{Segments: 6, Iterations: 40})
+	cs, cb := emulator.New(small), emulator.New(big)
+	if err := cs.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := cb.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if cb.InstCount < cs.InstCount*2 {
+		t.Errorf("iterations not scaling: %d vs %d", cs.InstCount, cb.InstCount)
+	}
+}

