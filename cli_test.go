@@ -1,6 +1,7 @@
 package fastsim
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -105,6 +106,53 @@ func TestCLIFsasmRoundTrip(t *testing.T) {
 	out = runCLI(t, "fastsim", fsx)
 	if !strings.Contains(out, "cycles:") {
 		t.Errorf("fastsim on fsx: %s", out)
+	}
+}
+
+// TestCLIFastsimObservability is the issue's acceptance scenario: a
+// memoized run with -sample and -events produces valid, non-empty JSONL.
+func TestCLIFastsimObservability(t *testing.T) {
+	dir := t.TempDir()
+	sampleF := filepath.Join(dir, "s.jsonl")
+	eventsF := filepath.Join(dir, "e.jsonl")
+	runCLI(t, "fastsim", "-workload", "099.go", "-scale", "0.05",
+		"-sample", sampleF, "-interval", "1000", "-events", eventsF, "-progress")
+
+	for _, f := range []struct{ path, field string }{
+		{sampleF, `"cycle"`},
+		{eventsF, `"type"`},
+	} {
+		b, err := os.ReadFile(f.path)
+		if err != nil || len(b) == 0 {
+			t.Fatalf("%s: %v (%d bytes)", f.path, err, len(b))
+		}
+		dec := json.NewDecoder(strings.NewReader(string(b)))
+		lines := 0
+		for dec.More() {
+			var v map[string]any
+			if err := dec.Decode(&v); err != nil {
+				t.Fatalf("%s: line %d: %v", f.path, lines+1, err)
+			}
+			lines++
+		}
+		if lines == 0 || !strings.Contains(string(b), f.field) {
+			t.Errorf("%s: %d JSONL lines, missing %s", f.path, lines, f.field)
+		}
+	}
+}
+
+// TestCLIFastsimMemoTrace: -trace works under the memoizing engine now,
+// with per-cycle lines for detailed episodes and fast-forward markers.
+func TestCLIFastsimMemoTrace(t *testing.T) {
+	dir := t.TempDir()
+	traceF := filepath.Join(dir, "t.trace")
+	runCLI(t, "fastsim", "-workload", "130.li", "-scale", "0.02", "-trace", traceF)
+	b, err := os.ReadFile(traceF)
+	if err != nil || len(b) == 0 {
+		t.Fatalf("trace file: %v (%d bytes)", err, len(b))
+	}
+	if !strings.Contains(string(b), "fast-forward") {
+		t.Errorf("memoized trace missing fast-forward markers:\n%.400s", b)
 	}
 }
 

@@ -33,8 +33,12 @@ func main() {
 		input    = flag.String("input", "", "named workload size: test | train | ref (overrides -scale)")
 		policy   = flag.String("policy", "unbounded", "p-action cache policy: unbounded | flush | gc | gengc")
 		limit    = flag.Int("limit", 0, "p-action cache limit in bytes (0 = unlimited)")
-		trace    = flag.String("trace", "", "write a per-cycle pipetrace to this file (slowsim only)")
+		trace    = flag.String("trace", "", "write a pipetrace to this file (per-cycle under slowsim; episode-granular under fastsim)")
 		hist     = flag.Bool("hist", false, "print load-latency and replay-chain histograms")
+		sample   = flag.String("sample", "", "write a JSONL time-series sample row every -interval cycles to this file")
+		interval = flag.Uint64("interval", fastsim.DefaultSampleInterval, "sampling interval in simulated cycles for -sample")
+		events   = flag.String("events", "", "write the structured JSONL event stream to this file")
+		progress = flag.Bool("progress", false, "print a wall-clock progress heartbeat to stderr")
 		dot      = flag.String("dot", "", "write the p-action graph (Graphviz DOT) to this file")
 		asJSON   = flag.Bool("json", false, "print the result as JSON")
 		list     = flag.Bool("list", false, "list built-in workloads and exit")
@@ -127,6 +131,30 @@ func main() {
 			defer f.Close()
 			cfg.MemoGraphDot = f
 		}
+		if *sample != "" || *events != "" || *progress {
+			var opt fastsim.ObserverOptions
+			if *sample != "" {
+				f, err := os.Create(*sample)
+				if err != nil {
+					fatal(err)
+				}
+				defer f.Close()
+				opt.SampleW = f
+				opt.SampleInterval = *interval
+			}
+			if *events != "" {
+				f, err := os.Create(*events)
+				if err != nil {
+					fatal(err)
+				}
+				defer f.Close()
+				opt.EventW = f
+			}
+			if *progress {
+				opt.ProgressW = os.Stderr
+			}
+			cfg.Observer = fastsim.NewObserver(opt)
+		}
 		res, err := fastsim.Run(prog, cfg)
 		if err != nil {
 			fatal(err)
@@ -189,7 +217,7 @@ func printResult(r *fastsim.Result) {
 	fmt.Printf("loads/stores:  %d / %d\n", r.RetiredLoads, r.RetiredStores)
 	fmt.Printf("branch pred:   %d predictions, %d mispredicts (%.2f%%)\n",
 		r.BPredPredicts, r.BPredMispredicts,
-		100*float64(r.BPredMispredicts)/float64(max(1, r.BPredPredicts)))
+		fastsim.Percent(r.BPredMispredicts, r.BPredPredicts))
 	fmt.Printf("rollbacks:     %d (wrong-path insts: %d)\n",
 		r.Direct.Rollbacks, r.Direct.WrongPathInsts)
 	fmt.Printf("L1: %d hits / %d misses; L2: %d hits / %d misses\n",
@@ -206,13 +234,6 @@ func printResult(r *fastsim.Result) {
 			fmt.Printf("               %d flushes, %d collections\n", m.Flushes, m.Collections)
 		}
 	}
-}
-
-func max(a, b uint64) uint64 {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 func fatal(err error) {

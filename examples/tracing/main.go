@@ -1,11 +1,16 @@
 // Tracing: look inside the mechanisms — disassemble a program, watch
 // speculative direct-execution record control points and roll back wrong
-// paths, and inspect the memoization statistics that drive Tables 4 and 5.
+// paths, inspect the memoization statistics that drive Tables 4 and 5, and
+// attach the observability layer to stream structured events from the run.
+// (The fastsim CLI exposes the same layer as -sample, -events and
+// -progress; see docs/OBSERVABILITY.md.)
 package main
 
 import (
+	"bufio"
 	"fmt"
 	"log"
+	"strings"
 
 	"fastsim"
 )
@@ -41,7 +46,14 @@ func main() {
 	fmt.Println("=== disassembly ===")
 	fmt.Print(fastsim.Disassemble(prog))
 
-	res, err := fastsim.Run(prog, fastsim.DefaultConfig())
+	// Attach an Observer so the run also emits its structured event
+	// stream (episode record/replay boundaries, rollbacks, …). The layer
+	// is read-only: the Result is bit-identical with or without it.
+	var eventLog strings.Builder
+	cfg := fastsim.DefaultConfig()
+	cfg.Observer = fastsim.NewObserver(fastsim.ObserverOptions{EventW: &eventLog})
+
+	res, err := fastsim.Run(prog, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,13 +62,13 @@ func main() {
 	d := res.Direct
 	fmt.Printf("functional instructions executed: %d\n", d.Insts)
 	fmt.Printf("  on wrong (rolled-back) paths:   %d (%.1f%%)\n",
-		d.WrongPathInsts, 100*float64(d.WrongPathInsts)/float64(d.Insts))
+		d.WrongPathInsts, fastsim.Percent(d.WrongPathInsts, d.Insts))
 	fmt.Printf("bQ register checkpoints taken:    %d (high water %d of 4)\n",
 		d.Checkpoints, d.BQHighWater)
 	fmt.Printf("rollbacks (mispredicts resolved): %d\n", d.Rollbacks)
 	fmt.Printf("branch predictor: %d/%d mispredicted (%.1f%%)\n",
 		res.BPredMispredicts, res.BPredPredicts,
-		100*float64(res.BPredMispredicts)/float64(res.BPredPredicts))
+		fastsim.Percent(res.BPredMispredicts, res.BPredPredicts))
 
 	fmt.Println("\n=== fast-forwarding (paper §4) ===")
 	m := res.Memo
@@ -72,6 +84,17 @@ func main() {
 	fmt.Printf("replay chains:  average %.0f actions, max %d\n",
 		m.AvgChain(), m.ChainMax)
 	fmt.Printf("unseen-outcome stops (new graph branches): %d\n", m.EdgeMisses)
+
+	fmt.Println("\n=== observability: first events of the JSONL stream ===")
+	sc := bufio.NewScanner(strings.NewReader(eventLog.String()))
+	total := 0
+	for sc.Scan() {
+		if total < 6 {
+			fmt.Println(sc.Text())
+		}
+		total++
+	}
+	fmt.Printf("... %d events in all\n", total)
 
 	fmt.Printf("\nfinal: %d cycles, checksum %#x\n", res.Cycles, res.Checksum)
 }

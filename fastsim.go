@@ -45,9 +45,11 @@ import (
 	"fastsim/internal/emulator"
 	"fastsim/internal/memo"
 	"fastsim/internal/minc"
+	"fastsim/internal/obs"
 	"fastsim/internal/progfile"
 	"fastsim/internal/program"
 	"fastsim/internal/refsim"
+	"fastsim/internal/stats"
 	"fastsim/internal/uarch"
 	"fastsim/internal/workloads"
 )
@@ -87,6 +89,34 @@ const (
 
 // Workload is one of the 18 SPEC95-like benchmarks.
 type Workload = workloads.Workload
+
+// Observer is the simulator-wide observability layer: a metrics registry,
+// an interval time-series sampler, a structured JSONL event stream, and a
+// wall-clock progress heartbeat. Attach one via Config.Observer; it is
+// strictly read-only, so Result is bit-identical with or without it — on
+// FastSim and SlowSim alike. A nil Observer costs one pointer check per
+// hook. See docs/OBSERVABILITY.md.
+type Observer = obs.Observer
+
+// ObserverOptions selects an Observer's outputs (any writer may be nil).
+type ObserverOptions = obs.Options
+
+// SampleRow is one row of the sampler's JSONL time series.
+type SampleRow = obs.Row
+
+// Event is one line of the structured JSONL event stream.
+type Event = obs.Event
+
+// DefaultSampleInterval is the sampler period (simulated cycles) used when
+// ObserverOptions.SampleInterval is zero.
+const DefaultSampleInterval = obs.DefaultSampleInterval
+
+// NewObserver builds an Observer with the requested outputs enabled.
+func NewObserver(o ObserverOptions) *Observer { return obs.New(o) }
+
+// Percent returns 100*part/whole, or 0 when whole is zero — the shared
+// guard for rendering "x% of y" from statistics that may be empty.
+func Percent(part, whole uint64) float64 { return stats.Percent(part, whole) }
 
 // DefaultConfig returns the paper's processor model with memoization
 // enabled and an unbounded p-action cache.

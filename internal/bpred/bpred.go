@@ -8,6 +8,8 @@
 // fast-forwarder as an external input labelling action-chain edges.
 package bpred
 
+import "fastsim/internal/obs"
+
 // DefaultEntries matches the paper's 512-entry BHT.
 const DefaultEntries = 512
 
@@ -70,6 +72,12 @@ func (p *Predictor2Bit) Update(pc uint32, taken bool) (predicted bool) {
 // Stats returns the number of predictions made and of mispredictions.
 func (p *Predictor2Bit) Stats() (predictions, mispredicts uint64) {
 	return p.predictions, p.mispredicts
+}
+
+// RegisterMetrics publishes the accuracy counters.
+func (p *Predictor2Bit) RegisterMetrics(r *obs.Registry) {
+	r.Counter(obs.MetricBPredPredicts, &p.predictions)
+	r.Counter(obs.MetricBPredMispredicts, &p.mispredicts)
 }
 
 // Reset restores the initial weakly-not-taken state and clears statistics.

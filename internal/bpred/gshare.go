@@ -1,5 +1,7 @@
 package bpred
 
+import "fastsim/internal/obs"
+
 // Predictor is the interface the direct-execution instrumentation consults
 // at every conditional branch. The paper's model uses the 2-bit bimodal
 // table (New); Gshare is provided as an extension for predictor-sensitivity
@@ -16,6 +18,9 @@ type Predictor interface {
 	Stats() (predictions, mispredicts uint64)
 	// Reset restores the initial state and clears statistics.
 	Reset()
+	// RegisterMetrics publishes the accuracy counters into the
+	// observability registry.
+	RegisterMetrics(r *obs.Registry)
 }
 
 // Gshare is a global-history predictor: the branch history register is
@@ -97,6 +102,12 @@ func (g *Gshare) Reset() {
 	}
 	g.history = 0
 	g.predictions, g.mispredicts = 0, 0
+}
+
+// RegisterMetrics publishes the accuracy counters.
+func (g *Gshare) RegisterMetrics(r *obs.Registry) {
+	r.Counter(obs.MetricBPredPredicts, &g.predictions)
+	r.Counter(obs.MetricBPredMispredicts, &g.mispredicts)
 }
 
 // Interface checks.

@@ -20,6 +20,7 @@ package cachesim
 import (
 	"fmt"
 
+	"fastsim/internal/obs"
 	"fastsim/internal/stats"
 )
 
@@ -72,6 +73,19 @@ type Stats struct {
 	// LoadLatency is the distribution of completed loads' total latency
 	// in cycles (issue to data).
 	LoadLatency stats.Histogram
+}
+
+// RegisterMetrics publishes the hierarchy's counters and the load-latency
+// histogram into the observability registry.
+func (c *Cache) RegisterMetrics(r *obs.Registry) {
+	r.Counter(obs.MetricCacheLoads, &c.stats.Loads)
+	r.Counter(obs.MetricL1Hits, &c.stats.L1Hits)
+	r.Counter(obs.MetricL1Misses, &c.stats.L1Misses)
+	r.Counter(obs.MetricL2Hits, &c.stats.L2Hits)
+	r.Counter(obs.MetricL2Misses, &c.stats.L2Misses)
+	r.Counter(obs.MetricCacheStores, &c.stats.Stores)
+	r.Counter(obs.MetricCacheWritebacks, &c.stats.Writebacks)
+	r.Histogram(obs.MetricLoadLatency, &c.stats.LoadLatency)
 }
 
 type way struct {

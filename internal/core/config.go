@@ -15,6 +15,7 @@ import (
 	"fastsim/internal/bpred"
 	"fastsim/internal/cachesim"
 	"fastsim/internal/memo"
+	"fastsim/internal/obs"
 	"fastsim/internal/uarch"
 )
 
@@ -27,10 +28,19 @@ type Config struct {
 	Memoize bool         // enable fast-forwarding (FastSim vs SlowSim)
 	Memo    memo.Options // p-action cache policy and size limit
 
-	// Trace receives a pipetrace line per cycle (uarch.TextTracer).
-	// Tracing observes detailed simulation only, so it requires Memoize
-	// to be off; Run rejects the combination.
+	// Trace receives a pipetrace line per cycle (uarch.TextTracer). With
+	// Memoize off every cycle is simulated in detail and traced; with
+	// Memoize on the trace is episode-granular: recorded (detailed)
+	// cycles get per-cycle lines and each fast-forward chain is
+	// summarized by a single marker line, since replayed cycles are never
+	// re-simulated.
 	Trace io.Writer
+
+	// Observer, when non-nil, attaches the observability layer: a metrics
+	// registry every component registers into, an interval time-series
+	// sampler, a structured event stream and a progress heartbeat. It is
+	// strictly read-only — Result is bit-identical with or without it.
+	Observer *obs.Observer
 
 	// MemoGraphDot, when non-nil, receives the final p-action graph in
 	// Graphviz DOT format after a memoized run (paper Figure 6).

@@ -6,6 +6,7 @@ import (
 	"fastsim/internal/bpred"
 	"fastsim/internal/cachesim"
 	"fastsim/internal/direct"
+	"fastsim/internal/obs"
 	"fastsim/internal/program"
 	"fastsim/internal/uarch"
 )
@@ -41,6 +42,24 @@ type driver struct {
 	halted        bool
 
 	popsSinceTrim int
+
+	// obs is nil unless an Observer is attached; every hook through it is
+	// nil-receiver safe. The driver emits the exactly-once events
+	// (rollback, checkpoint stall): its methods run once per real
+	// interaction whether the caller is the detailed pipeline, the
+	// recorder or the replayer — never during scripted re-drives.
+	obs *obs.Observer
+}
+
+// registerMetrics publishes the retirement counters and fans out to the
+// components the driver owns.
+func (d *driver) registerMetrics(r *obs.Registry) {
+	r.Counter(obs.MetricRetiredInsts, &d.retiredInsts)
+	r.Counter(obs.MetricRetiredLoads, &d.retiredLoads)
+	r.Counter(obs.MetricRetiredStores, &d.retiredStores)
+	d.cache.RegisterMetrics(r)
+	d.eng.RegisterMetrics(r)
+	d.pred.RegisterMetrics(r)
 }
 
 func newDriver(prog *program.Program, cacheCfg cachesim.Config, bp BPredConfig) *driver {
@@ -67,6 +86,9 @@ func (d *driver) NextOutcome() uarch.Outcome {
 		}
 	}
 	rec := d.eng.Rec(d.recCursor)
+	if rec.Kind == direct.KindStall {
+		d.obs.CheckpointStall()
+	}
 	out := uarch.Outcome{
 		Kind:         rec.Kind,
 		PC:           rec.PC,
@@ -133,6 +155,7 @@ func (d *driver) Rollback(recIdx int) (int, int) {
 		d.fail("core: rollback: %w", err)
 	}
 	d.recCursor = recIdx + 1
+	d.obs.Rollback(recIdx)
 	return rec.LQLen, rec.SQLen
 }
 

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"fastsim/internal/obs"
+	"fastsim/internal/program"
+	"fastsim/internal/workloads"
+)
+
+// obsWorkloads are the determinism-test subjects: small-scale builds of
+// real workloads spanning the integer, FP and pointer-chasing categories.
+func obsWorkloads(t *testing.T) map[string]*program.Program {
+	t.Helper()
+	progs := make(map[string]*program.Program)
+	for _, name := range []string{"099.go", "129.compress", "107.mgrid"} {
+		w, ok := workloads.Get(name)
+		if !ok {
+			t.Fatalf("unknown workload %q", name)
+		}
+		p, err := w.Build(0.05)
+		if err != nil {
+			t.Fatalf("build %s: %v", name, err)
+		}
+		progs[name] = p
+	}
+	return progs
+}
+
+// fullObserver enables every output at an aggressive sampling interval so
+// the observed run exercises all hooks.
+func fullObserver(sample, events, progressW *strings.Builder) *obs.Observer {
+	return obs.New(obs.Options{
+		SampleW:        sample,
+		SampleInterval: 1000,
+		EventW:         events,
+		ProgressW:      progressW,
+		ProgressEvery:  time.Millisecond,
+	})
+}
+
+// TestObserverDeterminism is the layer's core guarantee: attaching a fully
+// enabled Observer changes no field of Result, on FastSim and SlowSim,
+// across workloads. WallTime is host time and is zeroed before comparison.
+func TestObserverDeterminism(t *testing.T) {
+	for name, p := range obsWorkloads(t) {
+		for _, memoize := range []bool{false, true} {
+			cfg := DefaultConfig()
+			cfg.Memoize = memoize
+			bare, err := Run(p, cfg)
+			if err != nil {
+				t.Fatalf("%s memoize=%v: %v", name, memoize, err)
+			}
+
+			var sample, events, progress strings.Builder
+			cfg.Observer = fullObserver(&sample, &events, &progress)
+			observed, err := Run(p, cfg)
+			if err != nil {
+				t.Fatalf("%s memoize=%v observed: %v", name, memoize, err)
+			}
+
+			bare.WallTime, observed.WallTime = 0, 0
+			if !reflect.DeepEqual(bare, observed) {
+				t.Errorf("%s memoize=%v: Result differs with observer attached:\nbare     %+v\nobserved %+v",
+					name, memoize, bare, observed)
+			}
+			if sample.Len() == 0 || events.Len() == 0 {
+				t.Errorf("%s memoize=%v: empty observability output (sample %d, events %d bytes)",
+					name, memoize, sample.Len(), events.Len())
+			}
+			checkJSONLRows(t, sample.String(), name)
+			checkJSONLEvents(t, events.String(), name, memoize)
+		}
+	}
+}
+
+// checkJSONLRows decodes every sampler line and sanity-checks its values.
+func checkJSONLRows(t *testing.T, out, label string) {
+	t.Helper()
+	dec := json.NewDecoder(strings.NewReader(out))
+	var prev uint64
+	for dec.More() {
+		var row obs.Row
+		if err := dec.Decode(&row); err != nil {
+			t.Fatalf("%s: sample row decode: %v", label, err)
+		}
+		if row.Cycle <= prev {
+			t.Fatalf("%s: sample cycles not strictly increasing (%d then %d)",
+				label, prev, row.Cycle)
+		}
+		prev = row.Cycle
+		for _, v := range []float64{row.IPC, row.IntervalIPC, row.L1HitRate,
+			row.L2HitRate, row.MispredictRate, row.DetailedFrac, row.IntervalDetailedFrac} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				t.Fatalf("%s: non-finite or negative rate in row %+v", label, row)
+			}
+		}
+	}
+}
+
+// checkJSONLEvents decodes every event line; memoized runs must bracket
+// episodes, and every event must carry a known type.
+func checkJSONLEvents(t *testing.T, out, label string, memoize bool) {
+	t.Helper()
+	known := map[string]bool{
+		obs.EvRecordStart: true, obs.EvRecordEnd: true,
+		obs.EvReplayStart: true, obs.EvReplayEnd: true,
+		obs.EvPActionLimit: true, obs.EvPActionFlush: true, obs.EvPActionGC: true,
+		obs.EvRollback: true, obs.EvCheckpointStall: true,
+	}
+	counts := make(map[string]int)
+	dec := json.NewDecoder(strings.NewReader(out))
+	for dec.More() {
+		var e obs.Event
+		if err := dec.Decode(&e); err != nil {
+			t.Fatalf("%s: event decode: %v", label, err)
+		}
+		if !known[e.Type] {
+			t.Fatalf("%s: unknown event type %q", label, e.Type)
+		}
+		counts[e.Type]++
+	}
+	if memoize {
+		if counts[obs.EvRecordStart] == 0 || counts[obs.EvRecordStart] != counts[obs.EvRecordEnd] {
+			t.Errorf("%s: unbalanced record events: %v", label, counts)
+		}
+		if counts[obs.EvReplayStart] != counts[obs.EvReplayEnd] {
+			t.Errorf("%s: unbalanced replay events: %v", label, counts)
+		}
+	} else if counts[obs.EvRecordStart]+counts[obs.EvReplayStart] != 0 {
+		t.Errorf("%s: slowsim emitted episode events: %v", label, counts)
+	}
+}
+
+// TestObserverEventStreamDeterministic: the event stream carries simulated
+// time only, so two observed runs of the same program emit byte-identical
+// streams.
+func TestObserverEventStreamDeterministic(t *testing.T) {
+	p := obsWorkloads(t)["099.go"]
+	stream := func() string {
+		var events strings.Builder
+		cfg := DefaultConfig()
+		cfg.Observer = obs.New(obs.Options{EventW: &events})
+		if _, err := Run(p, cfg); err != nil {
+			t.Fatal(err)
+		}
+		return events.String()
+	}
+	if a, b := stream(), stream(); a != b {
+		t.Fatal("event stream differs between identical runs")
+	}
+}
+
+// TestObserverSamplerSchedule pins the row-count semantics of the two
+// engines: SlowSim observes every cycle and emits exactly ceil(C/interval)
+// rows; FastSim observes only at episode boundaries, so it emits between 1
+// and that many.
+func TestObserverSamplerSchedule(t *testing.T) {
+	p := obsWorkloads(t)["129.compress"]
+	const interval = 1000
+	rows := func(memoize bool) (n, cycles uint64) {
+		var sample strings.Builder
+		cfg := DefaultConfig()
+		cfg.Memoize = memoize
+		o := obs.New(obs.Options{SampleW: &sample, SampleInterval: interval})
+		cfg.Observer = o
+		res, err := Run(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o.Rows(), res.Cycles
+	}
+
+	slowRows, cycles := rows(false)
+	want := (cycles + interval - 1) / interval
+	if slowRows != want {
+		t.Errorf("slowsim: %d rows for %d cycles at interval %d, want %d",
+			slowRows, cycles, interval, want)
+	}
+	fastRows, fastCycles := rows(true)
+	if fastCycles != cycles {
+		t.Fatalf("engines disagree on cycles: %d vs %d", cycles, fastCycles)
+	}
+	if fastRows < 1 || fastRows > want {
+		t.Errorf("fastsim: %d rows, want within [1, %d]", fastRows, want)
+	}
+}

@@ -62,10 +62,14 @@ func Run(prog *program.Program, cfg Config) (res *Result, err error) {
 	if maxCycles == 0 {
 		maxCycles = defaultMaxCycles
 	}
-	if cfg.Trace != nil && cfg.Memoize {
-		return nil, fmt.Errorf("core: tracing requires Memoize=false (fast-forwarded cycles are not re-simulated)")
-	}
 	drv := newDriver(prog, cfg.Cache, cfg.BPred)
+	o := cfg.Observer
+	if o != nil {
+		drv.obs = o
+		drv.registerMetrics(o.Metrics())
+		o.Begin(func() uint64 { return drv.retiredInsts })
+		defer o.Close() // stops the heartbeat and flushes on every path
+	}
 
 	defer func() {
 		if r := recover(); r != nil {
@@ -85,6 +89,8 @@ func Run(prog *program.Program, cfg Config) (res *Result, err error) {
 	var memoStats memo.Stats
 	if cfg.Memoize {
 		eng := memo.NewEngine(prog, cfg.Uarch, drv, cfg.Memo)
+		eng.Obs = o
+		eng.TraceW = cfg.Trace
 		cycles, err = eng.Run(maxCycles)
 		memoStats = eng.Cache.Stats()
 		if err != nil {
@@ -103,14 +109,19 @@ func Run(prog *program.Program, cfg Config) (res *Result, err error) {
 		if cfg.Trace != nil {
 			pl.Tracer = uarch.NewTextTracer(cfg.Trace)
 		}
+		if o != nil {
+			pl.RegisterMetrics(o.Metrics())
+		}
 		for !pl.Done() {
 			if pl.Now > maxCycles {
 				return nil, fmt.Errorf("core: exceeded %d cycles without halting", maxCycles)
 			}
 			pl.Step()
+			o.Tick(pl.Now)
 		}
 		cycles = pl.Now
 	}
+	o.Finish(cycles)
 	wall := time.Since(start)
 
 	if !drv.halted {

@@ -413,11 +413,32 @@ main:
 			t.Errorf("trace missing stage %q:\n%s", st, out)
 		}
 	}
-	// Tracing with memoization must be rejected.
+	// Tracing with memoization is episode-granular: detailed (recorded)
+	// cycles get per-cycle lines; replayed chains get marker lines.
+	p2 := build(t, `
+main:
+	li t0, 400
+loop:
+	addi t0, t0, -1
+	bnez t0, loop
+	halt
+`)
+	var fbuf strings.Builder
 	cfg = fastCfg()
-	cfg.Trace = &buf
-	if _, err := Run(p, cfg); err == nil {
-		t.Error("trace + memoize accepted")
+	cfg.Trace = &fbuf
+	res, err := Run(p2, cfg)
+	if err != nil {
+		t.Fatalf("trace + memoize: %v", err)
+	}
+	fout := fbuf.String()
+	if !strings.Contains(fout, "fast-forward") {
+		t.Errorf("memoized trace has no fast-forward markers:\n%.400s", fout)
+	}
+	if !strings.Contains(fout, "F ") {
+		t.Errorf("memoized trace has no detailed cycles:\n%.400s", fout)
+	}
+	if res.Memo.Hits == 0 {
+		t.Error("memoized traced run never fast-forwarded")
 	}
 }
 

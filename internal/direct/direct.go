@@ -33,6 +33,7 @@ import (
 	"fastsim/internal/bpred"
 	"fastsim/internal/emulator"
 	"fastsim/internal/isa"
+	"fastsim/internal/obs"
 	"fastsim/internal/program"
 )
 
@@ -235,6 +236,15 @@ func (e *Engine) BQDepth() int { return len(e.bq) }
 
 // Stats returns a copy of the engine's counters.
 func (e *Engine) Stats() Stats { return e.stats }
+
+// RegisterMetrics publishes the direct-execution counters into the
+// observability registry.
+func (e *Engine) RegisterMetrics(r *obs.Registry) {
+	r.Counter(obs.MetricDirectInsts, &e.stats.Insts)
+	r.Counter(obs.MetricWrongPathInsts, &e.stats.WrongPathInsts)
+	r.Counter(obs.MetricRollbacks, &e.stats.Rollbacks)
+	r.Counter(obs.MetricCheckpoints, &e.stats.Checkpoints)
+}
 
 // RunToNextControlPoint executes instructions functionally from the current
 // PC until a control point is reached, appends exactly one ControlRec, and

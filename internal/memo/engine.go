@@ -2,8 +2,10 @@ package memo
 
 import (
 	"fmt"
+	"io"
 
 	"fastsim/internal/direct"
+	"fastsim/internal/obs"
 	"fastsim/internal/program"
 	"fastsim/internal/uarch"
 )
@@ -71,8 +73,22 @@ type Engine struct {
 	prog   *program.Program
 	params uarch.Params
 
+	// Obs, when non-nil, receives episode events and episode-boundary
+	// samples; set it before Run.
+	Obs *obs.Observer
+	// TraceW, when non-nil, enables the memo-aware trace mode: detailed
+	// (recording) cycles get the usual per-cycle pipetrace lines, and each
+	// fast-forward chain is summarized with a single marker line —
+	// fast-forwarded cycles are replayed, never re-simulated, so there is
+	// no per-cycle pipeline state to print for them.
+	TraceW io.Writer
+
 	now    uint64
 	halted bool
+
+	tracer        uarch.Tracer
+	ffStart       uint64 // cycle at which the current fast-forward chain began
+	chainEpisodes uint64 // episodes replayed in the current chain
 
 	keyBuf []byte
 	script []scriptEntry
@@ -91,10 +107,18 @@ func NewEngine(prog *program.Program, params uarch.Params, drv Driver, opts Opti
 
 // Run simulates the whole program and returns the total cycle count.
 func (e *Engine) Run(maxCycles uint64) (uint64, error) {
+	if e.Obs != nil {
+		e.Cache.RegisterMetrics(e.Obs.Metrics())
+		e.Cache.SetObserver(e.Obs, func() uint64 { return e.now })
+	}
+	if e.TraceW != nil {
+		e.tracer = uarch.NewTextTracer(e.TraceW)
+	}
 	pl, err := uarch.New(e.params, e.prog, nil, e.prog.Entry)
 	if err != nil {
 		return 0, err
 	}
+	e.observePipeline(pl)
 	var rec *recorder // recorder of the just-finished episode (for linking)
 
 	for !e.halted {
@@ -128,6 +152,7 @@ func (e *Engine) Run(maxCycles uint64) (uint64, error) {
 			if err != nil {
 				return e.now, fmt.Errorf("memo: reconstruct: %w", err)
 			}
+			e.observePipeline(pl)
 		} else {
 			// Miss (fresh configuration or collected shell): record one
 			// episode into it.
@@ -142,7 +167,22 @@ func (e *Engine) Run(maxCycles uint64) (uint64, error) {
 	return e.now, nil
 }
 
-func (e *Engine) beginChain() { e.chain = 0 }
+// observePipeline attaches the trace and metrics sinks to a freshly built
+// detailed pipeline (the initial one, and each reconstruction after a
+// replay stop).
+func (e *Engine) observePipeline(pl *uarch.Pipeline) {
+	pl.Tracer = e.tracer
+	if e.Obs != nil {
+		pl.RegisterMetrics(e.Obs.Metrics())
+	}
+}
+
+func (e *Engine) beginChain() {
+	e.chain = 0
+	e.chainEpisodes = 0
+	e.ffStart = e.now
+	e.Obs.ReplayStart(e.now)
+}
 
 func (e *Engine) endChain() {
 	s := &e.Cache.stats
@@ -152,6 +192,11 @@ func (e *Engine) endChain() {
 		s.ChainMax = e.chain
 	}
 	s.ChainHist.Add(e.chain)
+	e.Obs.ReplayEnd(e.now, e.chainEpisodes, e.chain)
+	if e.TraceW != nil && e.chain > 0 {
+		fmt.Fprintf(e.TraceW, "%8d | fast-forward from cycle %d: %d episodes, %d actions replayed\n",
+			e.now, e.ffStart, e.chainEpisodes, e.chain)
+	}
 	e.chain = 0
 }
 
@@ -159,6 +204,7 @@ func (e *Engine) endChain() {
 // cycle containing an interaction (or program halt). The recorder allocates
 // or re-walks action nodes as interactions occur.
 func (e *Engine) recordEpisode(pl *uarch.Pipeline, rec *recorder) {
+	e.Obs.RecordStart(e.now)
 	for {
 		rec.cycles++
 		pl.Step()
@@ -166,6 +212,8 @@ func (e *Engine) recordEpisode(pl *uarch.Pipeline, rec *recorder) {
 		if rec.interacted || pl.Done() {
 			e.Cache.stats.EpisodesRecord++
 			e.Cache.stats.DetailedCycles += uint64(rec.cycles)
+			e.Obs.RecordEnd(e.now, uint64(rec.cycles), int64(rec.insts))
+			e.Obs.Tick(e.now)
 			return
 		}
 	}
@@ -270,4 +318,6 @@ func (e *Engine) commit(adv *action) {
 	s.EpisodesReplay++
 	s.ReplayCycles += uint64(adv.cycles)
 	s.ReplayInsts += uint64(adv.insts)
+	e.chainEpisodes++
+	e.Obs.Tick(e.now)
 }

@@ -1,6 +1,10 @@
 package memo
 
-import "fmt"
+import (
+	"fmt"
+
+	"fastsim/internal/obs"
+)
 
 // actionKind enumerates the simulator actions of §4.2. Every way the
 // detailed µ-architecture simulator touches the world outside the iQ is one
@@ -129,6 +133,33 @@ type Cache struct {
 	gen    uint32
 	minors int
 	stats  Stats
+
+	// Observability: replacement activity is reported as structured
+	// events, stamped with the engine's cycle counter via nowFn.
+	obs   *obs.Observer
+	nowFn func() uint64
+}
+
+// SetObserver attaches the observability sink; now supplies the simulated
+// cycle counter events are stamped with.
+func (c *Cache) SetObserver(o *obs.Observer, now func() uint64) {
+	c.obs = o
+	c.nowFn = now
+}
+
+// RegisterMetrics publishes the p-action cache's counters, footprint gauge
+// and replay-chain histogram into the observability registry.
+func (c *Cache) RegisterMetrics(r *obs.Registry) {
+	r.Counter(obs.MetricMemoConfigs, &c.stats.Configs)
+	r.Counter(obs.MetricMemoActions, &c.stats.Actions)
+	r.Gauge(obs.MetricMemoBytes, func() float64 { return float64(c.bytes) })
+	r.Counter(obs.MetricMemoLookups, &c.stats.Lookups)
+	r.Counter(obs.MetricMemoHits, &c.stats.Hits)
+	r.Counter(obs.MetricMemoEpisodesRecord, &c.stats.EpisodesRecord)
+	r.Counter(obs.MetricMemoEpisodesReplay, &c.stats.EpisodesReplay)
+	r.Counter(obs.MetricMemoDetailedInsts, &c.stats.DetailedInsts)
+	r.Counter(obs.MetricMemoReplayInsts, &c.stats.ReplayInsts)
+	r.Histogram(obs.MetricMemoChainHist, &c.stats.ChainHist)
 }
 
 // NewCache returns an empty p-action cache.
@@ -202,8 +233,14 @@ func (c *Cache) Reclaim() {
 	if !c.overLimit() {
 		return
 	}
+	if c.obs != nil {
+		c.obs.PActionLimit(c.nowFn(), c.bytes)
+	}
 	switch c.opts.Policy {
 	case PolicyFlush:
+		if c.obs != nil {
+			c.obs.PActionFlush(c.nowFn(), c.bytes)
+		}
 		c.flush()
 	case PolicyGC:
 		c.collect(false)
@@ -310,6 +347,9 @@ func (c *Cache) collect(minorOnly bool) {
 			next[cf.key] = cf
 			bytes += len(cf.key) + configOverhead
 		}
+	}
+	if c.obs != nil {
+		c.obs.PActionGC(c.nowFn(), minorOnly, uint64(c.live), survivors, bytes)
 	}
 	c.stats.Survivors += survivors
 	c.live = int(survivors)

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Event types emitted on the structured stream.
+const (
+	// EvRecordStart / EvRecordEnd bracket one episode simulated in detail
+	// by the memoizing engine (end carries the episode's cycle and
+	// instruction payload).
+	EvRecordStart = "record_start"
+	EvRecordEnd   = "record_end"
+	// EvReplayStart / EvReplayEnd bracket one fast-forward run: an
+	// unbroken chain of replayed episodes (end carries the episode and
+	// action counts of the chain).
+	EvReplayStart = "replay_start"
+	EvReplayEnd   = "replay_end"
+	// EvPActionLimit fires when the p-action cache exceeds its configured
+	// limit, immediately before the replacement policy acts.
+	EvPActionLimit = "paction_limit"
+	// EvPActionFlush reports a whole-cache flush (PolicyFlush).
+	EvPActionFlush = "paction_flush"
+	// EvPActionGC reports a copying collection (PolicyGC / PolicyGenGC).
+	EvPActionGC = "paction_gc"
+	// EvRollback reports a resolved mispredicted branch rolling back
+	// direct execution. Its cycle is the most recent observation point.
+	EvRollback = "rollback"
+	// EvCheckpointStall reports wrong-path direct execution running off
+	// the text segment and stalling fetch until rollback. Its cycle is the
+	// most recent observation point.
+	EvCheckpointStall = "checkpoint_stall"
+)
+
+// Event is one line of the JSONL event stream. Type and Cycle are always
+// present; the remaining fields depend on Type (see the type constants and
+// docs/OBSERVABILITY.md). Events carry simulated time only — never wall
+// clock — so the stream is deterministic for a given program and config.
+type Event struct {
+	Type  string `json:"type"`
+	Cycle uint64 `json:"cycle"`
+
+	Cycles   uint64 `json:"cycles,omitempty"`   // record_end: episode length
+	Insts    int64  `json:"insts,omitempty"`    // record_end: instructions retired
+	Episodes uint64 `json:"episodes,omitempty"` // replay_end: episodes replayed
+	Actions  uint64 `json:"actions,omitempty"`  // replay_end: actions replayed
+
+	Bytes      int    `json:"bytes,omitempty"`       // paction_*: footprint before
+	BytesAfter int    `json:"bytes_after,omitempty"` // paction_gc: footprint after
+	Live       uint64 `json:"live,omitempty"`        // paction_gc: live actions before
+	Survivors  uint64 `json:"survivors,omitempty"`   // paction_gc: actions kept
+	Minor      bool   `json:"minor,omitempty"`       // paction_gc: minor collection
+
+	Rec int `json:"rec,omitempty"` // rollback: control-record index
+}
+
+type eventSink struct {
+	enc *json.Encoder
+	n   uint64
+}
+
+func newEventSink(w io.Writer) *eventSink {
+	return &eventSink{enc: json.NewEncoder(w)}
+}
+
+func (s *eventSink) emit(e *Event) {
+	s.n++
+	s.enc.Encode(e) //nolint:errcheck // observability output is best-effort
+}
+
+// --- hook methods; all nil-receiver safe, one pointer check when disabled ---
+
+// RecordStart reports the start of a detailed (recording) episode.
+func (o *Observer) RecordStart(cycle uint64) {
+	if o == nil || o.events == nil {
+		return
+	}
+	o.events.emit(&Event{Type: EvRecordStart, Cycle: cycle})
+}
+
+// RecordEnd reports the end of a detailed episode.
+func (o *Observer) RecordEnd(cycle, cycles uint64, insts int64) {
+	if o == nil || o.events == nil {
+		return
+	}
+	o.events.emit(&Event{Type: EvRecordEnd, Cycle: cycle, Cycles: cycles, Insts: insts})
+}
+
+// ReplayStart reports the start of a fast-forward chain.
+func (o *Observer) ReplayStart(cycle uint64) {
+	if o == nil || o.events == nil {
+		return
+	}
+	o.events.emit(&Event{Type: EvReplayStart, Cycle: cycle})
+}
+
+// ReplayEnd reports the end of a fast-forward chain.
+func (o *Observer) ReplayEnd(cycle, episodes, actions uint64) {
+	if o == nil || o.events == nil {
+		return
+	}
+	o.events.emit(&Event{Type: EvReplayEnd, Cycle: cycle, Episodes: episodes, Actions: actions})
+}
+
+// PActionLimit reports the p-action cache exceeding its size limit.
+func (o *Observer) PActionLimit(cycle uint64, bytes int) {
+	if o == nil || o.events == nil {
+		return
+	}
+	o.events.emit(&Event{Type: EvPActionLimit, Cycle: cycle, Bytes: bytes})
+}
+
+// PActionFlush reports a whole-cache flush.
+func (o *Observer) PActionFlush(cycle uint64, bytes int) {
+	if o == nil || o.events == nil {
+		return
+	}
+	o.events.emit(&Event{Type: EvPActionFlush, Cycle: cycle, Bytes: bytes})
+}
+
+// PActionGC reports a copying collection.
+func (o *Observer) PActionGC(cycle uint64, minor bool, live, survivors uint64, bytesAfter int) {
+	if o == nil || o.events == nil {
+		return
+	}
+	o.events.emit(&Event{
+		Type: EvPActionGC, Cycle: cycle, Minor: minor,
+		Live: live, Survivors: survivors, BytesAfter: bytesAfter,
+	})
+}
+
+// Rollback reports a resolved misprediction rolling back direct execution.
+func (o *Observer) Rollback(recIdx int) {
+	if o == nil || o.events == nil {
+		return
+	}
+	o.events.emit(&Event{Type: EvRollback, Cycle: o.lastCycle, Rec: recIdx})
+}
+
+// CheckpointStall reports wrong-path execution running off the text
+// segment (direct.KindStall).
+func (o *Observer) CheckpointStall() {
+	if o == nil || o.events == nil {
+		return
+	}
+	o.events.emit(&Event{Type: EvCheckpointStall, Cycle: o.lastCycle})
+}

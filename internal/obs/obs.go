@@ -1,0 +1,187 @@
+// Package obs is the simulator-wide observability layer: a metrics
+// registry that every component registers its counters, gauges and
+// histograms into; a cycle-interval sampler emitting a JSONL time-series
+// row every N simulated cycles; a structured JSONL event stream for the
+// discrete occurrences worth knowing about (episode recording and replay,
+// p-action cache flushes and collections, rollbacks, checkpoint stalls);
+// and a wall-clock progress heartbeat for long runs.
+//
+// Observability is strictly read-only: it never feeds anything back into
+// the simulation, so a run with an Observer attached produces bit-identical
+// statistics to an unobserved run — on both FastSim and SlowSim. Under
+// memoization, fast-forwarded spans are never re-simulated, so the sampler
+// observes at episode boundaries: rows are emitted at the first observation
+// point at or after each interval boundary, which during replay is the end
+// of the episode that crossed it.
+//
+// Every hook is safe to call on a nil *Observer and costs exactly one
+// pointer check in that case, so components call hooks unconditionally on
+// their hot paths.
+package obs
+
+import (
+	"bufio"
+	"io"
+	"time"
+)
+
+// DefaultSampleInterval is the sampling period, in simulated cycles, used
+// when Options.SampleInterval is zero.
+const DefaultSampleInterval = 100_000
+
+// Options configures an Observer. Any writer may be nil to disable that
+// output; the metrics registry is always available.
+type Options struct {
+	// SampleW receives one JSONL Row per SampleInterval simulated cycles.
+	SampleW io.Writer
+	// SampleInterval is the sampling period in simulated cycles
+	// (0 selects DefaultSampleInterval).
+	SampleInterval uint64
+
+	// EventW receives the structured JSONL event stream (see Event).
+	EventW io.Writer
+
+	// ProgressW receives a human-readable heartbeat line every
+	// ProgressEvery of wall-clock time (0 selects one second).
+	ProgressW     io.Writer
+	ProgressEvery time.Duration
+}
+
+// Observer bundles the observability outputs of one simulation run. The
+// zero-cost disabled state is a nil *Observer: every exported method is
+// nil-receiver safe. An Observer is single-use — attach a fresh one to each
+// run.
+type Observer struct {
+	reg     *Registry
+	sampler *sampler
+	events  *eventSink
+	hb      *heartbeat
+
+	instsFn   func() uint64
+	lastCycle uint64
+	flushers  []*bufio.Writer
+	closed    bool
+}
+
+// New returns an Observer with the requested outputs enabled.
+func New(opt Options) *Observer {
+	o := &Observer{reg: NewRegistry()}
+	o.reg.Gauge(MetricCycle, func() float64 { return float64(o.lastCycle) })
+	if opt.SampleW != nil {
+		iv := opt.SampleInterval
+		if iv == 0 {
+			iv = DefaultSampleInterval
+		}
+		bw := bufio.NewWriter(opt.SampleW)
+		o.flushers = append(o.flushers, bw)
+		o.sampler = newSampler(bw, iv, o.reg)
+	}
+	if opt.EventW != nil {
+		bw := bufio.NewWriter(opt.EventW)
+		o.flushers = append(o.flushers, bw)
+		o.events = newEventSink(bw)
+	}
+	if opt.ProgressW != nil {
+		every := opt.ProgressEvery
+		if every <= 0 {
+			every = time.Second
+		}
+		o.hb = &heartbeat{w: opt.ProgressW, every: every}
+	}
+	return o
+}
+
+// Metrics returns the metrics registry (nil on a nil Observer).
+func (o *Observer) Metrics() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// Begin marks the start of a run. instsFn reports retired instructions and
+// is called from the simulation goroutine only (the heartbeat reads a
+// published copy). The heartbeat goroutine starts here.
+func (o *Observer) Begin(instsFn func() uint64) {
+	if o == nil {
+		return
+	}
+	o.instsFn = instsFn
+	if o.hb != nil {
+		o.hb.start()
+	}
+}
+
+// Tick is the per-observation-point hook: SlowSim calls it every cycle,
+// FastSim at every episode boundary (both recorded and replayed). It
+// publishes progress counters and emits a sampler row when the simulated
+// cycle counter has crossed an interval boundary since the last row.
+func (o *Observer) Tick(now uint64) {
+	if o == nil {
+		return
+	}
+	o.lastCycle = now
+	if o.hb != nil {
+		o.hb.cycles.Store(now)
+		if o.instsFn != nil {
+			o.hb.insts.Store(o.instsFn())
+		}
+	}
+	if o.sampler != nil && now >= o.sampler.next {
+		o.sampler.sample(now)
+	}
+}
+
+// Now returns the cycle counter at the most recent observation point.
+// Events raised from hooks that do not carry a cycle number (rollback,
+// checkpoint stall) are stamped with it.
+func (o *Observer) Now() uint64 {
+	if o == nil {
+		return 0
+	}
+	return o.lastCycle
+}
+
+// Rows returns the number of sampler rows emitted so far.
+func (o *Observer) Rows() uint64 {
+	if o == nil || o.sampler == nil {
+		return 0
+	}
+	return o.sampler.rows
+}
+
+// Events returns the number of events emitted so far.
+func (o *Observer) Events() uint64 {
+	if o == nil || o.events == nil {
+		return 0
+	}
+	return o.events.n
+}
+
+// Finish marks the successful end of a run at the final cycle count: a last
+// sampler row captures the tail interval, then the Observer closes.
+func (o *Observer) Finish(now uint64) {
+	if o == nil {
+		return
+	}
+	o.lastCycle = now
+	if o.sampler != nil && (o.sampler.rows == 0 || now > o.sampler.last) {
+		o.sampler.sample(now)
+	}
+	o.Close()
+}
+
+// Close stops the heartbeat goroutine and flushes buffered output. It is
+// idempotent and safe on error paths that never reached Finish.
+func (o *Observer) Close() {
+	if o == nil || o.closed {
+		return
+	}
+	o.closed = true
+	if o.hb != nil {
+		o.hb.stop()
+	}
+	for _, bw := range o.flushers {
+		bw.Flush() //nolint:errcheck // observability output is best-effort
+	}
+}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// heartbeat prints a wall-clock progress line for long simulations. The
+// simulation goroutine publishes its cycle and instruction counters into
+// atomics at every observation point; the heartbeat goroutine reads only
+// those atomics — never simulator state — so enabling it introduces no data
+// races and no feedback into the simulation.
+type heartbeat struct {
+	w     io.Writer
+	every time.Duration
+
+	cycles atomic.Uint64
+	insts  atomic.Uint64
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+func (h *heartbeat) start() {
+	h.done = make(chan struct{})
+	h.wg.Add(1)
+	go h.loop()
+}
+
+func (h *heartbeat) loop() {
+	defer h.wg.Done()
+	start := time.Now()
+	t := time.NewTicker(h.every)
+	defer t.Stop()
+	var lastInsts uint64
+	lastT := start
+	for {
+		select {
+		case <-h.done:
+			return
+		case now := <-t.C:
+			c, i := h.cycles.Load(), h.insts.Load()
+			dt := now.Sub(lastT).Seconds()
+			var rate float64
+			if dt > 0 {
+				rate = float64(i-lastInsts) / dt / 1000
+			}
+			var ipc float64
+			if c > 0 {
+				ipc = float64(i) / float64(c)
+			}
+			fmt.Fprintf(h.w, "progress: cycles=%d insts=%d ipc=%.3f kinsts/s=%.1f elapsed=%s\n",
+				c, i, ipc, rate, time.Since(start).Round(time.Millisecond))
+			lastInsts, lastT = i, now
+		}
+	}
+}
+
+func (h *heartbeat) stop() {
+	if h.done == nil {
+		return // never started
+	}
+	close(h.done)
+	h.wg.Wait()
+	c, i := h.cycles.Load(), h.insts.Load()
+	fmt.Fprintf(h.w, "progress: done cycles=%d insts=%d\n", c, i)
+}

@@ -74,6 +74,36 @@ func (h *Histogram) Percentile(p float64) uint64 {
 	return h.max
 }
 
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1) at the
+// histogram's power-of-two bucket resolution: Quantile(0.5) is P50,
+// Quantile(0.99) is P99. Out-of-range q clamps to the nearest bound.
+func (h *Histogram) Quantile(q float64) uint64 {
+	switch {
+	case q <= 0:
+		return 0
+	case q > 1:
+		q = 1
+	}
+	return h.Percentile(q * 100)
+}
+
+// Percent returns 100*part/whole, or 0 when whole is zero — the shared
+// guard for every "x% of y" the simulators render.
+func Percent(part, whole uint64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}
+
+// Ratio returns num/den, or 0 when den is zero.
+func Ratio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
 // Merge adds o's counts into h.
 func (h *Histogram) Merge(o *Histogram) {
 	for i := range h.buckets {
@@ -89,8 +119,8 @@ func (h *Histogram) Merge(o *Histogram) {
 // Render formats the non-empty buckets with proportional bars.
 func (h *Histogram) Render(label string) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s: n=%d mean=%.1f p90<=%d max=%d\n",
-		label, h.count, h.Mean(), h.Percentile(90), h.max)
+	fmt.Fprintf(&b, "%s: n=%d mean=%.1f p50<=%d p95<=%d p99<=%d max=%d\n",
+		label, h.count, h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.max)
 	if h.count == 0 {
 		return b.String()
 	}
@@ -125,9 +155,9 @@ func rangeLabel(lo, hi uint64) string {
 	return fmt.Sprintf("%d-%d", lo, hi)
 }
 
-// MarshalJSON summarizes the distribution (count, mean, p90 bound, max) —
-// enough for machine-readable reports without dumping every bucket.
+// MarshalJSON summarizes the distribution (count, mean, quantile bounds,
+// max) — enough for machine-readable reports without dumping every bucket.
 func (h Histogram) MarshalJSON() ([]byte, error) {
-	return []byte(fmt.Sprintf(`{"count":%d,"mean":%.2f,"p90":%d,"max":%d}`,
-		h.count, h.Mean(), h.Percentile(90), h.max)), nil
+	return []byte(fmt.Sprintf(`{"count":%d,"mean":%.2f,"p50":%d,"p90":%d,"p95":%d,"p99":%d,"max":%d}`,
+		h.count, h.Mean(), h.Quantile(0.50), h.Percentile(90), h.Quantile(0.95), h.Quantile(0.99), h.max)), nil
 }

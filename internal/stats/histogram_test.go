@@ -62,6 +62,55 @@ func TestMeanAndPercentile(t *testing.T) {
 	}
 }
 
+func TestQuantile(t *testing.T) {
+	var h Histogram
+	for i := uint64(1); i <= 100; i++ {
+		h.Add(i)
+	}
+	// Quantile is Percentile at a 0..1 scale; same power-of-two bounds.
+	if q, p := h.Quantile(0.5), h.Percentile(50); q != p {
+		t.Errorf("Quantile(0.5)=%d != Percentile(50)=%d", q, p)
+	}
+	if q := h.Quantile(0.99); q < 99 {
+		t.Errorf("p99 bound %d does not cover 99", q)
+	}
+	// Quantile bounds are monotone in q.
+	prev := uint64(0)
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1} {
+		b := h.Quantile(q)
+		if b < prev {
+			t.Errorf("Quantile(%v)=%d < previous bound %d", q, b, prev)
+		}
+		prev = b
+	}
+	// Out-of-range q clamps.
+	if h.Quantile(-1) != 0 || h.Quantile(0) != 0 {
+		t.Error("q<=0 must be 0")
+	}
+	if h.Quantile(2) != h.Quantile(1) {
+		t.Error("q>1 must clamp to 1")
+	}
+	var empty Histogram
+	if empty.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile not 0")
+	}
+}
+
+func TestPercentAndRatio(t *testing.T) {
+	if p := Percent(1, 4); p != 25 {
+		t.Errorf("Percent(1,4) = %v", p)
+	}
+	if p := Percent(3, 0); p != 0 {
+		t.Errorf("Percent(_,0) = %v, want 0", p)
+	}
+	if r := Ratio(1, 8); r != 0.125 {
+		t.Errorf("Ratio(1,8) = %v", r)
+	}
+	if r := Ratio(5, 0); r != 0 {
+		t.Errorf("Ratio(_,0) = %v, want 0", r)
+	}
+}
+
 func TestMerge(t *testing.T) {
 	var a, b Histogram
 	a.Add(5)

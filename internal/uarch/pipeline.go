@@ -5,6 +5,7 @@ import (
 
 	"fastsim/internal/direct"
 	"fastsim/internal/isa"
+	"fastsim/internal/obs"
 	"fastsim/internal/program"
 )
 
@@ -112,6 +113,15 @@ func (pl *Pipeline) Done() bool { return pl.done }
 
 // Entries returns the live iQ contents, oldest first (for tracing/tests).
 func (pl *Pipeline) Entries() []Entry { return pl.iq }
+
+// RegisterMetrics publishes pipeline gauges into the observability
+// registry. Under memoization the detailed pipeline is rebuilt at every
+// replay stop; re-registering simply repoints the gauges at the live
+// instance.
+func (pl *Pipeline) RegisterMetrics(r *obs.Registry) {
+	r.Gauge(obs.MetricIQDepth, func() float64 { return float64(len(pl.iq)) })
+	r.Gauge(obs.MetricUarchCycle, func() float64 { return float64(pl.Now) })
+}
 
 // Step simulates one cycle: retire, progress execution, issue, decode,
 // fetch — making one complete pass over the iQ in program order, with all
