@@ -1,0 +1,97 @@
+// Command fsvet runs FastSim's determinism static-analysis suite over the
+// simulation-core packages. Bit-identical replay is the repo's central
+// invariant (see docs/DETERMINISM.md); fsvet turns it into a build-time
+// check: map iteration that can leak order, wall-clock and global-rand
+// reads, observer hooks that break the zero-allocation contract, and exact
+// floating-point comparison are all findings.
+//
+// Usage:
+//
+//	go run ./cmd/fsvet ./...
+//	go run ./cmd/fsvet ./internal/memo ./internal/obs
+//	go run ./cmd/fsvet -list
+//
+// fsvet prints findings as "file:line:col: analyzer: message" and exits 1
+// when there are any (2 on load errors), so it runs as a CI gate. Package
+// patterns outside the deterministic core are ignored.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"fastsim/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: fsvet [-list] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Runs the determinism analyzers over FastSim's simulation-core packages.\nWith no package arguments, vets all of them (equivalent to ./...).\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, az := range analysis.All {
+			fmt.Printf("%-10s %s\n", az.Name, az.Doc)
+		}
+		return
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := analysis.ModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	modPath, err := analysis.ModulePath(root)
+	if err != nil {
+		fatal(err)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs := analysis.SelectPackages(patterns, modPath)
+	if len(pkgs) == 0 {
+		fmt.Fprintln(os.Stderr, "fsvet: no deterministic packages match the given patterns")
+		os.Exit(2)
+	}
+
+	findings, exit := 0, 0
+	for _, rel := range pkgs {
+		pkg, err := analysis.Load(filepath.Join(root, rel), modPath+"/"+rel)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fsvet: %v\n", err)
+			exit = 2
+			continue
+		}
+		for _, d := range analysis.Check(pkg, analysis.All) {
+			// Print paths relative to the invocation directory when
+			// possible, so findings are clickable where fsvet ran.
+			if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil {
+				d.Pos.Filename = rel
+			}
+			fmt.Println(d)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "fsvet: %d finding(s) in %d package(s)\n", findings, len(pkgs))
+		if exit == 0 {
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "fsvet: %v\n", err)
+	os.Exit(2)
+}

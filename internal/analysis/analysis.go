@@ -1,0 +1,164 @@
+// Package analysis is fsvet's determinism static-analysis suite: a small,
+// stdlib-only framework (go/parser + go/ast + go/types) plus the analyzers
+// that turn FastSim's central invariant — memoized fast-forwarding replays
+// µ-architecture episodes with bit-identical statistics — into something
+// checked on every build.
+//
+// Determinism bugs in Go are easy to introduce silently and hard to catch
+// at runtime: map iteration order varies per process, the global math/rand
+// source is auto-seeded, wall-clock reads differ across runs, and
+// floating-point accumulation depends on summation order. Each analyzer
+// targets one of these hazard classes in the simulation-core packages
+// (DeterministicPackages); see docs/DETERMINISM.md for the full contract.
+//
+// Code with a legitimate reason to break a rule carries an in-source
+// annotation naming that reason:
+//
+//	//fastsim:allow-wallclock: <why host time cannot leak into results>
+//	//fastsim:order-independent: <why iteration order cannot leak>
+//	//fastsim:float-exact: <why exact float comparison/accumulation is safe>
+//
+// An annotation applies to findings on its own line or the line directly
+// below it, so both trailing and preceding comment placement work.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Annotation markers, matched anywhere in a // comment.
+const (
+	MarkerAllowWallclock   = "fastsim:allow-wallclock"
+	MarkerOrderIndependent = "fastsim:order-independent"
+	MarkerFloatExact       = "fastsim:float-exact"
+)
+
+// An Analyzer is one determinism check. Run inspects the package held by
+// the Pass and reports findings through it.
+type Analyzer struct {
+	Name string // short lower-case name, printed in every finding
+	Doc  string // one-line description for fsvet -list
+	Run  func(*Pass)
+}
+
+// All is the suite fsvet runs, in reporting order.
+var All = []*Analyzer{Wallclock, MapRange, ObsHook, FloatEq}
+
+// A Diagnostic is one finding, positioned in the source.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// A Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	annots map[string]map[int]string // filename -> line -> comment text
+	diags  *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Annotation reports whether the line of pos, or the line directly above
+// it, carries the given marker, and returns the justification text that
+// follows the marker.
+func (p *Pass) Annotation(pos token.Pos, marker string) (reason string, ok bool) {
+	position := p.Fset.Position(pos)
+	lines := p.annots[position.Filename]
+	for _, line := range []int{position.Line, position.Line - 1} {
+		text, present := lines[line]
+		if !present {
+			continue
+		}
+		if i := strings.Index(text, marker); i >= 0 {
+			reason = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(text[i+len(marker):]), ":"))
+			return reason, true
+		}
+	}
+	return "", false
+}
+
+// Check runs the analyzers over one loaded package and returns the findings
+// sorted by position, analyzer and message.
+func Check(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	annots := gatherAnnotations(pkg.Fset, pkg.Files)
+	for _, az := range analyzers {
+		az.Run(&Pass{
+			Analyzer: az,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			annots:   annots,
+			diags:    &diags,
+		})
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}
+
+// gatherAnnotations indexes every // comment by file and line, so the
+// annotation lookup is O(1) per finding.
+func gatherAnnotations(fset *token.FileSet, files []*ast.File) map[string]map[int]string {
+	annots := make(map[string]map[int]string)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, "//") {
+					continue // annotations are line comments only
+				}
+				pos := fset.Position(c.Slash)
+				lines := annots[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]string)
+					annots[pos.Filename] = lines
+				}
+				if prev := lines[pos.Line]; prev != "" {
+					lines[pos.Line] = prev + " " + c.Text
+				} else {
+					lines[pos.Line] = c.Text
+				}
+			}
+		}
+	}
+	return annots
+}

@@ -1,0 +1,203 @@
+package analysis
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// loadFixture type-checks one testdata package. Fixtures are real,
+// compiling Go — the go tool ignores testdata directories, so seeded
+// violations never reach the build.
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	pkg, err := Load(filepath.Join("testdata", "src", name), "fastsim/internal/analysis/testdata/"+name)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	return pkg
+}
+
+// wantRe extracts the quoted expectation patterns from a `// want "..."`
+// comment. Pattern text is taken verbatim as a regular expression.
+var wantRe = regexp.MustCompile(`"([^"]*)"`)
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// runFixture checks the analyzer's findings against the fixture's want
+// comments: every want must be matched by a finding on its line, and every
+// finding must be expected by a want on its line.
+func runFixture(t *testing.T, fixture string, az *Analyzer) {
+	t.Helper()
+	pkg := loadFixture(t, fixture)
+
+	wants := make(map[lineKey][]string)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Slash)
+				key := lineKey{pos.Filename, pos.Line}
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text[idx:], -1) {
+					wants[key] = append(wants[key], m[1])
+				}
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no want expectations", fixture)
+	}
+
+	diags := Check(pkg, []*Analyzer{az})
+	found := make(map[lineKey][]Diagnostic)
+	for _, d := range diags {
+		key := lineKey{d.Pos.Filename, d.Pos.Line}
+		found[key] = append(found[key], d)
+	}
+
+	for key, patterns := range wants {
+		for _, pat := range patterns {
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want pattern %q: %v", key.file, key.line, pat, err)
+			}
+			matched := false
+			for _, d := range found[key] {
+				if re.MatchString(d.Message) {
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				t.Errorf("%s:%d: no %s finding matching %q (got %v)",
+					key.file, key.line, az.Name, pat, found[key])
+			}
+		}
+	}
+	for key, ds := range found {
+		for _, d := range ds {
+			expected := false
+			for _, pat := range wants[key] {
+				if re, err := regexp.Compile(pat); err == nil && re.MatchString(d.Message) {
+					expected = true
+					break
+				}
+			}
+			if !expected {
+				t.Errorf("unexpected finding: %s", d)
+			}
+		}
+	}
+}
+
+func TestWallclockFixture(t *testing.T) { runFixture(t, "wallclock", Wallclock) }
+func TestMapRangeFixture(t *testing.T)  { runFixture(t, "maprange", MapRange) }
+func TestFloatEqFixture(t *testing.T)   { runFixture(t, "floateq", FloatEq) }
+
+// TestObsHookGuardFixture covers the implementation-side rules (package
+// named obs), TestObsHookCallSiteFixture the call-site rules against the
+// real fastsim/internal/obs package.
+func TestObsHookGuardFixture(t *testing.T)    { runFixture(t, "obsguard", ObsHook) }
+func TestObsHookCallSiteFixture(t *testing.T) { runFixture(t, "obshook", ObsHook) }
+
+// TestRepoClean is the in-tree mirror of the CI gate: the full suite over
+// every deterministic package must be silent. A failure here means either a
+// real determinism hazard or a missing (or unjustified) annotation.
+func TestRepoClean(t *testing.T) {
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	modPath, err := ModulePath(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rel := range DeterministicPackages {
+		pkg, err := Load(filepath.Join(root, rel), modPath+"/"+rel)
+		if err != nil {
+			t.Fatalf("%s: %v", rel, err)
+		}
+		for _, d := range Check(pkg, All) {
+			t.Errorf("%s", d)
+		}
+	}
+}
+
+func TestSelectPackages(t *testing.T) {
+	mod := "fastsim"
+	cases := []struct {
+		patterns []string
+		want     string
+	}{
+		{[]string{"./..."}, strings.Join(DeterministicPackages, " ")},
+		{[]string{"..."}, strings.Join(DeterministicPackages, " ")},
+		{[]string{"./internal/memo"}, "internal/memo"},
+		{[]string{"internal/obs", "fastsim/internal/stats"}, "internal/obs internal/stats"},
+		{[]string{"./internal/..."}, strings.Join(DeterministicPackages, " ")},
+		{[]string{"./internal/minc"}, ""},
+		{[]string{"./cmd/..."}, ""},
+	}
+	for _, c := range cases {
+		got := strings.Join(SelectPackages(c.patterns, mod), " ")
+		if got != c.want {
+			t.Errorf("SelectPackages(%v) = %q, want %q", c.patterns, got, c.want)
+		}
+	}
+}
+
+func TestAnalyzerMetadata(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, az := range All {
+		if az.Name == "" || az.Doc == "" || az.Run == nil {
+			t.Errorf("analyzer %+v missing name, doc or run", az)
+		}
+		if seen[az.Name] {
+			t.Errorf("duplicate analyzer name %q", az.Name)
+		}
+		seen[az.Name] = true
+	}
+}
+
+// TestDiagnosticString pins the file:line:col: analyzer: message format the
+// CI gate and editors parse.
+func TestDiagnosticString(t *testing.T) {
+	pkg := loadFixture(t, "floateq")
+	diags := Check(pkg, []*Analyzer{FloatEq})
+	if len(diags) == 0 {
+		t.Fatal("no findings in floateq fixture")
+	}
+	want := regexp.MustCompile(`^testdata/src/floateq/floateq\.go:\d+:\d+: floateq: .+`)
+	for _, d := range diags {
+		if !want.MatchString(d.String()) {
+			t.Errorf("diagnostic %q does not match %s", d.String(), want)
+		}
+	}
+}
+
+// TestFixturesSeedEnoughViolations enforces the suite's own acceptance bar:
+// every analyzer demonstrably catches at least two seeded violations.
+func TestFixturesSeedEnoughViolations(t *testing.T) {
+	cases := []struct {
+		fixture string
+		az      *Analyzer
+	}{
+		{"wallclock", Wallclock},
+		{"maprange", MapRange},
+		{"floateq", FloatEq},
+		{"obsguard", ObsHook},
+		{"obshook", ObsHook},
+	}
+	for _, c := range cases {
+		pkg := loadFixture(t, c.fixture)
+		if n := len(Check(pkg, []*Analyzer{c.az})); n < 2 {
+			t.Errorf("fixture %s seeds only %d %s violation(s), want >= 2", c.fixture, n, c.az.Name)
+		}
+	}
+}

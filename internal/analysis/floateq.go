@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags the two floating-point habits that silently break
+// bit-identity:
+//
+//   - == and != on floating-point operands. Two mathematically equal
+//     computations can differ in the last bit when evaluation order or
+//     intermediate precision changes, so exact comparison makes behaviour
+//     depend on accidents of code layout. Comparison against the exact
+//     constant zero is allowed — it is the conventional division guard and
+//     IEEE-exact.
+//   - float accumulation inside a map iteration. Float addition is not
+//     associative, so a sum taken in randomized map order differs between
+//     runs even when every addend is identical — and because of that, a
+//     //fastsim:order-independent annotation cannot excuse it; the loop
+//     must accumulate over sorted keys (or carry //fastsim:float-exact
+//     with a reason the values sum exactly, e.g. small integers).
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "flag exact float comparison and float accumulation in map-iteration order",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	for _, f := range pass.Files {
+		// Spans of map-range bodies, for the accumulation check.
+		var mapBodies []posRange
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if tv, ok := pass.Info.Types[rs.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					mapBodies = append(mapBodies, posRange{rs.Body.Pos(), rs.Body.End()})
+				}
+			}
+			return true
+		})
+
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.BinaryExpr:
+				checkFloatCompare(pass, v)
+			case *ast.AssignStmt:
+				checkFloatAccumulate(pass, v, mapBodies)
+			}
+			return true
+		})
+	}
+}
+
+type posRange struct{ lo, hi token.Pos }
+
+func (r posRange) contains(p token.Pos) bool { return r.lo <= p && p < r.hi }
+
+func checkFloatCompare(pass *Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	if !isFloat(pass, be.X) && !isFloat(pass, be.Y) {
+		return
+	}
+	if isExactZero(pass, be.X) || isExactZero(pass, be.Y) {
+		return
+	}
+	if reason, ok := pass.Annotation(be.OpPos, MarkerFloatExact); ok {
+		if reason == "" {
+			pass.Reportf(be.OpPos, "//fastsim:float-exact must name why exact comparison is safe")
+		}
+		return
+	}
+	pass.Reportf(be.OpPos,
+		"exact %s on floating-point values is sensitive to evaluation order and rounding; compare against a tolerance, restructure, or annotate //fastsim:float-exact: <why>",
+		be.Op)
+}
+
+func checkFloatAccumulate(pass *Pass, as *ast.AssignStmt, mapBodies []posRange) {
+	inMap := false
+	for _, r := range mapBodies {
+		if r.contains(as.Pos()) {
+			inMap = true
+			break
+		}
+	}
+	if !inMap || len(as.Lhs) != 1 || len(as.Rhs) != 1 || !isFloat(pass, as.Lhs[0]) {
+		return
+	}
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN:
+		// x += v and friends.
+	case token.ASSIGN:
+		// x = x + v and friends.
+		be, ok := as.Rhs[0].(*ast.BinaryExpr)
+		if !ok || (be.Op != token.ADD && be.Op != token.SUB && be.Op != token.MUL) {
+			return
+		}
+		lhs := types.ExprString(as.Lhs[0])
+		if types.ExprString(be.X) != lhs && types.ExprString(be.Y) != lhs {
+			return
+		}
+	default:
+		return
+	}
+	if reason, ok := pass.Annotation(as.Pos(), MarkerFloatExact); ok {
+		if reason == "" {
+			pass.Reportf(as.Pos(), "//fastsim:float-exact must name why the accumulation is exact")
+		}
+		return
+	}
+	pass.Reportf(as.Pos(),
+		"float accumulation inside map iteration: float addition is not associative, so the sum follows the randomized map order; accumulate over sorted keys, or annotate //fastsim:float-exact: <why the values sum exactly>")
+}
+
+func isFloat(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isExactZero reports whether e is a constant expression equal to zero.
+func isExactZero(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}

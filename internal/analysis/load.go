@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// DeterministicPackages are the simulation-core packages (module-relative
+// paths) whose behaviour must be bit-identical across runs: everything that
+// computes, accumulates or serializes the quantities in core.Result, the
+// stats registry, and the JSONL sample/event streams.
+var DeterministicPackages = []string{
+	"internal/bpred",
+	"internal/cachesim",
+	"internal/core",
+	"internal/direct",
+	"internal/emulator",
+	"internal/memo",
+	"internal/obs",
+	"internal/stats",
+	"internal/uarch",
+}
+
+// A Package is one parsed and type-checked target package.
+type Package struct {
+	Dir   string
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// The source importer type-checks dependencies from source and caches them
+// by import path, so one shared instance (and therefore one FileSet) makes
+// loading nine packages cost little more than loading one. It is not safe
+// for concurrent use; loadMu serializes Load.
+var (
+	loadMu     sync.Mutex
+	sharedFset = token.NewFileSet()
+	sharedImp  types.Importer
+)
+
+// Load parses and type-checks the non-test Go files of the package in dir,
+// recording the type information the analyzers need. importPath is the
+// identity given to the checked package; dependencies resolve through the
+// module-aware source importer, so Load must run with a working directory
+// inside the module.
+func Load(dir, importPath string) (*Package, error) {
+	loadMu.Lock()
+	defer loadMu.Unlock()
+	if sharedImp == nil {
+		sharedImp = importer.ForCompiler(sharedFset, "source", nil)
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") ||
+			strings.HasPrefix(n, ".") || strings.HasPrefix(n, "_") {
+			continue
+		}
+		names = append(names, n)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	sort.Strings(names) // deterministic file order, deterministic findings
+
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(sharedFset, filepath.Join(dir, n), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: sharedImp}
+	tpkg, err := conf.Check(importPath, sharedFset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", importPath, err)
+	}
+	return &Package{
+		Dir:   dir,
+		Path:  importPath,
+		Fset:  sharedFset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// ModuleRoot walks up from dir to the directory containing go.mod.
+func ModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// ModulePath reads the module path out of root's go.mod.
+func ModulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s/go.mod", root)
+}
+
+// SelectPackages resolves fsvet's command-line patterns to the subset of
+// DeterministicPackages they name. Accepted forms: "./...", a "dir/..."
+// prefix wildcard, and exact paths with or without a "./" or module-path
+// prefix. Patterns naming nothing in the deterministic set resolve to
+// nothing — fsvet only ever vets the simulation core.
+func SelectPackages(patterns []string, modPath string) []string {
+	selected := make(map[string]bool)
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(pat, modPath+"/")
+		pat = strings.TrimPrefix(pat, "./")
+		for _, pkg := range DeterministicPackages {
+			switch {
+			case pat == "..." || pat == "." || pat == "":
+				selected[pkg] = true
+			case strings.HasSuffix(pat, "/..."):
+				prefix := strings.TrimSuffix(pat, "...")
+				if strings.HasPrefix(pkg+"/", prefix) {
+					selected[pkg] = true
+				}
+			case pat == pkg:
+				selected[pkg] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(selected))
+	for pkg := range selected { //fastsim:order-independent: collected into a slice and sorted below
+		out = append(out, pkg)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapRange flags range statements over maps in deterministic packages. Go
+// randomizes map iteration order per run, so any effect of the loop that
+// reaches core.Result, the stats registry, the JSONL sample/event streams
+// or other serialized output (DOT export, trace files) varies between runs.
+//
+// Two escapes are recognised:
+//
+//   - the collect-then-sort idiom — a loop whose whole body is
+//     "keys = append(keys, k)" is accepted, because the order leak is
+//     resolved by the sort that conventionally follows;
+//   - a //fastsim:order-independent annotation that names why order cannot
+//     leak (commutative sums, map-to-map rebuilds, independent per-entry
+//     mutation). The justification is mandatory: an annotation without one
+//     is itself a finding.
+//
+// The check deliberately over-approximates "can reach output": proving
+// non-interference needs whole-program flow analysis, while sorting or
+// justifying every map loop in the nine core packages is cheap and keeps
+// the invariant visible at each site.
+var MapRange = &Analyzer{
+	Name: "maprange",
+	Doc:  "flag map iteration whose order can leak into results or serialized output",
+	Run:  runMapRange,
+}
+
+func runMapRange(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if reason, ok := pass.Annotation(rs.For, MarkerOrderIndependent); ok {
+				if reason == "" {
+					pass.Reportf(rs.For,
+						"//fastsim:order-independent must name why iteration order cannot leak")
+				}
+				return true
+			}
+			if isKeyCollect(pass, rs) {
+				return true
+			}
+			pass.Reportf(rs.For,
+				"range over map %s: iteration order is randomized per run and can leak into results or serialized output; collect and sort the keys first, or annotate //fastsim:order-independent: <why>",
+				types.ExprString(rs.X))
+			return true
+		})
+	}
+}
+
+// isKeyCollect recognises the collect-then-sort idiom: a key-only range
+// whose entire body appends the key to one slice.
+func isKeyCollect(pass *Pass, rs *ast.RangeStmt) bool {
+	if rs.Value != nil || len(rs.Body.List) != 1 {
+		return false
+	}
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	lhs, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 || call.Ellipsis.IsValid() {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if _, isBuiltin := pass.Info.Uses[fn].(*types.Builtin); !isBuiltin || fn.Name != "append" {
+		return false
+	}
+	dst, ok := call.Args[0].(*ast.Ident)
+	if !ok || dst.Name != lhs.Name {
+		return false
+	}
+	elem, ok := call.Args[1].(*ast.Ident)
+	return ok && elem.Name == key.Name
+}

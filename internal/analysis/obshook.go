@@ -1,0 +1,351 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ObsHook enforces PR 1's observability contract — "one nil check, zero
+// allocations when disabled" — at both ends of every hook:
+//
+//   - inside package obs, every exported hook on *Observer must use a
+//     pointer receiver and begin with a nil-receiver guard, because the
+//     disabled state is a nil *Observer and components call hooks
+//     unconditionally on their hot paths;
+//   - at call sites, a hook invocation that is not lexically guarded by a
+//     nil check of its receiver must pass only cheap arguments: Go
+//     evaluates arguments before the callee's nil check runs, so a closure,
+//     composite literal, function call or implicit interface conversion in
+//     the argument list costs an allocation (or arbitrary work) on every
+//     call even when observability is off.
+//
+// Guarding the call site (if o != nil { o.Hook(expensive()) }) is the
+// escape hatch for hooks that genuinely need computed arguments.
+var ObsHook = &Analyzer{
+	Name: "obshook",
+	Doc:  "observer hooks: nil-guarded implementations, allocation-free unguarded call sites",
+	Run:  runObsHook,
+}
+
+func runObsHook(pass *Pass) {
+	if pass.Pkg.Name() == "obs" {
+		checkHookGuards(pass)
+	}
+	checkHookCallSites(pass)
+}
+
+// --- hook implementations (package obs) ---
+
+func checkHookGuards(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 || !fd.Name.IsExported() || fd.Body == nil {
+				continue
+			}
+			recvType := fd.Recv.List[0].Type
+			star, isPtr := recvType.(*ast.StarExpr)
+			base := recvType
+			if isPtr {
+				base = star.X
+			}
+			id, ok := base.(*ast.Ident)
+			if !ok || id.Name != "Observer" {
+				continue
+			}
+			if !isPtr {
+				pass.Reportf(fd.Name.Pos(),
+					"exported Observer hook %s has a value receiver; hooks must use a pointer receiver so the disabled state (a nil *Observer) is a no-op",
+					fd.Name.Name)
+				continue
+			}
+			recvName := ""
+			if names := fd.Recv.List[0].Names; len(names) > 0 {
+				recvName = names[0].Name
+			}
+			if recvName == "" || recvName == "_" || !startsWithNilGuard(fd.Body, recvName) {
+				pass.Reportf(fd.Name.Pos(),
+					"exported Observer hook %s must begin with a nil-receiver guard (if %s == nil { return ... }); callers invoke hooks unconditionally on a possibly-nil *Observer",
+					fd.Name.Name, nonEmpty(recvName, "o"))
+			}
+		}
+	}
+}
+
+// startsWithNilGuard reports whether body's first statement is
+// "if recv == nil [|| ...] { return ... }".
+func startsWithNilGuard(body *ast.BlockStmt, recv string) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	ifs, ok := body.List[0].(*ast.IfStmt)
+	if !ok || ifs.Init != nil || !endsInReturn(ifs.Body) {
+		return false
+	}
+	// The nil check must be the leftmost disjunct, so it is evaluated
+	// before anything dereferences the receiver.
+	cond := ifs.Cond
+	for {
+		be, ok := cond.(*ast.BinaryExpr)
+		if !ok || be.Op != token.LOR {
+			break
+		}
+		cond = be.X
+	}
+	e, ok := nilCompare(cond, token.EQL)
+	if !ok {
+		return false
+	}
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == recv
+}
+
+func nonEmpty(s, fallback string) string {
+	if s == "" || s == "_" {
+		return fallback
+	}
+	return s
+}
+
+// --- call sites (any package) ---
+
+// A guard is a source region within which expr is known non-nil.
+type guard struct {
+	expr string
+	rng  posRange
+}
+
+func checkHookCallSites(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			guards := collectGuards(fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || !isObserverExpr(pass, sel.X) {
+					return true
+				}
+				recv := types.ExprString(sel.X)
+				for _, g := range guards {
+					if g.expr == recv && g.rng.contains(call.Pos()) {
+						return true // nil-guarded: computed arguments are fine
+					}
+				}
+				checkHookArgs(pass, call, sel, recv)
+				return true
+			})
+		}
+	}
+}
+
+// collectGuards finds the regions of fn where some expression is known
+// non-nil: the body of "if E != nil [&& ...]", the else-branch of
+// "if E == nil", and — when that if-body returns — the rest of the
+// function after "if E == nil [|| ...] { return }".
+func collectGuards(fnBody *ast.BlockStmt) []guard {
+	var gs []guard
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		for _, e := range neqNilExprs(ifs.Cond) {
+			gs = append(gs, guard{types.ExprString(e), posRange{ifs.Body.Pos(), ifs.Body.End()}})
+		}
+		if eqs := eqNilExprs(ifs.Cond); len(eqs) > 0 {
+			if endsInReturn(ifs.Body) {
+				for _, e := range eqs {
+					gs = append(gs, guard{types.ExprString(e), posRange{ifs.End(), fnBody.End()}})
+				}
+			}
+			if blk, ok := ifs.Else.(*ast.BlockStmt); ok {
+				for _, e := range eqs {
+					gs = append(gs, guard{types.ExprString(e), posRange{blk.Pos(), blk.End()}})
+				}
+			}
+		}
+		return true
+	})
+	return gs
+}
+
+// neqNilExprs returns the expressions proven non-nil when cond holds:
+// the "E != nil" conjuncts of an && tree.
+func neqNilExprs(cond ast.Expr) []ast.Expr {
+	if be, ok := cond.(*ast.BinaryExpr); ok && be.Op == token.LAND {
+		return append(neqNilExprs(be.X), neqNilExprs(be.Y)...)
+	}
+	if e, ok := nilCompare(cond, token.NEQ); ok {
+		return []ast.Expr{e}
+	}
+	return nil
+}
+
+// eqNilExprs returns the expressions proven non-nil when cond does NOT
+// hold: the "E == nil" disjuncts of an || tree.
+func eqNilExprs(cond ast.Expr) []ast.Expr {
+	if be, ok := cond.(*ast.BinaryExpr); ok && be.Op == token.LOR {
+		return append(eqNilExprs(be.X), eqNilExprs(be.Y)...)
+	}
+	if e, ok := nilCompare(cond, token.EQL); ok {
+		return []ast.Expr{e}
+	}
+	return nil
+}
+
+// nilCompare matches "E op nil" or "nil op E" and returns E.
+func nilCompare(cond ast.Expr, op token.Token) (ast.Expr, bool) {
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok || be.Op != op {
+		return nil, false
+	}
+	if isNilIdent(be.Y) {
+		return be.X, true
+	}
+	if isNilIdent(be.X) {
+		return be.Y, true
+	}
+	return nil, false
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// endsInReturn reports whether the block's last statement leaves the
+// function.
+func endsInReturn(body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	switch last := body.List[len(body.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "panic"
+	}
+	return false
+}
+
+// isObserverExpr reports whether e's type is obs.Observer or *obs.Observer
+// (matched by name, so fixture packages named obs participate too).
+func isObserverExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Observer" && obj.Pkg() != nil && obj.Pkg().Name() == "obs"
+}
+
+func checkHookArgs(pass *Pass, call *ast.CallExpr, sel *ast.SelectorExpr, recv string) {
+	var sig *types.Signature
+	if tv, ok := pass.Info.Types[sel]; ok {
+		sig, _ = tv.Type.(*types.Signature)
+	}
+	for i, arg := range call.Args {
+		if !isCheapExpr(pass, arg) {
+			if _, isClosure := arg.(*ast.FuncLit); isClosure {
+				pass.Reportf(arg.Pos(),
+					"closure passed to Observer hook %s allocates on every call, even when the observer is disabled; hoist it, or guard the call with if %s != nil",
+					sel.Sel.Name, recv)
+			} else {
+				pass.Reportf(arg.Pos(),
+					"argument %s to Observer hook %s is evaluated (and may allocate) even when the observer is disabled; pass a plain value, or guard the call with if %s != nil",
+					types.ExprString(arg), sel.Sel.Name, recv)
+			}
+			continue
+		}
+		if sig != nil && boxesToInterface(pass, sig, i, arg) {
+			pass.Reportf(arg.Pos(),
+				"argument %s to Observer hook %s is implicitly converted to an interface, allocating even when the observer is disabled; change the hook's parameter type, or guard the call with if %s != nil",
+				types.ExprString(arg), sel.Sel.Name, recv)
+		}
+	}
+}
+
+// isCheapExpr reports whether evaluating e is allocation-free and
+// side-effect-free: identifiers, field selections, literals, conversions,
+// indexing and arithmetic over such expressions.
+func isCheapExpr(pass *Pass, e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.Ident, *ast.BasicLit:
+		return true
+	case *ast.SelectorExpr:
+		return isCheapExpr(pass, v.X)
+	case *ast.ParenExpr:
+		return isCheapExpr(pass, v.X)
+	case *ast.StarExpr:
+		return isCheapExpr(pass, v.X)
+	case *ast.IndexExpr:
+		return isCheapExpr(pass, v.X) && isCheapExpr(pass, v.Index)
+	case *ast.UnaryExpr:
+		if v.Op == token.AND {
+			return false // &x may escape and allocate
+		}
+		return isCheapExpr(pass, v.X)
+	case *ast.BinaryExpr:
+		if tv, ok := pass.Info.Types[e]; ok && tv.Value == nil {
+			if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+				return false // non-constant string concatenation allocates
+			}
+		}
+		return isCheapExpr(pass, v.X) && isCheapExpr(pass, v.Y)
+	case *ast.CallExpr:
+		// Type conversions are free; real calls do arbitrary work.
+		if tv, ok := pass.Info.Types[v.Fun]; ok && tv.IsType() {
+			return len(v.Args) == 1 && isCheapExpr(pass, v.Args[0])
+		}
+		return false
+	}
+	return false
+}
+
+// boxesToInterface reports whether argument i is implicitly converted to an
+// interface-typed parameter.
+func boxesToInterface(pass *Pass, sig *types.Signature, i int, arg ast.Expr) bool {
+	params := sig.Params()
+	var param types.Type
+	switch {
+	case sig.Variadic() && i >= params.Len()-1:
+		s, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+		if !ok {
+			return false
+		}
+		param = s.Elem()
+	case i < params.Len():
+		param = params.At(i).Type()
+	default:
+		return false
+	}
+	if !types.IsInterface(param) {
+		return false
+	}
+	tv, ok := pass.Info.Types[arg]
+	if !ok || tv.Type == nil || tv.IsNil() {
+		return false
+	}
+	return !types.IsInterface(tv.Type)
+}

@@ -1,0 +1,82 @@
+// Package floateq seeds exact float comparison and map-ordered float
+// accumulation for the floateq analyzer's self-test.
+package floateq
+
+func eq(a, b float64) bool {
+	return a == b // want "exact == on floating-point values"
+}
+
+func neq(a, b float32) bool {
+	return a != b // want "exact != on floating-point values"
+}
+
+func mixed(a float64, n int) bool {
+	return a == float64(n) // want "exact == on floating-point values"
+}
+
+// zeroGuard compares against the exact constant zero — the conventional
+// division guard, IEEE-exact: accepted.
+func zeroGuard(den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return 1 / den
+}
+
+func intsAreFine(a, b uint64) bool {
+	return a == b
+}
+
+// annotated names why exact comparison is intended: accepted.
+func annotated(a, b float64) bool {
+	//fastsim:float-exact: fixture: operands are bit-copied, never recomputed
+	return a == b
+}
+
+// annotatedNoReason omits the mandatory justification.
+func annotatedNoReason(a, b float64) bool {
+	//fastsim:float-exact
+	return a == b // want "must name why exact comparison is safe"
+}
+
+// mapSum accumulates floats in map order; //fastsim:order-independent
+// cannot excuse this (float addition is not associative), which is why the
+// check lives in floateq rather than maprange.
+func mapSum(m map[string]float64) float64 {
+	s := 0.0
+	//fastsim:order-independent: fixture: deliberately wrong claim
+	for _, v := range m {
+		s += v // want "float accumulation inside map iteration"
+	}
+	return s
+}
+
+// mapSumAssignForm spells the accumulation as x = x + v.
+func mapSumAssignForm(m map[int]float64) float64 {
+	var s float64
+	//fastsim:order-independent: fixture: deliberately wrong claim
+	for _, v := range m {
+		s = s + v // want "float accumulation inside map iteration"
+	}
+	return s
+}
+
+// sliceSum accumulates in deterministic slice order: accepted.
+func sliceSum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// exactSum sums values known to be exactly representable: accepted with the
+// annotation.
+func exactSum(m map[string]float64) float64 {
+	s := 0.0
+	//fastsim:order-independent: fixture: counts only
+	for _, v := range m {
+		s += v //fastsim:float-exact: fixture: every value is a small integer count, summed exactly within 2^53
+	}
+	return s
+}

@@ -1,0 +1,66 @@
+// Package maprange seeds order-leaking map iteration for the maprange
+// analyzer's self-test.
+package maprange
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// render serializes a map in iteration order — the classic leak.
+func render(m map[string]int) string {
+	var b strings.Builder
+	for k, v := range m { // want "range over map m: iteration order is randomized"
+		fmt.Fprintf(&b, "%s=%d\n", k, v)
+	}
+	return b.String()
+}
+
+// firstKey leaks order through an early exit.
+func firstKey(m map[uint64]bool) uint64 {
+	for k := range m { // want "range over map m: iteration order is randomized"
+		return k
+	}
+	return 0
+}
+
+// sortedRender uses the collect-then-sort idiom: accepted without
+// annotation.
+func sortedRender(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%d\n", k, m[k])
+	}
+	return b.String()
+}
+
+// annotated carries a justification: accepted.
+func annotated(m map[string]*int) {
+	//fastsim:order-independent: each entry is zeroed independently; no output depends on visit order
+	for _, p := range m {
+		*p = 0
+	}
+}
+
+// annotatedNoReason omits the mandatory justification.
+func annotatedNoReason(m map[string]int) {
+	//fastsim:order-independent
+	for k := range m { // want "must name why iteration order cannot leak"
+		delete(m, k)
+	}
+}
+
+// sliceRange is not a map: accepted.
+func sliceRange(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

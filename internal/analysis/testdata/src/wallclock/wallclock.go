@@ -1,0 +1,39 @@
+// Package wallclock seeds wall-clock and global-rand violations for the
+// wallclock analyzer's self-test. The `want` comments are matched by the
+// expectation engine in analysis_test.go.
+package wallclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+// sim is a stand-in deterministic simulation state.
+type sim struct{ cycles uint64 }
+
+func bad(s *sim) time.Duration {
+	start := time.Now()                // want "time.Now reads the wall clock"
+	time.Sleep(time.Millisecond)       // want "time.Sleep reads the wall clock"
+	s.cycles += uint64(rand.Intn(8))   // want "rand.Intn draws from the auto-seeded global source"
+	rand.Shuffle(2, func(i, j int) {}) // want "rand.Shuffle draws from the auto-seeded global source"
+	return time.Since(start)           // want "time.Since reads the wall clock"
+}
+
+func annotatedAbove() time.Time {
+	//fastsim:allow-wallclock: fixture: justification on the preceding line
+	return time.Now()
+}
+
+func annotatedSameLine(start time.Time) time.Duration {
+	return time.Since(start) //fastsim:allow-wallclock: fixture: trailing justification
+}
+
+func seeded(s *sim) uint64 {
+	r := rand.New(rand.NewSource(42)) // explicitly seeded generator: allowed
+	return s.cycles + uint64(r.Int63())
+}
+
+func clean(s *sim) uint64 {
+	s.cycles++
+	return s.cycles
+}

@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Wallclock forbids wall-clock reads and the auto-seeded global math/rand
+// source in deterministic packages. Host time differs on every run, and the
+// global rand source is seeded differently per process, so either one
+// reaching simulated state or serialized output breaks replay determinism.
+//
+// Explicitly constructed generators (rand.New(rand.NewSource(seed))) are
+// allowed — a fixed seed is deterministic. Sites where host time genuinely
+// cannot leak into results (the WallTime speed report, the progress
+// heartbeat) carry //fastsim:allow-wallclock with a justification.
+var Wallclock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "forbid time.Now/time.Since and the global math/rand source in deterministic packages",
+	Run:  runWallclock,
+}
+
+// wallclockTimeFuncs are the package time functions that read or schedule
+// against the host clock.
+var wallclockTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"Tick":      true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+// wallclockRandOK are the math/rand (and v2) constructors: building an
+// explicitly seeded generator is deterministic and allowed.
+var wallclockRandOK = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func runWallclock(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods (e.g. on an explicit *rand.Rand) are fine
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if !wallclockTimeFuncs[fn.Name()] {
+					return true
+				}
+				if _, ok := pass.Annotation(sel.Pos(), MarkerAllowWallclock); ok {
+					return true
+				}
+				pass.Reportf(sel.Pos(),
+					"time.%s reads the wall clock, which differs on every run; use simulated cycles, or annotate //fastsim:allow-wallclock: <why host time cannot leak into results>",
+					fn.Name())
+			case "math/rand", "math/rand/v2":
+				if wallclockRandOK[fn.Name()] {
+					return true
+				}
+				if _, ok := pass.Annotation(sel.Pos(), MarkerAllowWallclock); ok {
+					return true
+				}
+				pass.Reportf(sel.Pos(),
+					"rand.%s draws from the auto-seeded global source, which differs per process; construct an explicitly seeded generator with rand.New(rand.NewSource(seed))",
+					fn.Name())
+			}
+			return true
+		})
+	}
+}

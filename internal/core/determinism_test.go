@@ -1,0 +1,83 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fastsim/internal/memo"
+	"fastsim/internal/obs"
+)
+
+// TestJSONLStreamsByteIdentical is the system-level determinism regression
+// behind fsvet: two runs of the same workload with the -events and -sample
+// outputs enabled emit byte-identical JSONL streams, on both the detailed
+// and memoizing engines. The memoizing run uses a tightly bounded
+// generational p-action cache so replacement events (and the GC map sweeps
+// audited in internal/memo/paction.go) are inside the comparison.
+func TestJSONLStreamsByteIdentical(t *testing.T) {
+	p := obsWorkloads(t)["129.compress"]
+	for _, memoize := range []bool{false, true} {
+		streams := func() (sample, events string) {
+			var sb, eb strings.Builder
+			cfg := DefaultConfig()
+			cfg.Memoize = memoize
+			if memoize {
+				cfg.Memo = memo.Options{Policy: memo.PolicyGenGC, Limit: 1 << 15, MajorEvery: 2}
+			}
+			cfg.Observer = obs.New(obs.Options{
+				SampleW:        &sb,
+				SampleInterval: 1000,
+				EventW:         &eb,
+			})
+			if _, err := Run(p, cfg); err != nil {
+				t.Fatalf("memoize=%v: %v", memoize, err)
+			}
+			return sb.String(), eb.String()
+		}
+		sample1, events1 := streams()
+		sample2, events2 := streams()
+		if sample1 == "" {
+			t.Errorf("memoize=%v: empty sample stream", memoize)
+		}
+		if sample1 != sample2 {
+			t.Errorf("memoize=%v: sample stream differs between identical runs:\nrun1 %d bytes, run2 %d bytes",
+				memoize, len(sample1), len(sample2))
+		}
+		if events1 != events2 {
+			t.Errorf("memoize=%v: event stream differs between identical runs:\nrun1 %d bytes, run2 %d bytes",
+				memoize, len(events1), len(events2))
+		}
+		if memoize && events1 == "" {
+			t.Error("memoizing run emitted no events; the comparison is vacuous")
+		}
+	}
+}
+
+// TestMemoGraphDotStable pins the byte-stability of the DOT export: node
+// identity comes from deterministic traversal order, never from pointer
+// values, so two runs of the same workload render the same bytes.
+func TestMemoGraphDotStable(t *testing.T) {
+	p := obsWorkloads(t)["099.go"]
+	dot := func() string {
+		var b bytes.Buffer
+		cfg := DefaultConfig()
+		cfg.Memoize = true
+		cfg.MemoGraphDot = &b
+		cfg.MemoGraphMax = 32
+		if _, err := Run(p, cfg); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	a, b := dot(), dot()
+	if a == "" {
+		t.Fatal("empty DOT export")
+	}
+	if a != b {
+		t.Fatalf("DOT export differs between identical runs (%d vs %d bytes)", len(a), len(b))
+	}
+	if strings.Contains(a, "0x") {
+		t.Error("DOT export contains a pointer-formatted node id; output cannot be byte-stable across processes")
+	}
+}

@@ -84,7 +84,7 @@ func Run(prog *program.Program, cfg Config) (res *Result, err error) {
 		}
 	}()
 
-	start := time.Now()
+	start := time.Now() //fastsim:allow-wallclock: WallTime reports host simulation speed only; determinism tests zero it before comparing Results
 	var cycles uint64
 	var memoStats memo.Stats
 	if cfg.Memoize {
@@ -122,7 +122,7 @@ func Run(prog *program.Program, cfg Config) (res *Result, err error) {
 		cycles = pl.Now
 	}
 	o.Finish(cycles)
-	wall := time.Since(start)
+	wall := time.Since(start) //fastsim:allow-wallclock: see above
 
 	if !drv.halted {
 		return nil, fmt.Errorf("core: simulation stopped before the program halted")

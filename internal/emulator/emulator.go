@@ -186,6 +186,7 @@ func StepInst(s *State, i isa.Inst, pc uint32) uint32 {
 	case isa.OpCvtfi:
 		s.set(i.Rd, truncToI32(s.F[i.Rs1]))
 	case isa.OpFeq:
+		//fastsim:float-exact: OpFeq is the ISA's IEEE equality instruction; exact comparison of register bits is the architecture's semantics
 		s.set(i.Rd, b2u(s.F[i.Rs1] == s.F[i.Rs2]))
 	case isa.OpFlt:
 		s.set(i.Rd, b2u(s.F[i.Rs1] < s.F[i.Rs2]))

@@ -34,8 +34,28 @@ func (c *Cache) ExportDot(w io.Writer, maxConfigs int) error {
 		kept[k] = true
 	}
 
-	cfgID := func(cf *config) string { return fmt.Sprintf("cfg_%p", cf) }
-	actID := func(a *action) string { return fmt.Sprintf("act_%p", a) }
+	// Node names are sequential IDs assigned in traversal order — the
+	// traversal itself is deterministic (sorted config keys, chain order,
+	// label-sorted edges), so the DOT output is byte-stable across runs,
+	// unlike pointer-formatted names.
+	cfgIDs := make(map[*config]int)
+	actIDs := make(map[*action]int)
+	cfgID := func(cf *config) string {
+		id, ok := cfgIDs[cf]
+		if !ok {
+			id = len(cfgIDs)
+			cfgIDs[cf] = id
+		}
+		return fmt.Sprintf("cfg_%d", id)
+	}
+	actID := func(a *action) string {
+		id, ok := actIDs[a]
+		if !ok {
+			id = len(actIDs)
+			actIDs[a] = id
+		}
+		return fmt.Sprintf("act_%d", id)
+	}
 
 	var emitChain func(a *action)
 	emitChain = func(a *action) {
@@ -63,8 +83,8 @@ func (c *Cache) ExportDot(w io.Writer, maxConfigs int) error {
 			if kept[a.nextCfg.key] {
 				fmt.Fprintf(w, "  %s -> %s [style=dashed];\n", actID(a), cfgID(a.nextCfg))
 			} else {
-				fmt.Fprintf(w, "  %s -> elided_%p [style=dotted];\n", actID(a), a.nextCfg)
-				fmt.Fprintf(w, "  elided_%p [label=\"...\" shape=plaintext];\n", a.nextCfg)
+				fmt.Fprintf(w, "  %s -> elided_%s [style=dotted];\n", actID(a), cfgID(a.nextCfg))
+				fmt.Fprintf(w, "  elided_%s [label=\"...\" shape=plaintext];\n", cfgID(a.nextCfg))
 			}
 		}
 	}

@@ -2,6 +2,7 @@ package memo
 
 import (
 	"fmt"
+	"sort"
 
 	"fastsim/internal/obs"
 )
@@ -103,16 +104,29 @@ func (a *action) setEdge(label int64, to *action) int {
 	}
 }
 
-// eachEdge calls f for every labelled successor.
+// eachEdge calls f for every labelled successor in ascending label order,
+// so traversals that reach output (dump, DOT export) are byte-stable across
+// runs. Replay never iterates edges — it follows one label via edge() — so
+// the sort is off the hot path.
 func (a *action) eachEdge(f func(label int64, to *action)) {
+	type labelled struct {
+		l  int64
+		to *action
+	}
+	es := make([]labelled, 0, 2+len(a.edges))
 	if a.e1 != nil {
-		f(a.l1, a.e1)
+		es = append(es, labelled{a.l1, a.e1})
 	}
 	if a.e2 != nil {
-		f(a.l2, a.e2)
+		es = append(es, labelled{a.l2, a.e2})
 	}
+	//fastsim:order-independent: edges are collected here and sorted by label below, before f observes them
 	for l, t := range a.edges {
-		f(l, t)
+		es = append(es, labelled{l, t})
+	}
+	sort.Slice(es, func(i, j int) bool { return es[i].l < es[j].l })
+	for _, e := range es {
+		f(e.l, e.to)
 	}
 }
 
@@ -307,6 +321,7 @@ func (c *Cache) collect(minorOnly bool) {
 			}
 		}
 		extra := 0
+		//fastsim:order-independent: visits sum commutative counters (survivors, bytes), set idempotent marks, and delete dead edges; the graph is a tree, so each node is walked once regardless of order
 		for l, t := range a.edges {
 			if keepAct(t) {
 				walk(t)
@@ -318,6 +333,7 @@ func (c *Cache) collect(minorOnly bool) {
 		bytes += extra
 	}
 	kept := make([]*config, 0, len(c.m))
+	//fastsim:order-independent: walk only sums commutative counters and clips dead pointers; kept's order feeds nothing but the map rebuild below
 	for _, cf := range c.m {
 		if keepCfg(cf) {
 			kept = append(kept, cf)
@@ -340,6 +356,7 @@ func (c *Cache) collect(minorOnly bool) {
 		next[cf.key] = cf
 		bytes += len(cf.key) + configOverhead
 	}
+	//fastsim:order-independent: inserts shells into the next map and sums bytes; map content and a commutative sum are order-free
 	for cf := range referenced {
 		if next[cf.key] == nil {
 			cf.first = nil

@@ -32,8 +32,8 @@ func (h *heartbeat) start() {
 
 func (h *heartbeat) loop() {
 	defer h.wg.Done()
-	start := time.Now()
-	t := time.NewTicker(h.every)
+	start := time.Now()          //fastsim:allow-wallclock: the heartbeat is wall-clock by design; it only reads published atomics and never feeds the simulation
+	t := time.NewTicker(h.every) //fastsim:allow-wallclock: see above
 	defer t.Stop()
 	var lastInsts uint64
 	lastT := start
@@ -53,7 +53,7 @@ func (h *heartbeat) loop() {
 				ipc = float64(i) / float64(c)
 			}
 			fmt.Fprintf(h.w, "progress: cycles=%d insts=%d ipc=%.3f kinsts/s=%.1f elapsed=%s\n",
-				c, i, ipc, rate, time.Since(start).Round(time.Millisecond))
+				c, i, ipc, rate, time.Since(start).Round(time.Millisecond)) //fastsim:allow-wallclock: elapsed wall time in the human progress line
 			lastInsts, lastT = i, now
 		}
 	}

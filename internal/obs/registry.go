@@ -137,6 +137,7 @@ func (r *Registry) Snapshot() map[string]float64 {
 		return nil
 	}
 	m := make(map[string]float64, len(r.funcs))
+	//fastsim:order-independent: builds a map, whose content is order-free; ordered consumers go through Names(), which sorts
 	for n, f := range r.funcs {
 		m[n] = f()
 	}
