@@ -9,6 +9,7 @@
 package fastsim
 
 import (
+	"sync"
 	"testing"
 
 	"fastsim/internal/cachesim"
@@ -24,10 +25,17 @@ import (
 // uses scale 1.0.
 const benchScale = 0.1
 
-var progCache = map[string]*program.Program{}
+// progCache is shared across benchmarks, which the testing package may run
+// from different goroutines (b.RunParallel, -cpu lists); guard it.
+var (
+	progCacheMu sync.Mutex
+	progCache   = map[string]*program.Program{}
+)
 
 func benchProgram(b *testing.B, name string) *program.Program {
 	b.Helper()
+	progCacheMu.Lock()
+	defer progCacheMu.Unlock()
 	if p, ok := progCache[name]; ok {
 		return p
 	}

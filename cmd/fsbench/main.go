@@ -10,6 +10,10 @@
 //	fsbench -figure 7               # cache-limit sweep (slow: many runs)
 //	fsbench -ablation gc|direct|encoding
 //	fsbench -workloads 099.go,107.mgrid  # restrict any of the above
+//	fsbench -all -j 4               # fan runs over 4 workers (-j 1: sequential)
+//
+// Every mode fans its independent simulations over a deterministic worker
+// pool; tables and JSON are byte-identical for any -j value.
 package main
 
 import (
@@ -30,6 +34,7 @@ func main() {
 		sweep    = flag.Bool("sweep", false, "run the design-space sweep")
 		scale    = flag.Float64("scale", 1.0, "workload scale factor")
 		names    = flag.String("workloads", "", "comma-separated workload subset")
+		jobs     = flag.Int("j", 0, "worker-pool width: 0 = all CPUs, 1 = sequential")
 		quiet    = flag.Bool("q", false, "suppress progress output")
 		asJSON   = flag.Bool("json", false, "emit suite results as JSON (with -table/-all)")
 	)
@@ -43,7 +48,7 @@ func main() {
 	if *quiet {
 		progress = nil
 	}
-	opts := tablegen.Options{Scale: *scale, Workloads: subset, Verbose: progress}
+	opts := tablegen.Options{Scale: *scale, Workloads: subset, Verbose: progress, Jobs: *jobs}
 
 	switch {
 	case *table == 1:
@@ -79,7 +84,7 @@ func main() {
 		fmt.Print(suite.Verify())
 
 	case *sweep:
-		res, err := tablegen.RunSweep(nil, subset, *scale, true)
+		res, err := tablegen.RunSweep(nil, subset, *scale, true, *jobs)
 		if err != nil {
 			fatal(err)
 		}
@@ -93,35 +98,35 @@ func main() {
 		fmt.Println(res.Render())
 
 	case *ablation == "gc":
-		rows, err := tablegen.RunGCAblation(subset, *scale, 0)
+		rows, err := tablegen.RunGCAblation(subset, *scale, 0, *jobs)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Println(tablegen.RenderGCAblation(rows))
 
 	case *ablation == "direct":
-		rows, err := tablegen.RunDirectAblation(subset, *scale)
+		rows, err := tablegen.RunDirectAblation(subset, *scale, *jobs)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Println(tablegen.RenderDirectAblation(rows))
 
 	case *ablation == "bpred":
-		rows, err := tablegen.RunBPredAblation(subset, *scale)
+		rows, err := tablegen.RunBPredAblation(subset, *scale, *jobs)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Println(tablegen.RenderBPredAblation(rows))
 
 	case *ablation == "inorder":
-		rows, err := tablegen.RunInOrderAblation(subset, *scale)
+		rows, err := tablegen.RunInOrderAblation(subset, *scale, *jobs)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Println(tablegen.RenderInOrderAblation(rows))
 
 	case *ablation == "encoding":
-		rows, err := tablegen.RunEncodingAblation(subset, *scale)
+		rows, err := tablegen.RunEncodingAblation(subset, *scale, *jobs)
 		if err != nil {
 			fatal(err)
 		}

@@ -17,6 +17,7 @@
 //	//fastsim:allow-wallclock: <why host time cannot leak into results>
 //	//fastsim:order-independent: <why iteration order cannot leak>
 //	//fastsim:float-exact: <why exact float comparison/accumulation is safe>
+//	//fastsim:observer-goroutine: <why concurrent hook calls are safe>
 //
 // An annotation applies to findings on its own line or the line directly
 // below it, so both trailing and preceding comment placement work.
@@ -33,9 +34,10 @@ import (
 
 // Annotation markers, matched anywhere in a // comment.
 const (
-	MarkerAllowWallclock   = "fastsim:allow-wallclock"
-	MarkerOrderIndependent = "fastsim:order-independent"
-	MarkerFloatExact       = "fastsim:float-exact"
+	MarkerAllowWallclock    = "fastsim:allow-wallclock"
+	MarkerOrderIndependent  = "fastsim:order-independent"
+	MarkerFloatExact        = "fastsim:float-exact"
+	MarkerObserverGoroutine = "fastsim:observer-goroutine"
 )
 
 // An Analyzer is one determinism check. Run inspects the package held by

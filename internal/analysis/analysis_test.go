@@ -107,6 +107,10 @@ func TestFloatEqFixture(t *testing.T)   { runFixture(t, "floateq", FloatEq) }
 func TestObsHookGuardFixture(t *testing.T)    { runFixture(t, "obsguard", ObsHook) }
 func TestObsHookCallSiteFixture(t *testing.T) { runFixture(t, "obshook", ObsHook) }
 
+// TestObsHookGoroutineFixture covers the goroutine-capture rule: no shared
+// observers inside `go func() { ... }` bodies.
+func TestObsHookGoroutineFixture(t *testing.T) { runFixture(t, "obsgoroutine", ObsHook) }
+
 // TestRepoClean is the in-tree mirror of the CI gate: the full suite over
 // every deterministic package must be silent. A failure here means either a
 // real determinism hazard or a missing (or unjustified) annotation.
@@ -193,6 +197,7 @@ func TestFixturesSeedEnoughViolations(t *testing.T) {
 		{"floateq", FloatEq},
 		{"obsguard", ObsHook},
 		{"obshook", ObsHook},
+		{"obsgoroutine", ObsHook},
 	}
 	for _, c := range cases {
 		pkg := loadFixture(t, c.fixture)

@@ -27,6 +27,10 @@ var DeterministicPackages = []string{
 	"internal/memo",
 	"internal/obs",
 	"internal/stats",
+	// tablegen's parallel runner must produce byte-identical tables for any
+	// worker count, so its fan-out and aggregation code is held to the same
+	// determinism contract as the engines it drives.
+	"internal/tablegen",
 	"internal/uarch",
 }
 

@@ -22,9 +22,17 @@ import (
 //
 // Guarding the call site (if o != nil { o.Hook(expensive()) }) is the
 // escape hatch for hooks that genuinely need computed arguments.
+//
+// A third rule covers the parallel evaluation harness: an Observer's streams
+// and counters are single-writer state, so a hook invoked from inside a
+// `go func() { ... }` on an observer captured from the enclosing function
+// interleaves writes between worker goroutines. Each worker must construct
+// its own run-local observer (declared inside the goroutine's function
+// literal), or the call carries //fastsim:observer-goroutine with a reason
+// the sharing is safe.
 var ObsHook = &Analyzer{
 	Name: "obshook",
-	Doc:  "observer hooks: nil-guarded implementations, allocation-free unguarded call sites",
+	Doc:  "observer hooks: nil-guarded implementations, allocation-free unguarded call sites, no shared observers in goroutines",
 	Run:  runObsHook,
 }
 
@@ -33,6 +41,7 @@ func runObsHook(pass *Pass) {
 		checkHookGuards(pass)
 	}
 	checkHookCallSites(pass)
+	checkHookGoroutines(pass)
 }
 
 // --- hook implementations (package obs) ---
@@ -321,6 +330,80 @@ func isCheapExpr(pass *Pass, e ast.Expr) bool {
 		return false
 	}
 	return false
+}
+
+// --- goroutine capture (any package) ---
+
+// checkHookGoroutines reports Observer hook calls inside a `go func() {...}`
+// whose receiver is captured from outside the goroutine's function literal:
+// observers are single-writer, so sharing one across workers interleaves
+// its streams nondeterministically.
+func checkHookGoroutines(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := gs.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || !isObserverExpr(pass, sel.X) {
+					return true
+				}
+				root := rootIdent(sel.X)
+				if root == nil {
+					return true
+				}
+				obj := pass.Info.Uses[root]
+				if obj == nil {
+					obj = pass.Info.Defs[root]
+				}
+				// An observer declared inside the literal (a parameter or a
+				// run-local observer built by the worker) is goroutine-private.
+				if obj == nil || (obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End()) {
+					return true
+				}
+				if _, ok := pass.Annotation(call.Pos(), MarkerObserverGoroutine); ok {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"Observer hook %s is called from a goroutine on %s, which is captured from the enclosing function; observers are single-writer — build a run-local observer inside the goroutine, or annotate //fastsim:observer-goroutine: <why concurrent hook calls are safe>",
+					sel.Sel.Name, types.ExprString(sel.X))
+				return true
+			})
+			return true
+		})
+	}
+}
+
+// rootIdent unwraps selectors, parens, derefs and indexing down to the base
+// identifier an expression reads from; nil when the base is a call result or
+// literal, which cannot be attributed to a captured variable.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
 }
 
 // boxesToInterface reports whether argument i is implicitly converted to an

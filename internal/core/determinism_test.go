@@ -2,11 +2,13 @@ package core
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 
 	"fastsim/internal/memo"
 	"fastsim/internal/obs"
+	"fastsim/internal/workloads"
 )
 
 // TestJSONLStreamsByteIdentical is the system-level determinism regression
@@ -50,6 +52,77 @@ func TestJSONLStreamsByteIdentical(t *testing.T) {
 		}
 		if memoize && events1 == "" {
 			t.Error("memoizing run emitted no events; the comparison is vacuous")
+		}
+	}
+}
+
+// TestAllWorkloadsFastSlowBitIdentical is the paper's exactness claim run
+// across the entire workload set: FastSim's Result must be bit-identical to
+// SlowSim's on every one of the 18 workloads, not just the table subset.
+// Memoization-specific fields (Memoized, Memo, host WallTime) are the only
+// legitimate differences and are zeroed before comparison.
+func TestAllWorkloadsFastSlowBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every workload twice")
+	}
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			p, err := w.Build(0.05)
+			if err != nil {
+				t.Fatal(err)
+			}
+			slowCfg := DefaultConfig()
+			slowCfg.Memoize = false
+			slow, err := Run(p, slowCfg)
+			if err != nil {
+				t.Fatalf("slowsim: %v", err)
+			}
+			fast, err := Run(p, DefaultConfig())
+			if err != nil {
+				t.Fatalf("fastsim: %v", err)
+			}
+			slow.WallTime, fast.WallTime = 0, 0
+			slow.Memoized, fast.Memoized = false, false
+			slow.Memo, fast.Memo = memo.Stats{}, memo.Stats{}
+			if !reflect.DeepEqual(slow, fast) {
+				t.Errorf("FastSim diverged from SlowSim:\nslow %+v\nfast %+v", slow, fast)
+			}
+		})
+	}
+}
+
+// TestGCReplayStopsBitIdentical forces the replay stop paths at system
+// level: a tiny generational p-action cache collects constantly, so replay
+// regularly hits collected shells and clipped successors (EdgeMisses) and
+// must resume detailed simulation with statistics still bit-identical to
+// SlowSim's.
+func TestGCReplayStopsBitIdentical(t *testing.T) {
+	for name, p := range obsWorkloads(t) {
+		slowCfg := DefaultConfig()
+		slowCfg.Memoize = false
+		slow, err := Run(p, slowCfg)
+		if err != nil {
+			t.Fatalf("%s: slowsim: %v", name, err)
+		}
+		cfg := DefaultConfig()
+		cfg.Memo = memo.Options{Policy: memo.PolicyGenGC, Limit: 1 << 13, MajorEvery: 2}
+		fast, err := Run(p, cfg)
+		if err != nil {
+			t.Fatalf("%s: fastsim: %v", name, err)
+		}
+		if fast.Memo.Collections == 0 {
+			t.Errorf("%s: limit never triggered a collection; test is vacuous", name)
+		}
+		if fast.Memo.EdgeMisses == 0 {
+			t.Errorf("%s: no EdgeMisses under a constantly-collected cache; the replay stop paths were not exercised", name)
+		}
+		slow.WallTime, fast.WallTime = 0, 0
+		slow.Memoized, fast.Memoized = false, false
+		slow.Memo, fast.Memo = memo.Stats{}, memo.Stats{}
+		if !reflect.DeepEqual(slow, fast) {
+			t.Errorf("%s: resumed detailed simulation diverged from SlowSim:\nslow %+v\nfast %+v",
+				name, slow, fast)
 		}
 	}
 }

@@ -133,46 +133,46 @@ func signExtend(v uint32, bits uint) int32 {
 func (i Inst) Class() Class { return i.Op.Class() }
 
 // Uses appends the architectural registers i reads to dst and returns the
-// extended slice. The hardwired zero register is never reported.
+// extended slice. The hardwired zero register is never reported. The two
+// source slots are resolved into locals before appending — a mutating
+// closure here would be heap-allocated on every call, and Uses runs for
+// every instruction the detailed pipeline decodes and issues.
 func (i Inst) Uses(dst []Reg) []Reg {
-	add := func(r Reg) {
-		if r != RegNone && !r.IsZero() {
-			dst = append(dst, r)
-		}
-	}
+	r1, r2 := RegNone, RegNone
 	switch i.Op {
 	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpSll, OpSrl, OpSra, OpSlt, OpSltu,
 		OpMul, OpMulh, OpDiv, OpRem:
-		add(IntReg(int(i.Rs1)))
-		add(IntReg(int(i.Rs2)))
+		r1, r2 = IntReg(int(i.Rs1)), IntReg(int(i.Rs2))
 	case OpAddi, OpAndi, OpOri, OpXori, OpSlli, OpSrli, OpSrai, OpSlti:
-		add(IntReg(int(i.Rs1)))
+		r1 = IntReg(int(i.Rs1))
 	case OpLui:
 		// no sources
 	case OpLw, OpLh, OpLhu, OpLb, OpLbu, OpFld:
-		add(IntReg(int(i.Rs1)))
+		r1 = IntReg(int(i.Rs1))
 	case OpSw, OpSh, OpSb:
-		add(IntReg(int(i.Rs1)))
-		add(IntReg(int(i.Rd))) // store data
+		r1, r2 = IntReg(int(i.Rs1)), IntReg(int(i.Rd)) // store data
 	case OpFsd:
-		add(IntReg(int(i.Rs1)))
-		add(FPReg(int(i.Rd))) // store data
+		r1, r2 = IntReg(int(i.Rs1)), FPReg(int(i.Rd)) // store data
 	case OpBeq, OpBne, OpBlt, OpBge, OpBltu, OpBgeu:
-		add(IntReg(int(i.Rs1)))
-		add(IntReg(int(i.Rs2)))
+		r1, r2 = IntReg(int(i.Rs1)), IntReg(int(i.Rs2))
 	case OpJ, OpJal:
 		// no sources
 	case OpJalr:
-		add(IntReg(int(i.Rs1)))
+		r1 = IntReg(int(i.Rs1))
 	case OpFadd, OpFsub, OpFmul, OpFdiv, OpFmin, OpFmax, OpFeq, OpFlt, OpFle:
-		add(FPReg(int(i.Rs1)))
-		add(FPReg(int(i.Rs2)))
+		r1, r2 = FPReg(int(i.Rs1)), FPReg(int(i.Rs2))
 	case OpFsqrt, OpFneg, OpFabs, OpFmov, OpCvtfi:
-		add(FPReg(int(i.Rs1)))
+		r1 = FPReg(int(i.Rs1))
 	case OpCvtif:
-		add(IntReg(int(i.Rs1)))
+		r1 = IntReg(int(i.Rs1))
 	case OpSys, OpHalt:
-		add(IntReg(RegA0))
+		r1 = IntReg(RegA0)
+	}
+	if r1 != RegNone && !r1.IsZero() {
+		dst = append(dst, r1)
+	}
+	if r2 != RegNone && !r2.IsZero() {
+		dst = append(dst, r2)
 	}
 	return dst
 }

@@ -1,0 +1,71 @@
+package memo
+
+// actionArena allocates action nodes from fixed-size slabs instead of one
+// heap object per node. A long memoized run allocates millions of actions;
+// as individual allocations they are all GC-tracked objects the host
+// collector must mark on every cycle, and the per-object allocator overhead
+// dominates the episode-boundary hot path. Slab allocation turns that into
+// one allocation per arenaSlabSize nodes, and lets flush() release the whole
+// graph by dropping the slab list.
+//
+// The copying collectors (PolicyGC/PolicyGenGC) cannot move nodes — the
+// engine and recorder hold *action pointers across collections — so collect
+// instead sweeps the slabs: slots whose node died are zeroed (clearing
+// stale pointers that would otherwise retain dead subgraphs) and pushed on a
+// free list for reuse, bounding slab growth by the live-set high-water mark
+// rather than by cumulative allocations.
+type actionArena struct {
+	slabs [][]action
+	free  []*action
+}
+
+// arenaSlabSize is the number of action nodes per slab.
+const arenaSlabSize = 1024
+
+// alloc returns a zeroed node: a recycled slot if the last sweep freed any,
+// otherwise the next slot of the current slab.
+func (ar *actionArena) alloc() *action {
+	if n := len(ar.free); n > 0 {
+		a := ar.free[n-1]
+		ar.free[n-1] = nil
+		ar.free = ar.free[:n-1]
+		return a
+	}
+	if len(ar.slabs) == 0 || len(ar.slabs[len(ar.slabs)-1]) == arenaSlabSize {
+		ar.slabs = append(ar.slabs, make([]action, 0, arenaSlabSize))
+	}
+	slab := ar.slabs[len(ar.slabs)-1]
+	slab = append(slab, action{})
+	ar.slabs[len(ar.slabs)-1] = slab
+	return &slab[len(slab)-1]
+}
+
+// reset drops every slab and the free list — flush-on-full's wholesale
+// release. Nodes still referenced from outside (a recorder finishing its
+// episode against a just-flushed graph) stay valid Go objects; they are
+// simply no longer the arena's to hand out.
+func (ar *actionArena) reset() {
+	ar.slabs = nil
+	ar.free = nil
+}
+
+// sweep rebuilds the free list: every allocated slot failing keep is zeroed
+// and recycled. Must run while the collection's keep predicate is still
+// valid (before the generation counter advances). Never-used slots (the
+// zero action has gen 0, which no live generation uses) are recycled too,
+// which is harmless: they were already on the free list or unreachable.
+func (ar *actionArena) sweep(keep func(*action) bool) {
+	ar.free = ar.free[:0]
+	for _, slab := range ar.slabs {
+		for i := range slab {
+			a := &slab[i]
+			if !keep(a) {
+				*a = action{}
+				ar.free = append(ar.free, a)
+			}
+		}
+	}
+}
+
+// slabCount reports how many slabs are allocated (tests and stats).
+func (ar *actionArena) slabCount() int { return len(ar.slabs) }

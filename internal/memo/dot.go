@@ -20,18 +20,17 @@ func (c *Cache) ExportDot(w io.Writer, maxConfigs int) error {
 	fmt.Fprintln(w, `  rankdir=LR;`)
 	fmt.Fprintln(w, `  node [fontsize=9];`)
 
-	// Deterministic order.
-	keys := make([]string, 0, len(c.m))
-	for k := range c.m {
-		keys = append(keys, k)
+	// Deterministic order. Table iteration is already byte-stable, but the
+	// output contract is sorted-by-key, independent of insertion history.
+	cfgs := make([]*config, 0, c.tab.n)
+	c.tab.each(func(cf *config) { cfgs = append(cfgs, cf) })
+	sort.Slice(cfgs, func(i, j int) bool { return cfgs[i].key < cfgs[j].key })
+	if len(cfgs) > maxConfigs {
+		cfgs = cfgs[:maxConfigs]
 	}
-	sort.Strings(keys)
-	if len(keys) > maxConfigs {
-		keys = keys[:maxConfigs]
-	}
-	kept := make(map[string]bool, len(keys))
-	for _, k := range keys {
-		kept[k] = true
+	kept := make(map[string]bool, len(cfgs))
+	for _, cf := range cfgs {
+		kept[cf.key] = true
 	}
 
 	// Node names are sequential IDs assigned in traversal order — the
@@ -89,10 +88,9 @@ func (c *Cache) ExportDot(w io.Writer, maxConfigs int) error {
 		}
 	}
 
-	for _, k := range keys {
-		cf := c.m[k]
+	for _, cf := range cfgs {
 		fmt.Fprintf(w, "  %s [label=\"config %d insts\\n%d B\" shape=box style=filled fillcolor=lightgrey];\n",
-			cfgID(cf), configInsts(k), len(k))
+			cfgID(cf), configInsts(cf.key), len(cf.key))
 		if cf.first != nil {
 			fmt.Fprintf(w, "  %s -> %s;\n", cfgID(cf), actID(cf.first))
 			emitChain(cf.first)

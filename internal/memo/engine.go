@@ -93,6 +93,12 @@ type Engine struct {
 	keyBuf []byte
 	script []scriptEntry
 	chain  uint64 // actions replayed since fast-forwarding last began
+
+	// recScratch is the engine's single recorder, reset by newRecorder at
+	// each episode boundary. The previous episode's recorder is always
+	// finished (setLink called) before the next one starts, so reusing one
+	// struct avoids a heap allocation per episode.
+	recScratch recorder
 }
 
 // NewEngine prepares a fast-forwarding run.

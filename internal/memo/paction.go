@@ -3,6 +3,7 @@ package memo
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"fastsim/internal/obs"
 )
@@ -134,6 +135,8 @@ func (a *action) eachEdge(f func(label int64, to *action)) {
 type config struct {
 	key   string  // encoded iQ snapshot (uarch.EncodeConfig)
 	first *action // episode chain; nil for shells awaiting re-recording
+	hash  uint64  // hashKey(key), computed once at creation
+	hnext *config // configTable bucket chain
 	gen   uint32
 	old   bool
 }
@@ -141,7 +144,8 @@ type config struct {
 // Cache is the p-action cache with its replacement policy.
 type Cache struct {
 	opts   Options
-	m      map[string]*config
+	tab    *configTable
+	arena  actionArena
 	bytes  int
 	live   int // live action nodes (for per-collection survival rates)
 	gen    uint32
@@ -184,7 +188,7 @@ func NewCache(opts Options) *Cache {
 	if opts.Policy == PolicyUnbounded {
 		opts.Limit = 0
 	}
-	return &Cache{opts: opts, m: make(map[string]*config), gen: 1}
+	return &Cache{opts: opts, tab: newConfigTable(0), gen: 1}
 }
 
 // Stats returns a copy of the counters.
@@ -194,20 +198,24 @@ func (c *Cache) Stats() Stats { return c.stats }
 func (c *Cache) Bytes() int { return c.bytes }
 
 // Len returns the number of configurations (including shells).
-func (c *Cache) Len() int { return len(c.m) }
+func (c *Cache) Len() int { return c.tab.n }
 
 // lookup finds a configuration without allocating.
 func (c *Cache) lookup(key []byte) *config {
-	return c.m[string(key)]
+	return c.tab.find(key, hashKey(key))
 }
 
 // getOrCreate returns the configuration for key, allocating it if needed.
+// The key hash is computed once and serves both the probe and, on a miss,
+// the insert; the key bytes are interned only when a configuration is
+// actually created.
 func (c *Cache) getOrCreate(key []byte) (cfg *config, created bool) {
-	if cfg = c.m[string(key)]; cfg != nil {
+	h := hashKey(key)
+	if cfg = c.tab.find(key, h); cfg != nil {
 		return cfg, false
 	}
-	cfg = &config{key: string(key), gen: c.gen}
-	c.m[cfg.key] = cfg
+	cfg = &config{key: string(key), hash: h, gen: c.gen}
+	c.tab.insert(cfg)
 	c.stats.Configs++
 	c.stats.ConfigBytesC += uint64(len(key) + configOverhead)
 	if len(key) >= 6 {
@@ -219,12 +227,16 @@ func (c *Cache) getOrCreate(key []byte) (cfg *config, created bool) {
 	return cfg, true
 }
 
-// newAction allocates an action node.
+// newAction allocates an action node from the arena.
 func (c *Cache) newAction(kind actionKind, rel int32) *action {
 	c.stats.Actions++
 	c.live++
 	c.addBytes(actionBytes)
-	return &action{kind: kind, rel: rel, gen: c.gen}
+	a := c.arena.alloc()
+	a.kind = kind
+	a.rel = rel
+	a.gen = c.gen
+	return a
 }
 
 func (c *Cache) addBytes(n int) {
@@ -264,9 +276,12 @@ func (c *Cache) Reclaim() {
 	}
 }
 
-// flush discards the entire p-action cache (§4.3's "flush on full").
+// flush discards the entire p-action cache (§4.3's "flush on full"). The
+// arena releases every slab wholesale; a recorder mid-episode may still hold
+// nodes of the old graph, which stay valid Go objects until it drops them.
 func (c *Cache) flush() {
-	c.m = make(map[string]*config)
+	c.tab = newConfigTable(0)
+	c.arena.reset()
 	c.bytes = 0
 	c.live = 0
 	c.stats.Bytes = 0
@@ -276,6 +291,13 @@ func (c *Cache) flush() {
 // collect keeps only configurations and actions used since the last
 // collection (gen == current). With minorOnly, entries that survived a
 // previous collection (old) are exempt — the generational policy.
+//
+// The mark walk is an explicit-stack traversal: replay chains grow with the
+// episode length, and a recursive walk over a multi-million-node chain would
+// overflow the goroutine stack. The p-action graph is a tree (configs link
+// to configs, never into the middle of another chain), so each node is
+// visited exactly once and the stack depth is bounded by live fan-out, not
+// chain length.
 func (c *Cache) collect(minorOnly bool) {
 	c.stats.Collections++
 	c.stats.LiveBeforeColl += uint64(c.live)
@@ -286,82 +308,119 @@ func (c *Cache) collect(minorOnly bool) {
 		return cf.gen == c.gen || (minorOnly && cf.old)
 	}
 
-	// Pass 1: walk kept chains, clipping pointers to dead actions and
-	// remembering which configurations surviving links reference.
-	referenced := make(map[*config]bool)
-	bytes := 0
-	var survivors uint64
-	var walk func(a *action)
-	walk = func(a *action) {
-		survivors++
-		a.old = true
-		bytes += actionBytes
-		if a.next != nil {
-			if keepAct(a.next) {
-				walk(a.next)
-			} else {
-				a.next = nil
-			}
-		}
-		if a.nextCfg != nil {
-			referenced[a.nextCfg] = true
-		}
-		if a.e1 != nil {
-			if keepAct(a.e1) {
-				walk(a.e1)
-			} else {
-				a.e1 = nil
-			}
-		}
-		if a.e2 != nil {
-			if keepAct(a.e2) {
-				walk(a.e2)
-			} else {
-				a.e2 = nil
-			}
-		}
-		extra := 0
-		//fastsim:order-independent: visits sum commutative counters (survivors, bytes), set idempotent marks, and delete dead edges; the graph is a tree, so each node is walked once regardless of order
-		for l, t := range a.edges {
-			if keepAct(t) {
-				walk(t)
-				extra += edgeExtraBytes
-			} else {
-				delete(a.edges, l)
-			}
-		}
-		bytes += extra
-	}
-	kept := make([]*config, 0, len(c.m))
-	//fastsim:order-independent: walk only sums commutative counters and clips dead pointers; kept's order feeds nothing but the map rebuild below
-	for _, cf := range c.m {
+	// Pass 1: gather kept configurations (table order is deterministic) and
+	// push their chain roots; then walk, clipping pointers to dead actions
+	// and remembering which configurations surviving links reference.
+	kept := make([]*config, 0, c.tab.n)
+	stack := make([]*action, 0, 64)
+	c.tab.each(func(cf *config) {
 		if keepCfg(cf) {
 			kept = append(kept, cf)
 			if cf.first != nil {
 				if keepAct(cf.first) {
-					walk(cf.first)
+					stack = append(stack, cf.first)
 				} else {
 					cf.first = nil
 				}
 			}
 		}
+	})
+
+	var refs []*config
+	refSeen := make(map[*config]bool)
+	bytes := 0
+	var survivors uint64
+	var labels []int64 // reused scratch for overflow-edge compaction
+	for len(stack) > 0 {
+		a := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		survivors++
+		a.old = true
+		bytes += actionBytes
+		if a.next != nil {
+			if keepAct(a.next) {
+				stack = append(stack, a.next)
+			} else {
+				a.next = nil
+			}
+		}
+		if a.nextCfg != nil && !refSeen[a.nextCfg] {
+			refSeen[a.nextCfg] = true
+			refs = append(refs, a.nextCfg)
+		}
+		if a.e1 != nil && !keepAct(a.e1) {
+			a.e1 = nil
+		}
+		if a.e2 != nil && !keepAct(a.e2) {
+			a.e2 = nil
+		}
+		if a.edges != nil {
+			//fastsim:order-independent: deletes dead entries; survivors are re-read in sorted label order below
+			for l, t := range a.edges {
+				if !keepAct(t) {
+					delete(a.edges, l)
+				}
+			}
+			// Compact surviving overflow edges into inline slots freed by
+			// the clip, smallest label first, so the overflow charge below
+			// reflects the surviving edge count rather than stale map
+			// membership.
+			if len(a.edges) > 0 && (a.e1 == nil || a.e2 == nil) {
+				labels = labels[:0]
+				//fastsim:order-independent: keys are sorted before use
+				for l := range a.edges {
+					labels = append(labels, l)
+				}
+				sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+				for _, l := range labels {
+					if a.e1 == nil {
+						a.l1, a.e1 = l, a.edges[l]
+						delete(a.edges, l)
+					} else if a.e2 == nil {
+						a.l2, a.e2 = l, a.edges[l]
+						delete(a.edges, l)
+					} else {
+						break
+					}
+				}
+			}
+			if len(a.edges) == 0 {
+				a.edges = nil
+			} else {
+				labels = labels[:0]
+				//fastsim:order-independent: keys are sorted before use
+				for l := range a.edges {
+					labels = append(labels, l)
+				}
+				sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+				for i := len(labels) - 1; i >= 0; i-- {
+					stack = append(stack, a.edges[labels[i]])
+				}
+				bytes += len(a.edges) * edgeExtraBytes
+			}
+		}
+		if a.e2 != nil {
+			stack = append(stack, a.e2)
+		}
+		if a.e1 != nil {
+			stack = append(stack, a.e1)
+		}
 	}
 
-	// Pass 2: rebuild the map. Dropped configurations still referenced by
+	// Pass 2: rebuild the table. Dropped configurations still referenced by
 	// surviving links stay as shells (key only, chain re-recorded on the
 	// next visit); unreferenced ones disappear.
-	next := make(map[string]*config, len(kept))
+	next := newConfigTable(len(kept))
 	for _, cf := range kept {
 		cf.old = true
-		next[cf.key] = cf
+		next.insert(cf)
 		bytes += len(cf.key) + configOverhead
 	}
-	//fastsim:order-independent: inserts shells into the next map and sums bytes; map content and a commutative sum are order-free
-	for cf := range referenced {
-		if next[cf.key] == nil {
+	for _, cf := range refs {
+		if next.findString(cf.key, cf.hash) == nil {
 			cf.first = nil
 			cf.old = true
-			next[cf.key] = cf
+			next.insert(cf)
 			bytes += len(cf.key) + configOverhead
 		}
 	}
@@ -370,9 +429,12 @@ func (c *Cache) collect(minorOnly bool) {
 	}
 	c.stats.Survivors += survivors
 	c.live = int(survivors)
-	c.m = next
+	c.tab = next
 	c.bytes = bytes
 	c.stats.Bytes = bytes
+	// Sweep the arena while keepAct is still valid: dead slots are zeroed
+	// (clearing pointers that would retain dead subgraphs) and recycled.
+	c.arena.sweep(keepAct)
 	c.gen++
 	if c.gen == 0 { // wrapped; restart marking cleanly
 		c.gen = 1
@@ -385,32 +447,54 @@ func (c *Cache) mark(cfg *config) { cfg.gen = c.gen }
 // markAct records a use of an action.
 func (c *Cache) markAct(a *action) { a.gen = c.gen }
 
-// dump renders the graph rooted at key for debugging.
+// dump renders the graph rooted at key for debugging. The traversal uses an
+// explicit stack so chains of arbitrary depth cannot overflow the goroutine
+// stack; frames replay the recursive order exactly (node line, then the
+// unlabelled successor subtree, then each labelled edge in ascending label
+// order), so the output bytes are unchanged.
 func (c *Cache) dump(key string) string {
-	cfg := c.m[key]
+	cfg := c.tab.findString(key, hashString(key))
 	if cfg == nil {
 		return "<none>"
 	}
-	s := ""
-	var walk func(a *action, depth int)
-	walk = func(a *action, depth int) {
+	if cfg.first == nil {
+		return ""
+	}
+	var b strings.Builder
+	indent := func(depth int) {
 		for i := 0; i < depth; i++ {
-			s += "  "
+			b.WriteString("  ")
 		}
-		s += fmt.Sprintf("%s rel=%d cyc=%d\n", a.kind, a.rel, a.cycles)
-		if a.next != nil {
-			walk(a.next, depth+1)
+	}
+	type frame struct {
+		act   *action
+		depth int
+		label int64
+		edge  bool // print "[label]->" at depth, then act at depth+1
+	}
+	stack := []frame{{act: cfg.first}}
+	var kids []frame
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		d := f.depth
+		if f.edge {
+			indent(d)
+			fmt.Fprintf(&b, "[%d]->\n", f.label)
+			d++
 		}
-		a.eachEdge(func(l int64, t *action) {
-			for i := 0; i < depth; i++ {
-				s += "  "
-			}
-			s += fmt.Sprintf("[%d]->\n", l)
-			walk(t, depth+1)
+		indent(d)
+		fmt.Fprintf(&b, "%s rel=%d cyc=%d\n", f.act.kind, f.act.rel, f.act.cycles)
+		kids = kids[:0]
+		if f.act.next != nil {
+			kids = append(kids, frame{act: f.act.next, depth: d + 1})
+		}
+		f.act.eachEdge(func(l int64, t *action) {
+			kids = append(kids, frame{act: t, depth: d, label: l, edge: true})
 		})
+		for i := len(kids) - 1; i >= 0; i-- {
+			stack = append(stack, kids[i])
+		}
 	}
-	if cfg.first != nil {
-		walk(cfg.first, 0)
-	}
-	return s
+	return b.String()
 }

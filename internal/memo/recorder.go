@@ -42,10 +42,12 @@ type recorder struct {
 }
 
 func (e *Engine) newRecorder(cfg *config, script []scriptEntry) *recorder {
-	return &recorder{
+	r := &e.recScratch
+	*r = recorder{
 		e: e, drv: e.drv, c: e.Cache, cfg: cfg,
 		heads0: e.drv.Heads(), script: script,
 	}
+	return r
 }
 
 func (r *recorder) successor() *action {

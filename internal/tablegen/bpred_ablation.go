@@ -20,23 +20,25 @@ type BPredAblation struct {
 	Gshare core.Result
 }
 
-// RunBPredAblation measures both predictors on the given workloads.
-func RunBPredAblation(names []string, scale float64) ([]*BPredAblation, error) {
+// RunBPredAblation measures both predictors on the given workloads. jobs
+// is the worker-pool width (0 = all CPUs, 1 = sequential).
+func RunBPredAblation(names []string, scale float64, jobs int) ([]*BPredAblation, error) {
 	if scale <= 0 {
 		scale = 1
 	}
 	if len(names) == 0 {
 		names = []string{"099.go", "126.gcc", "129.compress", "134.perl"}
 	}
-	var out []*BPredAblation
-	for _, n := range names {
+	out := make([]*BPredAblation, len(names))
+	err := forEach(jobs, len(names), func(i int) error {
+		n := names[i]
 		w, ok := workloads.Get(n)
 		if !ok {
-			return nil, fmt.Errorf("unknown workload %q", n)
+			return fmt.Errorf("unknown workload %q", n)
 		}
 		prog, err := w.Build(scale)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		a := &BPredAblation{Workload: n}
 		for _, kind := range []core.BPredKind{core.BPred2Bit, core.BPredGshare} {
@@ -44,16 +46,16 @@ func RunBPredAblation(names []string, scale float64) ([]*BPredAblation, error) {
 			cfg.BPred.Kind = kind
 			fast, err := core.Run(prog, cfg)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			// Exactness must hold under any predictor.
 			cfg.Memoize = false
 			slow, err := core.Run(prog, cfg)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if slow.Cycles != fast.Cycles {
-				return nil, fmt.Errorf("%s: engines diverged under predictor %d", n, kind)
+				return fmt.Errorf("%s: engines diverged under predictor %d", n, kind)
 			}
 			if kind == core.BPred2Bit {
 				a.TwoBit = *fast
@@ -61,7 +63,11 @@ func RunBPredAblation(names []string, scale float64) ([]*BPredAblation, error) {
 				a.Gshare = *fast
 			}
 		}
-		out = append(out, a)
+		out[i] = a
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

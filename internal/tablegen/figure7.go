@@ -8,6 +8,7 @@ import (
 	"fastsim/internal/cachesim"
 	"fastsim/internal/core"
 	"fastsim/internal/memo"
+	"fastsim/internal/program"
 	"fastsim/internal/refsim"
 	"fastsim/internal/workloads"
 )
@@ -34,7 +35,10 @@ type Figure7Result struct {
 }
 
 // Figure7 sweeps p-action cache limits with the flush-on-full policy and
-// reports the memoization speedup at each (paper Figure 7).
+// reports the memoization speedup at each (paper Figure 7). The reference
+// runs (SlowSim + unbounded FastSim) fan out per workload, then every
+// (workload, limit) sweep point fans out as one flat grid — each point is an
+// independent simulation whose result lands in its own pre-indexed cell.
 func Figure7(o Options, limits []int, progress io.Writer) (*Figure7Result, error) {
 	if o.Scale <= 0 {
 		o.Scale = 1
@@ -42,54 +46,75 @@ func Figure7(o Options, limits []int, progress io.Writer) (*Figure7Result, error
 	if len(limits) == 0 {
 		limits = DefaultLimits
 	}
-	list := workloads.All()
-	if len(o.Workloads) > 0 {
-		list = list[:0]
-		for _, n := range o.Workloads {
-			w, ok := workloads.Get(n)
-			if !ok {
-				return nil, fmt.Errorf("tablegen: unknown workload %q", n)
-			}
-			list = append(list, w)
-		}
+	list, err := resolveWorkloads(o.Workloads)
+	if err != nil {
+		return nil, err
 	}
-	res := &Figure7Result{Limits: limits}
-	for _, w := range list {
+
+	// Phase 1: per-workload references.
+	type wstate struct {
+		prog *program.Program
+		slow *core.Result
+		unb  *core.Result
+	}
+	ws := make([]*wstate, len(list))
+	err = forEach(o.Jobs, len(list), func(i int) error {
+		w := list[i]
 		prog, err := w.Build(o.Scale)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		slowCfg := core.DefaultConfig()
 		slowCfg.Memoize = false
 		slow, err := core.Run(prog, slowCfg)
 		if err != nil {
-			return nil, fmt.Errorf("%s: slowsim: %w", w.Name, err)
+			return fmt.Errorf("%s: slowsim: %w", w.Name, err)
 		}
-		unbounded, err := core.Run(prog, core.DefaultConfig())
+		unb, err := core.Run(prog, core.DefaultConfig())
 		if err != nil {
-			return nil, fmt.Errorf("%s: fastsim: %w", w.Name, err)
+			return fmt.Errorf("%s: fastsim: %w", w.Name, err)
 		}
-		row := make([]float64, len(limits))
-		for j, lim := range limits {
-			cfg := core.DefaultConfig()
-			cfg.Memo = memo.Options{Policy: memo.PolicyFlush, Limit: lim}
-			fast, err := core.Run(prog, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("%s limit %d: %w", w.Name, lim, err)
-			}
-			if fast.Cycles != slow.Cycles {
-				return nil, fmt.Errorf("%s limit %d: cycle count diverged", w.Name, lim)
-			}
-			row[j] = slow.WallTime.Seconds() / fast.WallTime.Seconds()
+		ws[i] = &wstate{prog: prog, slow: slow, unb: unb}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: the flat (workload × limit) grid of sweep points.
+	nL := len(limits)
+	speedup := make([][]float64, len(list))
+	for i := range speedup {
+		speedup[i] = make([]float64, nL)
+	}
+	err = forEach(o.Jobs, len(list)*nL, func(t int) error {
+		i, j := t/nL, t%nL
+		w, lim := list[i], limits[j]
+		cfg := core.DefaultConfig()
+		cfg.Memo = memo.Options{Policy: memo.PolicyFlush, Limit: lim}
+		fast, err := core.Run(ws[i].prog, cfg)
+		if err != nil {
+			return fmt.Errorf("%s limit %d: %w", w.Name, lim, err)
 		}
+		if fast.Cycles != ws[i].slow.Cycles {
+			return fmt.Errorf("%s limit %d: cycle count diverged", w.Name, lim)
+		}
+		speedup[i][j] = ws[i].slow.WallTime.Seconds() / fast.WallTime.Seconds()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Figure7Result{Limits: limits, Speedup: speedup}
+	for i, w := range list {
 		res.Workloads = append(res.Workloads, w.Name)
-		res.Speedup = append(res.Speedup, row)
 		res.Unbounded = append(res.Unbounded,
-			slow.WallTime.Seconds()/unbounded.WallTime.Seconds())
-		res.NaturalKB = append(res.NaturalKB, unbounded.Memo.PeakBytes>>10)
+			ws[i].slow.WallTime.Seconds()/ws[i].unb.WallTime.Seconds())
+		res.NaturalKB = append(res.NaturalKB, ws[i].unb.Memo.PeakBytes>>10)
 		if progress != nil {
 			fmt.Fprintf(progress, "%-14s done (natural cache %dKB)\n",
-				w.Name, unbounded.Memo.PeakBytes>>10)
+				w.Name, ws[i].unb.Memo.PeakBytes>>10)
 		}
 	}
 	return res, nil
@@ -142,8 +167,9 @@ type policyRun struct {
 }
 
 // RunGCAblation measures flush vs. copying GC vs. generational GC (the
-// paper's finding: GC is no better than flushing).
-func RunGCAblation(names []string, scale float64, limit int) ([]*GCAblation, error) {
+// paper's finding: GC is no better than flushing). jobs is the worker-pool
+// width (0 = all CPUs, 1 = sequential).
+func RunGCAblation(names []string, scale float64, limit, jobs int) ([]*GCAblation, error) {
 	if scale <= 0 {
 		scale = 1
 	}
@@ -153,21 +179,22 @@ func RunGCAblation(names []string, scale float64, limit int) ([]*GCAblation, err
 	if len(names) == 0 {
 		names = []string{"099.go", "126.gcc", "132.ijpeg", "101.tomcatv"}
 	}
-	var out []*GCAblation
-	for _, n := range names {
+	out := make([]*GCAblation, len(names))
+	err := forEach(jobs, len(names), func(i int) error {
+		n := names[i]
 		w, ok := workloads.Get(n)
 		if !ok {
-			return nil, fmt.Errorf("unknown workload %q", n)
+			return fmt.Errorf("unknown workload %q", n)
 		}
 		prog, err := w.Build(scale)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		slowCfg := core.DefaultConfig()
 		slowCfg.Memoize = false
 		slow, err := core.Run(prog, slowCfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		run := func(pol memo.Policy) (policyRun, *core.Result, error) {
 			cfg := core.DefaultConfig()
@@ -189,16 +216,20 @@ func RunGCAblation(names []string, scale float64, limit int) ([]*GCAblation, err
 		a := &GCAblation{Workload: n, Limit: limit}
 		var rgc *core.Result
 		if a.Flush, _, err = run(memo.PolicyFlush); err != nil {
-			return nil, err
+			return err
 		}
 		if a.GC, rgc, err = run(memo.PolicyGC); err != nil {
-			return nil, err
+			return err
 		}
 		if a.GenGC, _, err = run(memo.PolicyGenGC); err != nil {
-			return nil, err
+			return err
 		}
 		a.SurvivorPct = rgc.Memo.SurvivalPct()
-		out = append(out, a)
+		out[i] = a
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -228,39 +259,45 @@ type DirectAblation struct {
 	RefK     float64 // SimpleScalar-surrogate Kinsts/sec
 }
 
-// RunDirectAblation measures SlowSim vs the reference simulator.
-func RunDirectAblation(names []string, scale float64) ([]*DirectAblation, error) {
+// RunDirectAblation measures SlowSim vs the reference simulator. jobs is
+// the worker-pool width (0 = all CPUs, 1 = sequential).
+func RunDirectAblation(names []string, scale float64, jobs int) ([]*DirectAblation, error) {
 	if scale <= 0 {
 		scale = 1
 	}
 	if len(names) == 0 {
 		names = workloads.Names()
 	}
-	var out []*DirectAblation
-	for _, n := range names {
+	out := make([]*DirectAblation, len(names))
+	err := forEach(jobs, len(names), func(i int) error {
+		n := names[i]
 		w, ok := workloads.Get(n)
 		if !ok {
-			return nil, fmt.Errorf("unknown workload %q", n)
+			return fmt.Errorf("unknown workload %q", n)
 		}
 		prog, err := w.Build(scale)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		slowCfg := core.DefaultConfig()
 		slowCfg.Memoize = false
 		slow, err := core.Run(prog, slowCfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ref, err := refsim.Run(prog, refsim.DefaultParams(), cachesim.DefaultConfig(), 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, &DirectAblation{
+		out[i] = &DirectAblation{
 			Workload: n,
 			SlowK:    slow.KInstsPerSec(),
 			RefK:     ref.KInstsPerSec(),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -286,34 +323,40 @@ type EncodingAblation struct {
 	Configs      uint64
 }
 
-// RunEncodingAblation measures the encoding on each workload.
-func RunEncodingAblation(names []string, scale float64) ([]*EncodingAblation, error) {
+// RunEncodingAblation measures the encoding on each workload. jobs is the
+// worker-pool width (0 = all CPUs, 1 = sequential).
+func RunEncodingAblation(names []string, scale float64, jobs int) ([]*EncodingAblation, error) {
 	if scale <= 0 {
 		scale = 1
 	}
 	if len(names) == 0 {
 		names = []string{"099.go", "126.gcc", "107.mgrid", "145.fpppp"}
 	}
-	var out []*EncodingAblation
-	for _, n := range names {
+	out := make([]*EncodingAblation, len(names))
+	err := forEach(jobs, len(names), func(i int) error {
+		n := names[i]
 		w, ok := workloads.Get(n)
 		if !ok {
-			return nil, fmt.Errorf("unknown workload %q", n)
+			return fmt.Errorf("unknown workload %q", n)
 		}
 		prog, err := w.Build(scale)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		r, err := core.Run(prog, core.DefaultConfig())
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, &EncodingAblation{
+		out[i] = &EncodingAblation{
 			Workload:     n,
 			CompactBytes: r.Memo.ConfigBytesC,
 			NaiveBytes:   r.Memo.NaiveBytesC,
 			Configs:      r.Memo.Configs,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

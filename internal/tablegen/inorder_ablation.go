@@ -26,8 +26,9 @@ func (a *InOrderAblation) Ratio() float64 {
 	return float64(a.InOrder) / float64(a.OOO)
 }
 
-// RunInOrderAblation measures both models.
-func RunInOrderAblation(names []string, scale float64) ([]*InOrderAblation, error) {
+// RunInOrderAblation measures both models. jobs is the worker-pool width
+// (0 = all CPUs, 1 = sequential).
+func RunInOrderAblation(names []string, scale float64, jobs int) ([]*InOrderAblation, error) {
 	if scale <= 0 {
 		scale = 1
 	}
@@ -35,28 +36,33 @@ func RunInOrderAblation(names []string, scale float64) ([]*InOrderAblation, erro
 		names = []string{"129.compress", "130.li", "101.tomcatv",
 			"104.hydro2d", "147.vortex", "146.wave5"}
 	}
-	var out []*InOrderAblation
-	for _, n := range names {
+	out := make([]*InOrderAblation, len(names))
+	err := forEach(jobs, len(names), func(i int) error {
+		n := names[i]
 		w, ok := workloads.Get(n)
 		if !ok {
-			return nil, fmt.Errorf("unknown workload %q", n)
+			return fmt.Errorf("unknown workload %q", n)
 		}
 		prog, err := w.Build(scale)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ooo, err := core.Run(prog, core.DefaultConfig())
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ino, err := inorder.Run(prog, inorder.DefaultParams(), cachesim.DefaultConfig(), 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if ino.Checksum != ooo.Checksum {
-			return nil, fmt.Errorf("%s: in-order model diverged functionally", n)
+			return fmt.Errorf("%s: in-order model diverged functionally", n)
 		}
-		out = append(out, &InOrderAblation{Workload: n, OOO: ooo.Cycles, InOrder: ino.Cycles})
+		out[i] = &InOrderAblation{Workload: n, OOO: ooo.Cycles, InOrder: ino.Cycles}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,120 @@
+package tablegen
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// forEach runs fn(0) … fn(n-1) over min(jobs, n) worker goroutines and
+// returns the error of the lowest index that failed. jobs <= 0 means one
+// worker per available CPU; jobs == 1 runs strictly sequentially on the
+// calling goroutine (with the sequential harness's early-stop-on-error
+// behaviour).
+//
+// Every suite entry point fans its independent (workload × engine) units
+// through here. Each unit writes only its own pre-indexed result slot, so
+// the assembled tables and JSON are byte-identical regardless of which
+// worker finishes first; the only scheduling-dependent difference is which
+// of several failing units gets reported, and picking the lowest index makes
+// that deterministic too.
+func forEach(jobs, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > n {
+		jobs = n
+	}
+	if jobs == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// progressLog serializes per-item progress output from concurrent workers.
+// Item i's writes are buffered until every earlier item has finished, then
+// flushed in index order — so the progress stream is byte-identical to a
+// sequential run no matter how the workers interleave. In direct mode
+// (sequential harness) writes pass straight through, preserving the
+// incremental line-by-line feedback of the original harness.
+type progressLog struct {
+	w      io.Writer
+	direct bool
+
+	mu   sync.Mutex
+	bufs []strings.Builder
+	done []bool
+	next int
+}
+
+func newProgressLog(w io.Writer, n int, direct bool) *progressLog {
+	return &progressLog{
+		w:      w,
+		direct: direct,
+		bufs:   make([]strings.Builder, n),
+		done:   make([]bool, n),
+	}
+}
+
+// printf records output for item i.
+func (p *progressLog) printf(i int, format string, args ...interface{}) {
+	if p.w == nil {
+		return
+	}
+	if p.direct {
+		fmt.Fprintf(p.w, format, args...)
+		return
+	}
+	p.mu.Lock()
+	fmt.Fprintf(&p.bufs[i], format, args...)
+	p.mu.Unlock()
+}
+
+// finish marks item i complete and flushes the in-order prefix of finished
+// items. Call it (usually via defer) exactly once per item, error or not.
+func (p *progressLog) finish(i int) {
+	if p.w == nil || p.direct {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done[i] = true
+	for p.next < len(p.done) && p.done[p.next] {
+		io.WriteString(p.w, p.bufs[p.next].String())
+		p.bufs[p.next].Reset()
+		p.next++
+	}
+}

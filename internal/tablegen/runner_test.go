@@ -1,0 +1,190 @@
+package tablegen
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fastsim/internal/core"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, jobs := range []int{0, 1, 3, 100} {
+		const n = 37
+		var hits [n]atomic.Int32
+		if err := forEach(jobs, n, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("jobs=%d: index %d ran %d times", jobs, i, got)
+			}
+		}
+	}
+}
+
+// The reported error is the lowest failing index's, regardless of which
+// worker hit its failure first.
+func TestForEachReportsLowestIndexError(t *testing.T) {
+	errLow, errHigh := errors.New("low"), errors.New("high")
+	err := forEach(4, 20, func(i int) error {
+		switch i {
+		case 3:
+			time.Sleep(10 * time.Millisecond) // lose the race on purpose
+			return errLow
+		case 17:
+			return errHigh
+		}
+		return nil
+	})
+	if err != errLow {
+		t.Fatalf("err = %v, want the lowest-index error", err)
+	}
+}
+
+// jobs == 1 must stop at the first error like the sequential harness did.
+func TestForEachSequentialEarlyStop(t *testing.T) {
+	ran := 0
+	err := forEach(1, 10, func(i int) error {
+		ran++
+		if i == 2 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	if err == nil || ran != 3 {
+		t.Fatalf("ran = %d (err %v), want early stop after index 2", ran, err)
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	if err := forEach(4, 0, func(i int) error { return errors.New("no") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Out-of-order finishes must still flush in index order, byte-identical to a
+// sequential run.
+func TestProgressLogOrdering(t *testing.T) {
+	var buf strings.Builder
+	pl := newProgressLog(&buf, 3, false)
+	pl.printf(2, "two\n")
+	pl.finish(2) // items 0,1 still open: nothing flushes
+	if buf.Len() != 0 {
+		t.Fatalf("flushed early: %q", buf.String())
+	}
+	pl.printf(1, "one\n")
+	pl.printf(0, "zero-a")
+	pl.finish(1) // item 0 still open
+	if buf.Len() != 0 {
+		t.Fatalf("flushed early: %q", buf.String())
+	}
+	pl.printf(0, " zero-b\n")
+	pl.finish(0) // everything drains, in index order
+	if got, want := buf.String(), "zero-a zero-b\none\ntwo\n"; got != want {
+		t.Fatalf("progress = %q, want %q", got, want)
+	}
+}
+
+func TestProgressLogDirect(t *testing.T) {
+	var buf strings.Builder
+	pl := newProgressLog(&buf, 2, true)
+	pl.printf(1, "b")
+	pl.printf(0, "a")
+	if got := buf.String(); got != "ba" {
+		t.Fatalf("direct mode buffered: %q", got)
+	}
+}
+
+// normalizeWallTimes replaces every host-time measurement with a fixed value
+// so that rendered tables and JSON depend only on simulated state.
+func normalizeWallTimes(s *Suite) {
+	for _, r := range s.Rows {
+		r.EmuTime = time.Second
+		r.Slow.WallTime = 2 * time.Second
+		r.Fast.WallTime = time.Second
+		if r.Ref != nil {
+			r.Ref.WallTime = time.Second
+		}
+	}
+}
+
+// TestParallelSuiteDeterministic is the tentpole's acceptance check: the
+// suite run with one worker and with eight must produce byte-identical
+// tables, JSON, Verify output and progress stream once host wall-times (the
+// only legitimately nondeterministic outputs) are normalized.
+func TestParallelSuiteDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the suite twice")
+	}
+	subset := []string{"129.compress", "130.li", "107.mgrid"}
+	render := func(jobs int) (string, string) {
+		var progress strings.Builder
+		s, err := Run(Options{
+			Scale:     testScale,
+			Workloads: subset,
+			Verbose:   &progress,
+			RunRef:    true,
+			Jobs:      jobs,
+		})
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		normalizeWallTimes(s)
+		var out strings.Builder
+		out.WriteString(s.Table2())
+		out.WriteString(s.Table3())
+		out.WriteString(s.Table4())
+		out.WriteString(s.Table5())
+		out.WriteString(s.Verify())
+		if err := s.WriteJSON(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out.String(), progress.String()
+	}
+	seqOut, seqProg := render(1)
+	parOut, parProg := render(8)
+	if seqOut != parOut {
+		t.Errorf("parallel output differs from sequential:\n--- jobs=1 ---\n%s\n--- jobs=8 ---\n%s",
+			seqOut, parOut)
+	}
+	if seqProg != parProg {
+		t.Errorf("progress stream differs:\n--- jobs=1 ---\n%s\n--- jobs=8 ---\n%s",
+			seqProg, parProg)
+	}
+	for _, w := range subset {
+		if !strings.Contains(seqProg, w) {
+			t.Errorf("progress stream missing %s:\n%s", w, seqProg)
+		}
+	}
+}
+
+// The sweep grid must be identical for any worker count: cycle counts and
+// IPC are simulated state, fully deterministic.
+func TestParallelSweepDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the sweep twice")
+	}
+	machines := []Machine{
+		{"base", func(c *core.Config) {}},
+		{"narrow", func(c *core.Config) {
+			c.Uarch.FetchWidth, c.Uarch.DecodeWidth, c.Uarch.RetireWidth = 2, 2, 2
+		}},
+	}
+	names := []string{"129.compress", "130.li"}
+	run := func(jobs int) string {
+		res, err := RunSweep(machines, names, testScale, true, jobs)
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		return res.Render()
+	}
+	if seq, par := run(1), run(8); seq != par {
+		t.Errorf("sweep differs:\n--- jobs=1 ---\n%s\n--- jobs=8 ---\n%s", seq, par)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"fastsim/internal/core"
+	"fastsim/internal/program"
 	"fastsim/internal/workloads"
 )
 
@@ -60,8 +61,10 @@ type SweepResult struct {
 // RunSweep simulates every workload on every machine with FastSim,
 // verifying exactness against SlowSim at each design point — the paper's
 // promise is precisely that memoized simulation can drive design-space
-// exploration at replay speed without accuracy loss.
-func RunSweep(machines []Machine, names []string, scale float64, verifyExact bool) (*SweepResult, error) {
+// exploration at replay speed without accuracy loss. jobs is the
+// worker-pool width (0 = all CPUs, 1 = sequential); each (workload,
+// machine) design point is an independent unit of the fan-out.
+func RunSweep(machines []Machine, names []string, scale float64, verifyExact bool, jobs int) (*SweepResult, error) {
 	if scale <= 0 {
 		scale = 1
 	}
@@ -71,49 +74,72 @@ func RunSweep(machines []Machine, names []string, scale float64, verifyExact boo
 	if len(names) == 0 {
 		names = []string{"129.compress", "130.li", "101.tomcatv", "107.mgrid"}
 	}
-	res := &SweepResult{Cells: map[string]map[string]*SweepCell{}}
+
+	// Phase 1: build each workload's program once; runs share it read-only.
+	progs := make([]*program.Program, len(names))
+	err := forEach(jobs, len(names), func(i int) error {
+		w, ok := workloads.Get(names[i])
+		if !ok {
+			return fmt.Errorf("unknown workload %q", names[i])
+		}
+		prog, err := w.Build(scale)
+		if err != nil {
+			return err
+		}
+		progs[i] = prog
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: the flat (workload × machine) grid. Cells lands in a
+	// pre-indexed slice; the result maps are filled afterwards on one
+	// goroutine (concurrent Go map writes race even on distinct keys).
+	nM := len(machines)
+	cells := make([]*SweepCell, len(names)*nM)
+	err = forEach(jobs, len(cells), func(t int) error {
+		i, j := t/nM, t%nM
+		n, m := names[i], machines[j]
+		cfg := core.DefaultConfig()
+		m.Mut(&cfg)
+		if err := cfg.Uarch.Validate(); err != nil {
+			return fmt.Errorf("machine %s: %w", m.Name, err)
+		}
+		fast, err := core.Run(progs[i], cfg)
+		if err != nil {
+			return fmt.Errorf("%s on %s: %w", n, m.Name, err)
+		}
+		cell := &SweepCell{
+			Machine: m.Name, Workload: n,
+			Cycles: fast.Cycles, IPC: fast.IPC(), Exact: true,
+		}
+		if verifyExact {
+			slowCfg := cfg
+			slowCfg.Memoize = false
+			slow, err := core.Run(progs[i], slowCfg)
+			if err != nil {
+				return err
+			}
+			cell.Exact = slow.Cycles == fast.Cycles
+			if !cell.Exact {
+				return fmt.Errorf("%s on %s: memoization diverged", n, m.Name)
+			}
+		}
+		cells[t] = cell
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &SweepResult{Workloads: names, Cells: map[string]map[string]*SweepCell{}}
 	for _, m := range machines {
 		res.Machines = append(res.Machines, m.Name)
 		res.Cells[m.Name] = map[string]*SweepCell{}
 	}
-	for _, n := range names {
-		w, ok := workloads.Get(n)
-		if !ok {
-			return nil, fmt.Errorf("unknown workload %q", n)
-		}
-		prog, err := w.Build(scale)
-		if err != nil {
-			return nil, err
-		}
-		res.Workloads = append(res.Workloads, n)
-		for _, m := range machines {
-			cfg := core.DefaultConfig()
-			m.Mut(&cfg)
-			if err := cfg.Uarch.Validate(); err != nil {
-				return nil, fmt.Errorf("machine %s: %w", m.Name, err)
-			}
-			fast, err := core.Run(prog, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("%s on %s: %w", n, m.Name, err)
-			}
-			cell := &SweepCell{
-				Machine: m.Name, Workload: n,
-				Cycles: fast.Cycles, IPC: fast.IPC(), Exact: true,
-			}
-			if verifyExact {
-				slowCfg := cfg
-				slowCfg.Memoize = false
-				slow, err := core.Run(prog, slowCfg)
-				if err != nil {
-					return nil, err
-				}
-				cell.Exact = slow.Cycles == fast.Cycles
-				if !cell.Exact {
-					return nil, fmt.Errorf("%s on %s: memoization diverged", n, m.Name)
-				}
-			}
-			res.Cells[m.Name][n] = cell
-		}
+	for t, cell := range cells {
+		res.Cells[machines[t%nM].Name][names[t/nM]] = cell
 	}
 	return res, nil
 }

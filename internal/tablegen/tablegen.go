@@ -25,6 +25,30 @@ type Options struct {
 	Workloads []string // subset of workload names; nil means all 18
 	Verbose   io.Writer
 	RunRef    bool // also run the SimpleScalar surrogate (Table 3)
+
+	// Jobs is the worker-pool width for independent (workload × engine)
+	// runs: 0 uses every available CPU, 1 reproduces the sequential
+	// harness exactly. Tables, JSON and Verify output are byte-identical
+	// for any value.
+	Jobs int
+}
+
+// resolveWorkloads maps a name subset onto workload descriptors (all 18
+// when names is empty).
+func resolveWorkloads(names []string) ([]*workloads.Workload, error) {
+	list := workloads.All()
+	if len(names) == 0 {
+		return list, nil
+	}
+	list = list[:0]
+	for _, n := range names {
+		w, ok := workloads.Get(n)
+		if !ok {
+			return nil, fmt.Errorf("tablegen: unknown workload %q", n)
+		}
+		list = append(list, w)
+	}
+	return list, nil
 }
 
 // Row holds everything measured for one workload.
@@ -69,76 +93,73 @@ func Run(o Options) (*Suite, error) {
 	if o.Scale <= 0 {
 		o.Scale = 1
 	}
-	list := workloads.All()
-	if len(o.Workloads) > 0 {
-		list = list[:0]
-		for _, n := range o.Workloads {
-			w, ok := workloads.Get(n)
-			if !ok {
-				return nil, fmt.Errorf("tablegen: unknown workload %q", n)
-			}
-			list = append(list, w)
-		}
-	}
-	logf := func(format string, args ...interface{}) {
-		if o.Verbose != nil {
-			fmt.Fprintf(o.Verbose, format, args...)
-		}
+	list, err := resolveWorkloads(o.Workloads)
+	if err != nil {
+		return nil, err
 	}
 
-	s := &Suite{Scale: o.Scale}
-	for _, w := range list {
-		logf("%-14s", w.Name)
+	pl := newProgressLog(o.Verbose, len(list), o.Jobs == 1)
+	rows := make([]*Row, len(list))
+	err = forEach(o.Jobs, len(list), func(i int) error {
+		defer pl.finish(i)
+		w := list[i]
+		pl.printf(i, "%-14s", w.Name)
 		prog, err := w.Build(o.Scale)
 		if err != nil {
-			return nil, fmt.Errorf("tablegen: %s: %w", w.Name, err)
+			return fmt.Errorf("tablegen: %s: %w", w.Name, err)
 		}
 		row := &Row{Name: w.Name, Category: w.Category}
 
+		//fastsim:allow-wallclock: EmuTime is a host-speed measurement column, not simulated state
 		start := time.Now()
 		cpu := emulator.New(prog)
 		if err := cpu.Run(0); err != nil {
-			return nil, fmt.Errorf("tablegen: %s: emulator: %w", w.Name, err)
+			return fmt.Errorf("tablegen: %s: emulator: %w", w.Name, err)
 		}
+		//fastsim:allow-wallclock: EmuTime is a host-speed measurement column, not simulated state
 		row.EmuTime = time.Since(start)
 		row.EmuInsts = cpu.InstCount
-		logf(" emu")
+		pl.printf(i, " emu")
 
 		slowCfg := core.DefaultConfig()
 		slowCfg.Memoize = false
 		if row.Slow, err = core.Run(prog, slowCfg); err != nil {
-			return nil, fmt.Errorf("tablegen: %s: slowsim: %w", w.Name, err)
+			return fmt.Errorf("tablegen: %s: slowsim: %w", w.Name, err)
 		}
-		logf(" slow")
+		pl.printf(i, " slow")
 
 		if row.Fast, err = core.Run(prog, core.DefaultConfig()); err != nil {
-			return nil, fmt.Errorf("tablegen: %s: fastsim: %w", w.Name, err)
+			return fmt.Errorf("tablegen: %s: fastsim: %w", w.Name, err)
 		}
-		logf(" fast")
+		pl.printf(i, " fast")
 
 		// The paper's exactness claim, checked on every suite run.
 		if row.Fast.Cycles != row.Slow.Cycles || row.Fast.Insts != row.Slow.Insts ||
 			row.Fast.Checksum != row.Slow.Checksum {
-			return nil, fmt.Errorf("tablegen: %s: FastSim diverged from SlowSim "+
+			return fmt.Errorf("tablegen: %s: FastSim diverged from SlowSim "+
 				"(cycles %d vs %d)", w.Name, row.Fast.Cycles, row.Slow.Cycles)
 		}
 		if row.Slow.Checksum != cpu.Checksum || row.Slow.Insts != cpu.InstCount {
-			return nil, fmt.Errorf("tablegen: %s: simulators diverged from functional emulation", w.Name)
+			return fmt.Errorf("tablegen: %s: simulators diverged from functional emulation", w.Name)
 		}
 
 		if o.RunRef {
 			if row.Ref, err = refsim.Run(prog, refsim.DefaultParams(), cachesim.DefaultConfig(), 0); err != nil {
-				return nil, fmt.Errorf("tablegen: %s: refsim: %w", w.Name, err)
+				return fmt.Errorf("tablegen: %s: refsim: %w", w.Name, err)
 			}
 			if row.Ref.Checksum != cpu.Checksum {
-				return nil, fmt.Errorf("tablegen: %s: refsim diverged from functional emulation", w.Name)
+				return fmt.Errorf("tablegen: %s: refsim diverged from functional emulation", w.Name)
 			}
-			logf(" ref")
+			pl.printf(i, " ref")
 		}
-		logf("  ok (%d insts)\n", row.EmuInsts)
-		s.Rows = append(s.Rows, row)
+		pl.printf(i, "  ok (%d insts)\n", row.EmuInsts)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return s, nil
+	return &Suite{Rows: rows, Scale: o.Scale}, nil
 }
 
 // Table1 renders the processor model parameters (paper Table 1).

@@ -93,7 +93,7 @@ func TestFigure7SmallSweep(t *testing.T) {
 }
 
 func TestGCAblation(t *testing.T) {
-	rows, err := RunGCAblation([]string{"129.compress"}, testScale, 16<<10)
+	rows, err := RunGCAblation([]string{"129.compress"}, testScale, 16<<10, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +106,7 @@ func TestGCAblation(t *testing.T) {
 }
 
 func TestDirectAblation(t *testing.T) {
-	rows, err := RunDirectAblation([]string{"130.li"}, testScale)
+	rows, err := RunDirectAblation([]string{"130.li"}, testScale, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +119,7 @@ func TestDirectAblation(t *testing.T) {
 }
 
 func TestEncodingAblation(t *testing.T) {
-	rows, err := RunEncodingAblation([]string{"107.mgrid"}, testScale)
+	rows, err := RunEncodingAblation([]string{"107.mgrid"}, testScale, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +139,7 @@ func TestByteLabel(t *testing.T) {
 }
 
 func TestBPredAblation(t *testing.T) {
-	rows, err := RunBPredAblation([]string{"129.compress"}, testScale)
+	rows, err := RunBPredAblation([]string{"129.compress"}, testScale, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +153,7 @@ func TestBPredAblation(t *testing.T) {
 }
 
 func TestInOrderAblation(t *testing.T) {
-	rows, err := RunInOrderAblation([]string{"129.compress", "101.tomcatv"}, testScale)
+	rows, err := RunInOrderAblation([]string{"129.compress", "101.tomcatv"}, testScale, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +175,7 @@ func TestSweep(t *testing.T) {
 			c.Uarch.FetchWidth, c.Uarch.DecodeWidth, c.Uarch.RetireWidth = 2, 2, 2
 		}},
 	}
-	res, err := RunSweep(machines, []string{"130.li"}, testScale, true)
+	res, err := RunSweep(machines, []string{"130.li"}, testScale, true, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
