@@ -156,6 +156,72 @@ func TestCLIFastsimMemoTrace(t *testing.T) {
 	}
 }
 
+// TestCLIFastsimSnapshot is the issue's acceptance scenario for the
+// persistent p-action cache: -memo-save writes a snapshot, -memo-load
+// warm-starts from it with identical results, and a corrupted snapshot
+// degrades to a cold start with a warning — exit status still zero.
+func TestCLIFastsimSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "c.fsnap")
+
+	cold := runCLI(t, "fastsim", "-workload", "129.compress", "-scale", "0.05",
+		"-memo-save", snap)
+	if !strings.Contains(cold, "saved") || !strings.Contains(cold, "snapshot:") {
+		t.Errorf("cold run did not report a save:\n%s", cold)
+	}
+	if fi, err := os.Stat(snap); err != nil || fi.Size() == 0 {
+		t.Fatalf("snapshot file: %v", err)
+	}
+
+	warm := runCLI(t, "fastsim", "-workload", "129.compress", "-scale", "0.05",
+		"-memo-load", snap)
+	if !strings.Contains(warm, "warm start") {
+		t.Errorf("warm run did not report a load:\n%s", warm)
+	}
+	pick := func(out, prefix string) string {
+		for _, l := range strings.Split(out, "\n") {
+			if strings.HasPrefix(l, prefix) {
+				return l
+			}
+		}
+		return ""
+	}
+	for _, prefix := range []string{"cycles:", "checksum:"} {
+		if c1, c2 := pick(cold, prefix), pick(warm, prefix); c1 == "" || c1 != c2 {
+			t.Errorf("warm run diverged on %q:\n%s\n%s", prefix, c1, c2)
+		}
+	}
+
+	// Corrupt the snapshot: the run must still succeed (exit 0 via
+	// runCLI), warn on stderr, and match the cold results.
+	b, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[9] ^= 0x40
+	if err := os.WriteFile(snap, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fallback := runCLI(t, "fastsim", "-workload", "129.compress", "-scale", "0.05",
+		"-memo-load", snap)
+	if !strings.Contains(fallback, "fastsim: warning:") {
+		t.Errorf("corrupt snapshot produced no warning:\n%s", fallback)
+	}
+	if c1, c2 := pick(cold, "cycles:"), pick(fallback, "cycles:"); c1 == "" || c1 != c2 {
+		t.Errorf("fallback run diverged:\n%s\n%s", c1, c2)
+	}
+}
+
+// TestCLIFsbenchWarmCold exercises the -warmcold mode end to end on one
+// tiny workload.
+func TestCLIFsbenchWarmCold(t *testing.T) {
+	out := runCLI(t, "fsbench", "-warmcold", "-scale", "0.03",
+		"-workloads", "130.li", "-q")
+	if !strings.Contains(out, "130.li") || !strings.Contains(out, "speedup") {
+		t.Errorf("warmcold table:\n%s", out)
+	}
+}
+
 func TestCLIFsbenchTable1(t *testing.T) {
 	out := runCLI(t, "fsbench", "-table", "1")
 	if !strings.Contains(out, "Decode 4 instructions") {

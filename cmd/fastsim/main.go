@@ -33,6 +33,8 @@ func main() {
 		input    = flag.String("input", "", "named workload size: test | train | ref (overrides -scale)")
 		policy   = flag.String("policy", "unbounded", "p-action cache policy: unbounded | flush | gc | gengc")
 		limit    = flag.Int("limit", 0, "p-action cache limit in bytes (0 = unlimited)")
+		memoLoad = flag.String("memo-load", "", "warm-start the p-action cache from this snapshot file (missing/rejected files start cold)")
+		memoSave = flag.String("memo-save", "", "save the p-action cache to this snapshot file after the run (atomic)")
 		trace    = flag.String("trace", "", "write a pipetrace to this file (per-cycle under slowsim; episode-granular under fastsim)")
 		hist     = flag.Bool("hist", false, "print load-latency and replay-chain histograms")
 		sample   = flag.String("sample", "", "write a JSONL time-series sample row every -interval cycles to this file")
@@ -115,6 +117,8 @@ func main() {
 			fatal(err)
 		}
 		cfg.Memo = fastsim.MemoOptions{Policy: pol, Limit: *limit}
+		cfg.SnapshotLoad = *memoLoad
+		cfg.SnapshotSave = *memoSave
 		if *trace != "" {
 			f, err := os.Create(*trace)
 			if err != nil {
@@ -155,9 +159,12 @@ func main() {
 			}
 			cfg.Observer = fastsim.NewObserver(opt)
 		}
-		res, err := fastsim.Run(prog, cfg)
+		res, err := fastsim.RunConfig(prog, cfg)
 		if err != nil {
 			fatal(err)
+		}
+		if res.Snapshot.Warning != "" {
+			fmt.Fprintln(os.Stderr, "fastsim: warning:", res.Snapshot.Warning)
 		}
 		if *asJSON {
 			enc := json.NewEncoder(os.Stdout)
@@ -224,6 +231,13 @@ func printResult(r *fastsim.Result) {
 		r.Cache.L1Hits, r.Cache.L1Misses, r.Cache.L2Hits, r.Cache.L2Misses)
 	fmt.Printf("checksum:      %#08x (exit %d)\n", r.Checksum, r.ExitCode)
 	fmt.Printf("speed:         %.1f Kinsts/s (%v)\n", r.KInstsPerSec(), r.WallTime)
+	if r.Snapshot.Loaded {
+		fmt.Printf("snapshot:      warm start — %d configs, %d actions, %d KB loaded\n",
+			r.Snapshot.LoadedConfigs, r.Snapshot.LoadedActions, r.Snapshot.LoadedBytes>>10)
+	}
+	if r.Snapshot.Saved {
+		fmt.Printf("snapshot:      saved %d KB\n", r.Snapshot.SavedBytes>>10)
+	}
 	if r.Memoized {
 		m := r.Memo
 		fmt.Printf("memoization:   %d configs, %d actions, %d KB (peak)\n",

@@ -8,6 +8,7 @@
 //	fsbench -table 3                # adds the SimpleScalar surrogate
 //	fsbench -all                    # Tables 2-5 from one suite run
 //	fsbench -figure 7               # cache-limit sweep (slow: many runs)
+//	fsbench -warmcold               # snapshot warm-start vs cold-start timing
 //	fsbench -ablation gc|direct|encoding
 //	fsbench -workloads 099.go,107.mgrid  # restrict any of the above
 //	fsbench -all -j 4               # fan runs over 4 workers (-j 1: sequential)
@@ -31,6 +32,7 @@ func main() {
 		figure   = flag.Int("figure", 0, "regenerate figure N (7)")
 		ablation = flag.String("ablation", "", "run an ablation: gc | direct | encoding | bpred | inorder")
 		all      = flag.Bool("all", false, "regenerate tables 2-5 from one run")
+		warmcold = flag.Bool("warmcold", false, "measure snapshot warm-start vs cold-start wall time")
 		sweep    = flag.Bool("sweep", false, "run the design-space sweep")
 		scale    = flag.Float64("scale", 1.0, "workload scale factor")
 		names    = flag.String("workloads", "", "comma-separated workload subset")
@@ -82,6 +84,19 @@ func main() {
 			fmt.Println(suite.Table5())
 		}
 		fmt.Print(suite.Verify())
+
+	case *warmcold:
+		rows, err := tablegen.RunWarmCold(subset, *scale, "", *jobs)
+		if err != nil {
+			fatal(err)
+		}
+		if *asJSON {
+			if err := tablegen.WriteWarmColdJSON(os.Stdout, rows); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		fmt.Println(tablegen.RenderWarmCold(rows))
 
 	case *sweep:
 		res, err := tablegen.RunSweep(nil, subset, *scale, true, *jobs)

@@ -26,14 +26,12 @@ loop:
 		log.Fatal(err)
 	}
 
-	fast, err := fastsim.Run(prog, fastsim.DefaultConfig())
+	fast, err := fastsim.Run(prog)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	cfg := fastsim.DefaultConfig()
-	cfg.Memoize = false
-	slow, err := fastsim.Run(prog, cfg)
+	slow, err := fastsim.Run(prog, fastsim.WithMemoize(false))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -75,14 +73,12 @@ func ExampleMemoOptions() {
 		log.Fatal(err)
 	}
 
-	unbounded, err := fastsim.Run(prog, fastsim.DefaultConfig())
+	unbounded, err := fastsim.Run(prog)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	cfg := fastsim.DefaultConfig()
-	cfg.Memo = fastsim.MemoOptions{Policy: fastsim.PolicyFlush, Limit: 32 << 10}
-	bounded, err := fastsim.Run(prog, cfg)
+	bounded, err := fastsim.Run(prog, fastsim.WithPolicy(fastsim.PolicyFlush, 32<<10))
 	if err != nil {
 		log.Fatal(err)
 	}

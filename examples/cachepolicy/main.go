@@ -21,14 +21,12 @@ func main() {
 		log.Fatal(err)
 	}
 
-	slowCfg := fastsim.DefaultConfig()
-	slowCfg.Memoize = false
-	slow, err := fastsim.Run(prog, slowCfg)
+	slow, err := fastsim.Run(prog, fastsim.WithMemoize(false))
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	unbounded, err := fastsim.Run(prog, fastsim.DefaultConfig())
+	unbounded, err := fastsim.Run(prog)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -39,9 +37,7 @@ func main() {
 	fmt.Println("Figure 7 sweep (flush-on-full):")
 	fmt.Printf("%10s %10s %10s %10s\n", "limit", "speedup", "flushes", "identical")
 	for _, limit := range []int{16 << 10, 64 << 10, 256 << 10, 1 << 20} {
-		cfg := fastsim.DefaultConfig()
-		cfg.Memo = fastsim.MemoOptions{Policy: fastsim.PolicyFlush, Limit: limit}
-		r, err := fastsim.Run(prog, cfg)
+		r, err := fastsim.Run(prog, fastsim.WithPolicy(fastsim.PolicyFlush, limit))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -55,9 +51,7 @@ func main() {
 	for _, pol := range []fastsim.MemoPolicy{
 		fastsim.PolicyFlush, fastsim.PolicyGC, fastsim.PolicyGenGC,
 	} {
-		cfg := fastsim.DefaultConfig()
-		cfg.Memo = fastsim.MemoOptions{Policy: pol, Limit: 64 << 10}
-		r, err := fastsim.Run(prog, cfg)
+		r, err := fastsim.Run(prog, fastsim.WithPolicy(pol, 64<<10))
 		if err != nil {
 			log.Fatal(err)
 		}

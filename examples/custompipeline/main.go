@@ -60,13 +60,11 @@ func main() {
 	fmt.Printf("%-28s %12s %7s %10s %10s %9s\n",
 		"machine", "cycles", "IPC", "configs", "cacheKB", "exact")
 	for _, m := range machines {
-		fast, err := fastsim.Run(prog, m.cfg)
+		fast, err := fastsim.Run(prog, fastsim.WithConfig(m.cfg))
 		if err != nil {
 			log.Fatal(err)
 		}
-		slowCfg := m.cfg
-		slowCfg.Memoize = false
-		slow, err := fastsim.Run(prog, slowCfg)
+		slow, err := fastsim.Run(prog, fastsim.WithConfig(m.cfg), fastsim.WithMemoize(false))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -49,13 +49,11 @@ func main() {
 	}
 	fmt.Printf("compiled: %d instructions of SV8\n", len(prog.Text))
 
-	fast, err := fastsim.Run(prog, fastsim.DefaultConfig())
+	fast, err := fastsim.Run(prog)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := fastsim.DefaultConfig()
-	cfg.Memoize = false
-	slow, err := fastsim.Run(prog, cfg)
+	slow, err := fastsim.Run(prog, fastsim.WithMemoize(false))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -41,16 +41,15 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// FastSim: speculative direct-execution + fast-forwarding memoization.
-	fast, err := fastsim.Run(prog, fastsim.DefaultConfig())
+	// FastSim: speculative direct-execution + fast-forwarding memoization
+	// (the zero-option default).
+	fast, err := fastsim.Run(prog)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// SlowSim: the same simulator with memoization disabled.
-	cfg := fastsim.DefaultConfig()
-	cfg.Memoize = false
-	slow, err := fastsim.Run(prog, cfg)
+	slow, err := fastsim.Run(prog, fastsim.WithMemoize(false))
 	if err != nil {
 		log.Fatal(err)
 	}

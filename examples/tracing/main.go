@@ -50,10 +50,9 @@ func main() {
 	// stream (episode record/replay boundaries, rollbacks, …). The layer
 	// is read-only: the Result is bit-identical with or without it.
 	var eventLog strings.Builder
-	cfg := fastsim.DefaultConfig()
-	cfg.Observer = fastsim.NewObserver(fastsim.ObserverOptions{EventW: &eventLog})
+	obs := fastsim.NewObserver(fastsim.ObserverOptions{EventW: &eventLog})
 
-	res, err := fastsim.Run(prog, cfg)
+	res, err := fastsim.Run(prog, fastsim.WithObserver(obs))
 	if err != nil {
 		log.Fatal(err)
 	}

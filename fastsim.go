@@ -18,15 +18,23 @@
 // # Quick start
 //
 //	prog, err := fastsim.Assemble("prog.s", source)
-//	res, err := fastsim.Run(prog, fastsim.DefaultConfig())
+//	res, err := fastsim.Run(prog)
 //	fmt.Println(res.Cycles, res.IPC(), res.Memo.AvgChain())
 //
-// Compare FastSim against its non-memoized self (SlowSim) — the results are
-// identical, only the wall time differs:
+// Run takes functional options; the zero-option call is the paper's
+// processor model with memoization on. Compare FastSim against its
+// non-memoized self (SlowSim) — the results are identical, only the wall
+// time differs:
 //
-//	cfg := fastsim.DefaultConfig()
-//	cfg.Memoize = false
-//	slow, err := fastsim.Run(prog, cfg)
+//	slow, err := fastsim.Run(prog, fastsim.WithMemoize(false))
+//
+// Persist the p-action cache across runs for warm starts:
+//
+//	res, err := fastsim.Run(prog, fastsim.WithSnapshot("prog.fsnap"))
+//
+// Callers holding a fully built Config can pass it through
+// fastsim.RunConfig (the original struct-based entry point) or
+// fastsim.WithConfig.
 //
 // The packages under internal/ implement the full system: the SV8 ISA and
 // assembler, the functional emulator, speculative direct-execution, the
@@ -37,6 +45,7 @@
 package fastsim
 
 import (
+	"context"
 	"io"
 
 	"fastsim/internal/asm"
@@ -78,6 +87,14 @@ type MemoPolicy = memo.Policy
 
 // MemoStats reports memoization behaviour (Tables 4 and 5).
 type MemoStats = memo.Stats
+
+// BPredConfig selects and sizes the branch predictor.
+type BPredConfig = core.BPredConfig
+
+// SnapshotStatus reports a run's p-action snapshot activity
+// (Result.Snapshot): what was loaded, what was saved, and the warning text
+// when a present snapshot was rejected and the run started cold.
+type SnapshotStatus = core.SnapshotStatus
 
 // Replacement policies of §4.3.
 const (
@@ -128,9 +145,23 @@ func DefaultPipelineParams() PipelineParams { return uarch.DefaultParams() }
 // DefaultCacheConfig returns the paper's Table 1 cache hierarchy.
 func DefaultCacheConfig() CacheConfig { return cachesim.DefaultConfig() }
 
-// Run simulates prog cycle-accurately: FastSim when cfg.Memoize is set,
-// SlowSim otherwise. The two produce bit-identical statistics.
-func Run(prog *Program, cfg Config) (*Result, error) { return core.Run(prog, cfg) }
+// Run simulates prog cycle-accurately under DefaultConfig plus opts:
+// FastSim unless WithMemoize(false) selects the SlowSim baseline. The two
+// produce bit-identical statistics.
+func Run(prog *Program, opts ...Option) (*Result, error) {
+	return core.Run(prog, buildConfig(opts))
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled the
+// simulation stops at the next episode boundary and returns ctx's error,
+// without writing any snapshot file.
+func RunContext(ctx context.Context, prog *Program, opts ...Option) (*Result, error) {
+	return core.RunContext(ctx, prog, buildConfig(opts))
+}
+
+// RunConfig simulates prog under a fully built Config — the struct-based
+// form of Run, kept for callers that assemble configurations directly.
+func RunConfig(prog *Program, cfg Config) (*Result, error) { return core.Run(prog, cfg) }
 
 // Assemble translates SV8 assembly source into a runnable Program.
 func Assemble(name, src string) (*Program, error) { return asm.Assemble(name, src) }

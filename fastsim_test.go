@@ -30,13 +30,11 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 		t.Fatalf("emulate: insts=%d checksum=%#x exit=%d", insts, checksum, exit)
 	}
 
-	fast, err := Run(prog, DefaultConfig())
+	fast, err := Run(prog)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := DefaultConfig()
-	cfg.Memoize = false
-	slow, err := Run(prog, cfg)
+	slow, err := Run(prog, WithMemoize(false))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +68,7 @@ func TestPublicAPIWorkloads(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(prog, DefaultConfig())
+	res, err := Run(prog)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,14 +82,12 @@ func TestPublicAPIMemoPolicies(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	base, err := Run(prog, DefaultConfig())
+	base, err := Run(prog)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, pol := range []MemoPolicy{PolicyFlush, PolicyGC, PolicyGenGC} {
-		cfg := DefaultConfig()
-		cfg.Memo = MemoOptions{Policy: pol, Limit: 8 << 10}
-		r, err := Run(prog, cfg)
+		r, err := Run(prog, WithPolicy(pol, 8<<10))
 		if err != nil {
 			t.Fatalf("%v: %v", pol, err)
 		}

@@ -26,6 +26,10 @@ var DeterministicPackages = []string{
 	"internal/emulator",
 	"internal/memo",
 	"internal/obs",
+	// snapshot encoding must be deterministic: the same p-action graph must
+	// serialize to the same bytes, and decode validation must be
+	// order-independent — warm starts are part of the bit-identity contract.
+	"internal/snapshot",
 	"internal/stats",
 	// tablegen's parallel runner must produce byte-identical tables for any
 	// worker count, so its fan-out and aggregation code is held to the same

@@ -48,6 +48,21 @@ type Config struct {
 	// MemoGraphMax bounds the exported configurations (0 means 64).
 	MemoGraphMax int
 
+	// SnapshotLoad, when non-empty, warm-starts the p-action cache from
+	// the snapshot file at that path before simulating. A missing file is
+	// a silent cold start; a corrupt, version-skewed or mismatched file
+	// falls back to a cold start with Result.Snapshot.Warning set (never
+	// an error, never a wrong Result) unless SnapshotStrict is on.
+	SnapshotLoad string
+	// SnapshotSave, when non-empty, writes the final p-action cache to
+	// that path after a successful run (atomic: temp file + fsync +
+	// rename). A cancelled or failed run writes nothing.
+	SnapshotSave string
+	// SnapshotStrict turns rejected SnapshotLoad files into run errors
+	// instead of cold-start fallbacks; for callers that must know their
+	// warm start happened (benchmarking, CI).
+	SnapshotStrict bool
+
 	MaxCycles uint64 // safety bound; 0 means a large default
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -34,6 +35,11 @@ type Result struct {
 	Memoized bool
 	Memo     memo.Stats
 
+	// Snapshot reports warm-start and save activity; like WallTime it is
+	// about how the run went, not what it computed — a warm-started run's
+	// simulation results are bit-identical to a cold run's.
+	Snapshot SnapshotStatus
+
 	WallTime time.Duration // host time spent simulating
 }
 
@@ -57,7 +63,20 @@ func (r *Result) KInstsPerSec() float64 {
 
 // Run simulates prog under cfg: FastSim when cfg.Memoize is set, SlowSim
 // otherwise. The two produce bit-identical statistics.
-func Run(prog *program.Program, cfg Config) (res *Result, err error) {
+func Run(prog *program.Program, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), prog, cfg)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled the
+// simulation stops at the next episode boundary (memoized) or cycle batch
+// (detailed) and returns ctx's error. A cancelled run never writes a
+// snapshot file — cfg.SnapshotSave happens only after a complete,
+// successful simulation, so a half-built cache can never shadow a good
+// snapshot on disk.
+func RunContext(ctx context.Context, prog *program.Program, cfg Config) (res *Result, err error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	maxCycles := cfg.MaxCycles
 	if maxCycles == 0 {
 		maxCycles = defaultMaxCycles
@@ -84,13 +103,25 @@ func Run(prog *program.Program, cfg Config) (res *Result, err error) {
 		}
 	}()
 
+	// WallTime starts before the snapshot load, so warm-start overhead is
+	// part of the reported time — the warm-vs-cold benchmark comparison
+	// stays honest.
 	start := time.Now() //fastsim:allow-wallclock: WallTime reports host simulation speed only; determinism tests zero it before comparing Results
 	var cycles uint64
 	var memoStats memo.Stats
+	var snapStatus SnapshotStatus
 	if cfg.Memoize {
 		eng := memo.NewEngine(prog, cfg.Uarch, drv, cfg.Memo)
 		eng.Obs = o
 		eng.TraceW = cfg.Trace
+		if ctx.Done() != nil {
+			eng.Cancel = func() error { return ctx.Err() }
+		}
+		if cfg.SnapshotLoad != "" {
+			if err := loadSnapshot(eng, prog, &cfg, &snapStatus); err != nil {
+				return nil, err
+			}
+		}
 		cycles, err = eng.Run(maxCycles)
 		memoStats = eng.Cache.Stats()
 		if err != nil {
@@ -100,6 +131,12 @@ func Run(prog *program.Program, cfg Config) (res *Result, err error) {
 			if derr := eng.Cache.ExportDot(cfg.MemoGraphDot, cfg.MemoGraphMax); derr != nil {
 				return nil, fmt.Errorf("core: dot export: %w", derr)
 			}
+		}
+		if cfg.SnapshotSave != "" {
+			if err := saveSnapshot(eng, prog, &cfg, cycles, &snapStatus); err != nil {
+				return nil, err
+			}
+			memoStats = eng.Cache.Stats()
 		}
 	} else {
 		pl, perr := uarch.New(cfg.Uarch, prog, drv, prog.Entry)
@@ -112,9 +149,15 @@ func Run(prog *program.Program, cfg Config) (res *Result, err error) {
 		if o != nil {
 			pl.RegisterMetrics(o.Metrics())
 		}
+		poll := ctx.Done() != nil
 		for !pl.Done() {
 			if pl.Now > maxCycles {
 				return nil, fmt.Errorf("core: exceeded %d cycles without halting", maxCycles)
+			}
+			if poll && pl.Now&slowSimCancelMask == 0 {
+				if cerr := ctx.Err(); cerr != nil {
+					return nil, cerr
+				}
 			}
 			pl.Step()
 			o.Tick(pl.Now)
@@ -147,6 +190,12 @@ func Run(prog *program.Program, cfg Config) (res *Result, err error) {
 		Memoized: cfg.Memoize,
 		Memo:     memoStats,
 
+		Snapshot: snapStatus,
+
 		WallTime: wall,
 	}, nil
 }
+
+// slowSimCancelMask amortizes SlowSim's cancellation polls to once per
+// 4096 simulated cycles, keeping ctx support off the per-cycle hot path.
+const slowSimCancelMask = 4095

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"fastsim/internal/memo"
+)
+
+// ErrBadConfig is the sentinel wrapped by every Config.Validate failure;
+// match it with errors.Is. The facade re-exports it as fastsim.ErrBadConfig.
+var ErrBadConfig = errors.New("core: invalid config")
+
+// Validate checks the configuration before a run: pipeline parameters,
+// cache geometry, branch predictor sizing, memoization options, and the
+// snapshot settings. Run and RunContext call it, so a bad configuration
+// fails fast with a wrapped ErrBadConfig instead of panicking mid-setup or
+// silently misbehaving.
+func (cfg *Config) Validate() error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("%w: %s", ErrBadConfig, fmt.Sprintf(format, args...))
+	}
+	if err := cfg.Uarch.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+
+	c := cfg.Cache
+	if c.L1Size != 0 { // zero selects DefaultConfig wholesale (cachesim.New)
+		if c.Line <= 0 || c.Line&(c.Line-1) != 0 {
+			return bad("cache line size %d must be a positive power of two", c.Line)
+		}
+		for _, lv := range []struct {
+			name        string
+			size, assoc int
+		}{{"L1", c.L1Size, c.L1Assoc}, {"L2", c.L2Size, c.L2Assoc}} {
+			if lv.size <= 0 || lv.assoc <= 0 {
+				return bad("%s size and associativity must be positive", lv.name)
+			}
+			if lv.size%(lv.assoc*c.Line) != 0 {
+				return bad("%s size %d is not divisible by assoc %d x line %d",
+					lv.name, lv.size, lv.assoc, c.Line)
+			}
+		}
+		if c.L1HitLat <= 0 || c.L1MissLat <= 0 || c.MemLat <= 0 || c.BusBeats <= 0 {
+			return bad("cache latencies and bus beats must be positive")
+		}
+	}
+
+	b := cfg.BPred
+	if b.Kind > BPredGshare {
+		return bad("unknown branch predictor kind %d", b.Kind)
+	}
+	if b.Entries > 0 && b.Entries&(b.Entries-1) != 0 {
+		return bad("branch predictor entries %d must be a power of two", b.Entries)
+	}
+	if b.HistoryBits < 0 || b.HistoryBits > 30 {
+		return bad("gshare history bits %d out of range [0,30]", b.HistoryBits)
+	}
+
+	m := cfg.Memo
+	if m.Policy > memo.PolicyGenGC {
+		return bad("unknown memo policy %d", m.Policy)
+	}
+	if m.Limit < 0 {
+		return bad("memo limit %d must be >= 0", m.Limit)
+	}
+	if m.MajorEvery < 0 {
+		return bad("memo major-every %d must be >= 0", m.MajorEvery)
+	}
+
+	if !cfg.Memoize && (cfg.SnapshotLoad != "" || cfg.SnapshotSave != "") {
+		return bad("snapshots require memoization (Memoize=false with a snapshot path)")
+	}
+	if cfg.SnapshotStrict && cfg.SnapshotLoad == "" {
+		return bad("SnapshotStrict set without a SnapshotLoad path")
+	}
+	return nil
+}

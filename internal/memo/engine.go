@@ -82,6 +82,10 @@ type Engine struct {
 	// fast-forwarded cycles are replayed, never re-simulated, so there is
 	// no per-cycle pipeline state to print for them.
 	TraceW io.Writer
+	// Cancel, when non-nil, is polled at episode boundaries (amortized by
+	// cancelMask); a non-nil result aborts the run with that error. The
+	// core layer wires context.Context.Err through it.
+	Cancel func() error
 
 	now    uint64
 	halted bool
@@ -90,9 +94,10 @@ type Engine struct {
 	ffStart       uint64 // cycle at which the current fast-forward chain began
 	chainEpisodes uint64 // episodes replayed in the current chain
 
-	keyBuf []byte
-	script []scriptEntry
-	chain  uint64 // actions replayed since fast-forwarding last began
+	keyBuf     []byte
+	script     []scriptEntry
+	chain      uint64 // actions replayed since fast-forwarding last began
+	cancelTick uint64 // episode boundaries toward the next cancellation poll
 
 	// recScratch is the engine's single recorder, reset by newRecorder at
 	// each episode boundary. The previous episode's recorder is always
@@ -131,6 +136,9 @@ func (e *Engine) Run(maxCycles uint64) (uint64, error) {
 		if e.now > maxCycles {
 			return e.now, fmt.Errorf("memo: exceeded %d cycles without halting", maxCycles)
 		}
+		if err := e.cancelled(); err != nil {
+			return e.now, err
+		}
 		// Detailed mode, at an episode boundary.
 		e.keyBuf = pl.EncodeConfig(e.keyBuf[:0])
 		e.Cache.Reclaim()
@@ -146,7 +154,10 @@ func (e *Engine) Run(maxCycles uint64) (uint64, error) {
 			// outcome requires detailed simulation again.
 			e.Cache.stats.Hits++
 			e.beginChain()
-			resume := e.replayRun(cfg)
+			resume, rerr := e.replayRun(cfg)
+			if rerr != nil {
+				return e.now, rerr
+			}
 			if resume == nil {
 				break // halted during replay
 			}
@@ -181,6 +192,23 @@ func (e *Engine) observePipeline(pl *uarch.Pipeline) {
 	if e.Obs != nil {
 		pl.RegisterMetrics(e.Obs.Metrics())
 	}
+}
+
+// cancelMask amortizes cancellation polls: Cancel runs on the first
+// episode boundary (so an already-cancelled context aborts before any real
+// work) and then once per 1024, keeping context support off the
+// per-episode hot path.
+const cancelMask = 1023
+
+func (e *Engine) cancelled() error {
+	if e.Cancel == nil {
+		return nil
+	}
+	e.cancelTick++
+	if e.cancelTick&cancelMask != 1 {
+		return nil
+	}
+	return e.Cancel()
 }
 
 func (e *Engine) beginChain() {
@@ -228,18 +256,23 @@ func (e *Engine) recordEpisode(pl *uarch.Pipeline, rec *recorder) {
 // replayRun fast-forwards from cfg along the unbroken action chain. It
 // returns nil when the program halted, or the configuration at which a
 // previously unseen outcome (or a collected gap) stopped fast-forwarding;
-// e.script then holds the episode's already-performed interactions.
-func (e *Engine) replayRun(cfg *config) *config {
+// e.script then holds the episode's already-performed interactions. A
+// non-nil error reports cancellation.
+func (e *Engine) replayRun(cfg *config) (*config, error) {
 	drv := e.drv
 	c := e.Cache
 	for {
+		if err := e.cancelled(); err != nil {
+			e.endChain()
+			return nil, err
+		}
 		adv := cfg.first
 		e.script = e.script[:0]
 		if adv == nil {
 			// Shell left by a collection: the previous episode committed
 			// fully, so simply re-record from this configuration.
 			e.endChain()
-			return cfg
+			return cfg, nil
 		}
 		c.mark(cfg)
 		c.markAct(adv)
@@ -258,7 +291,7 @@ func (e *Engine) replayRun(cfg *config) *config {
 				// Successor clipped by a collection mid-episode.
 				c.stats.EdgeMisses++
 				e.endChain()
-				return cfg
+				return cfg, nil
 			}
 			c.markAct(act)
 			c.stats.ActionsReplayed++
@@ -297,12 +330,12 @@ func (e *Engine) replayRun(cfg *config) *config {
 				drv.HaltRetired()
 				e.halted = true
 				e.endChain()
-				return nil
+				return nil, nil
 			case actLink:
 				if act.nextCfg == nil {
 					c.stats.EdgeMisses++
 					e.endChain()
-					return cfg
+					return cfg, nil
 				}
 				e.commit(adv)
 				cfg = act.nextCfg

@@ -44,7 +44,10 @@ func TestReplayStopAtShell(t *testing.T) {
 	e, _ := newStubEngine()
 	shell, _ := e.Cache.getOrCreate([]byte{1, 0, 0, 0, 0, 0})
 	e.beginChain()
-	got := e.replayRun(shell)
+	got, rerr := e.replayRun(shell)
+	if rerr != nil {
+		t.Fatalf("replayRun: %v", rerr)
+	}
 	if got != shell {
 		t.Fatalf("replayRun returned %v, want the shell", got)
 	}
@@ -73,7 +76,10 @@ func TestReplayStopAtClippedSuccessor(t *testing.T) {
 	cfg.first = adv // adv.next clipped: nil
 
 	e.beginChain()
-	got := e.replayRun(cfg)
+	got, rerr := e.replayRun(cfg)
+	if rerr != nil {
+		t.Fatalf("replayRun: %v", rerr)
+	}
 	if got != cfg {
 		t.Fatalf("replayRun returned %v, want the stopping config", got)
 	}
@@ -106,7 +112,10 @@ func TestReplayStopAtNilLinkTarget(t *testing.T) {
 	d.outs = []uarch.Outcome{outcome}
 
 	e.beginChain()
-	got := e.replayRun(cfg)
+	got, rerr := e.replayRun(cfg)
+	if rerr != nil {
+		t.Fatalf("replayRun: %v", rerr)
+	}
 	if got != cfg {
 		t.Fatalf("replayRun returned %v, want the stopping config", got)
 	}
@@ -141,7 +150,10 @@ func TestReplayCommitsThenStopsAtShell(t *testing.T) {
 	adv.next = lnk
 
 	e.beginChain()
-	got := e.replayRun(cfgA)
+	got, rerr := e.replayRun(cfgA)
+	if rerr != nil {
+		t.Fatalf("replayRun: %v", rerr)
+	}
 	if got != cfgB {
 		t.Fatalf("replayRun returned %v, want the shell target", got)
 	}

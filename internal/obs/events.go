@@ -31,6 +31,12 @@ const (
 	// the text segment and stalling fetch until rollback. Its cycle is the
 	// most recent observation point.
 	EvCheckpointStall = "checkpoint_stall"
+	// EvSnapshot reports p-action cache snapshot activity: Op is "load"
+	// (warm start), "fallback" (a snapshot was present but rejected —
+	// Reason says why — and the run started cold), or "save". Snapshot
+	// events always carry cycle 0 (load) or the final cycle (save), never
+	// wall-clock time, preserving stream determinism.
+	EvSnapshot = "snapshot"
 )
 
 // Event is one line of the JSONL event stream. Type and Cycle are always
@@ -53,6 +59,10 @@ type Event struct {
 	Minor      bool   `json:"minor,omitempty"`       // paction_gc: minor collection
 
 	Rec int `json:"rec,omitempty"` // rollback: control-record index
+
+	Op      string `json:"op,omitempty"`      // snapshot: load / fallback / save
+	Configs int    `json:"configs,omitempty"` // snapshot: configurations moved
+	Reason  string `json:"reason,omitempty"`  // snapshot fallback: rejection cause
 }
 
 type eventSink struct {
@@ -136,6 +146,19 @@ func (o *Observer) Rollback(recIdx int) {
 		return
 	}
 	o.events.emit(&Event{Type: EvRollback, Cycle: o.lastCycle, Rec: recIdx})
+}
+
+// Snapshot reports p-action cache snapshot activity: op is "load",
+// "fallback" or "save"; configs/actions/bytes describe the image moved
+// (zero for a fallback); reason is the fallback cause, "" otherwise.
+func (o *Observer) Snapshot(cycle uint64, op string, configs int, actions, bytes int, reason string) {
+	if o == nil || o.events == nil {
+		return
+	}
+	o.events.emit(&Event{
+		Type: EvSnapshot, Cycle: cycle, Op: op,
+		Configs: configs, Actions: uint64(actions), Bytes: bytes, Reason: reason,
+	})
 }
 
 // CheckpointStall reports wrong-path execution running off the text

@@ -1,0 +1,54 @@
+package snapshot
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Save writes img to path crash-safely and returns the file size: the
+// bytes go to a temp file in the same directory, are fsynced, and the temp
+// file is renamed over path. A crash at any point leaves either the old
+// snapshot or the new one, never a torn mix; a failed write removes the
+// temp file.
+func Save(path string, img *Image) (n int, err error) {
+	data := Encode(img)
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return 0, fmt.Errorf("snapshot: save: %w", err)
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if _, err = f.Write(data); err != nil {
+		return 0, fmt.Errorf("snapshot: save: %w", err)
+	}
+	if err = f.Sync(); err != nil {
+		return 0, fmt.Errorf("snapshot: save: %w", err)
+	}
+	if err = f.Close(); err != nil {
+		return 0, fmt.Errorf("snapshot: save: %w", err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("snapshot: save: %w", err)
+	}
+	return len(data), nil
+}
+
+// Load reads and decodes the snapshot at path. A missing file surfaces as
+// an error satisfying errors.Is(err, fs.ErrNotExist), which callers treat
+// as a silent cold start; decode failures carry ErrCorrupt, ErrVersion or
+// ErrMismatch.
+func Load(path string, wantFingerprint uint64) (*Image, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(data, wantFingerprint)
+}

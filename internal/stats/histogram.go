@@ -104,6 +104,33 @@ func Ratio(num, den float64) float64 {
 	return num / den
 }
 
+// State is a histogram's full content with exported fields, the
+// serialization image used by the p-action cache snapshots.
+type State struct {
+	Buckets []uint64
+	Count   uint64
+	Sum     uint64
+	Max     uint64
+}
+
+// State returns a copy of the histogram's content.
+func (h *Histogram) State() State {
+	s := State{Buckets: make([]uint64, nBuckets), Count: h.count, Sum: h.sum, Max: h.max}
+	copy(s.Buckets, h.buckets[:])
+	return s
+}
+
+// SetState replaces the histogram's content. States with a different bucket
+// count (a snapshot from a build with a different resolution) are rejected.
+func (h *Histogram) SetState(s State) error {
+	if len(s.Buckets) != nBuckets {
+		return fmt.Errorf("stats: histogram state has %d buckets, want %d", len(s.Buckets), nBuckets)
+	}
+	copy(h.buckets[:], s.Buckets)
+	h.count, h.sum, h.max = s.Count, s.Sum, s.Max
+	return nil
+}
+
 // Merge adds o's counts into h.
 func (h *Histogram) Merge(o *Histogram) {
 	for i := range h.buckets {

@@ -1,0 +1,174 @@
+package tablegen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"fastsim/internal/core"
+	"fastsim/internal/workloads"
+)
+
+// WarmCold measures the p-action snapshot's warm-start benefit on one
+// workload: a cold run that saves its cache, then a warm run that loads
+// it. The warm run's simulation Result must be bit-identical to the cold
+// one (verified here); only wall time, detailed-instruction share and the
+// memo counters may differ.
+type WarmCold struct {
+	Workload string
+
+	ColdWall time.Duration // cold run, including the snapshot save
+	WarmWall time.Duration // warm run, including the snapshot load
+
+	SnapshotBytes int // snapshot file size
+	LoadedConfigs int
+	LoadedActions int
+
+	// ColdDetailedInsts / WarmDetailedInsts are each run's own detailed
+	// (recording-mode) instructions; the warm figure is usually zero.
+	ColdDetailedInsts uint64
+	WarmDetailedInsts uint64
+
+	Cycles uint64 // simulated cycles (identical in both runs)
+}
+
+// Speedup returns the warm-over-cold wall-time ratio.
+func (w *WarmCold) Speedup() float64 {
+	if w.WarmWall <= 0 {
+		return 0
+	}
+	return w.ColdWall.Seconds() / w.WarmWall.Seconds()
+}
+
+// RunWarmCold measures the warm-start benefit on the given workloads.
+// Snapshots go to tmpDir (one file per workload); each workload's cold and
+// warm runs are inherently sequential, but distinct workloads fan out over
+// the worker pool.
+func RunWarmCold(names []string, scale float64, tmpDir string, jobs int) ([]*WarmCold, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	if len(names) == 0 {
+		names = []string{"099.go", "129.compress", "107.mgrid"}
+	}
+	if tmpDir == "" {
+		d, err := os.MkdirTemp("", "fastsim-warmcold-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(d)
+		tmpDir = d
+	}
+	out := make([]*WarmCold, len(names))
+	err := forEach(jobs, len(names), func(i int) error {
+		n := names[i]
+		w, ok := workloads.Get(n)
+		if !ok {
+			return fmt.Errorf("unknown workload %q", n)
+		}
+		prog, err := w.Build(scale)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(tmpDir, n+".fsnap")
+
+		coldCfg := core.DefaultConfig()
+		coldCfg.SnapshotSave = path
+		cold, err := core.Run(prog, coldCfg)
+		if err != nil {
+			return fmt.Errorf("%s: cold: %w", n, err)
+		}
+
+		warmCfg := core.DefaultConfig()
+		warmCfg.SnapshotLoad = path
+		warmCfg.SnapshotStrict = true
+		warm, err := core.Run(prog, warmCfg)
+		if err != nil {
+			return fmt.Errorf("%s: warm: %w", n, err)
+		}
+		if !warm.Snapshot.Loaded {
+			return fmt.Errorf("%s: warm run did not load the snapshot", n)
+		}
+		// The exactness gate: a warm start may change speed, never results.
+		if warm.Cycles != cold.Cycles || warm.Checksum != cold.Checksum ||
+			warm.Insts != cold.Insts || warm.Cache != cold.Cache {
+			return fmt.Errorf("%s: warm Result diverged from cold", n)
+		}
+
+		out[i] = &WarmCold{
+			Workload:          n,
+			ColdWall:          cold.WallTime,
+			WarmWall:          warm.WallTime,
+			SnapshotBytes:     cold.Snapshot.SavedBytes,
+			LoadedConfigs:     warm.Snapshot.LoadedConfigs,
+			LoadedActions:     warm.Snapshot.LoadedActions,
+			ColdDetailedInsts: cold.Memo.DetailedInsts,
+			WarmDetailedInsts: warm.Memo.DetailedInsts - cold.Memo.DetailedInsts,
+			Cycles:            cold.Cycles,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RenderWarmCold formats the rows as the warm-start table.
+func RenderWarmCold(rows []*WarmCold) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Warm-start ablation: cold run saves the p-action snapshot, warm run loads it.\n")
+	fmt.Fprintf(&b, "Results are bit-identical (verified); the table shows the speed side only.\n\n")
+	fmt.Fprintf(&b, "%-14s %10s %10s %8s %10s %12s %12s\n",
+		"workload", "cold", "warm", "speedup", "snapKB", "detailCold", "detailWarm")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %10s %10s %7.2fx %10d %12d %12d\n",
+			r.Workload,
+			r.ColdWall.Round(time.Millisecond), r.WarmWall.Round(time.Millisecond),
+			r.Speedup(), r.SnapshotBytes>>10,
+			r.ColdDetailedInsts, r.WarmDetailedInsts)
+	}
+	b.WriteString("\ndetailCold/detailWarm: instructions each run simulated in detail —\n")
+	b.WriteString("the warm run fast-forwards through everything the snapshot already holds.\n")
+	return b.String()
+}
+
+// warmColdJSON is the BENCH_4.json row shape.
+type warmColdJSON struct {
+	Workload      string  `json:"workload"`
+	ColdMS        float64 `json:"cold_ms"`
+	WarmMS        float64 `json:"warm_ms"`
+	Speedup       float64 `json:"speedup"`
+	SnapshotBytes int     `json:"snapshot_bytes"`
+	LoadedConfigs int     `json:"loaded_configs"`
+	LoadedActions int     `json:"loaded_actions"`
+	DetailedCold  uint64  `json:"detailed_insts_cold"`
+	DetailedWarm  uint64  `json:"detailed_insts_warm"`
+	Cycles        uint64  `json:"cycles"`
+}
+
+// WriteWarmColdJSON emits the rows as indented JSON.
+func WriteWarmColdJSON(w io.Writer, rows []*WarmCold) error {
+	out := make([]warmColdJSON, len(rows))
+	for i, r := range rows {
+		out[i] = warmColdJSON{
+			Workload:      r.Workload,
+			ColdMS:        float64(r.ColdWall.Microseconds()) / 1000,
+			WarmMS:        float64(r.WarmWall.Microseconds()) / 1000,
+			Speedup:       r.Speedup(),
+			SnapshotBytes: r.SnapshotBytes,
+			LoadedConfigs: r.LoadedConfigs,
+			LoadedActions: r.LoadedActions,
+			DetailedCold:  r.ColdDetailedInsts,
+			DetailedWarm:  r.WarmDetailedInsts,
+			Cycles:        r.Cycles,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

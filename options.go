@@ -1,0 +1,139 @@
+package fastsim
+
+import (
+	"io"
+
+	"fastsim/internal/core"
+	"fastsim/internal/snapshot"
+)
+
+// Option configures a simulation run. Options apply in order on top of
+// DefaultConfig, so later options win; WithConfig replaces the whole
+// configuration and is therefore usually first, if present at all.
+type Option func(*Config)
+
+// Configuration sentinels, matched with errors.Is.
+var (
+	// ErrBadConfig wraps every configuration-validation failure.
+	ErrBadConfig = core.ErrBadConfig
+	// ErrSnapshotVersion reports a snapshot written by an incompatible
+	// format version. Run only returns it under WithSnapshotStrict; the
+	// default is a cold-start fallback recorded in Result.Snapshot.Warning.
+	ErrSnapshotVersion = snapshot.ErrVersion
+	// ErrSnapshotCorrupt reports a truncated or bit-damaged snapshot file.
+	// Like ErrSnapshotVersion it only surfaces under WithSnapshotStrict.
+	ErrSnapshotCorrupt = snapshot.ErrCorrupt
+)
+
+// WithConfig replaces the entire configuration, for callers migrating from
+// the struct-based API or holding a fully built Config. Later options still
+// apply on top of it.
+func WithConfig(cfg Config) Option {
+	return func(c *Config) { *c = cfg }
+}
+
+// WithMemoize enables or disables fast-forwarding: true is FastSim (the
+// default), false is the SlowSim baseline.
+func WithMemoize(on bool) Option {
+	return func(c *Config) { c.Memoize = on }
+}
+
+// WithPolicy selects the p-action cache replacement policy (§4.3) and its
+// byte limit; limit <= 0 means unlimited (forced for PolicyUnbounded).
+func WithPolicy(p MemoPolicy, limit int) Option {
+	return func(c *Config) {
+		c.Memo.Policy = p
+		c.Memo.Limit = limit
+	}
+}
+
+// WithMemoOptions replaces the full p-action cache configuration, for
+// settings beyond WithPolicy (e.g. the generational major-collection
+// cadence).
+func WithMemoOptions(o MemoOptions) Option {
+	return func(c *Config) { c.Memo = o }
+}
+
+// WithPipeline replaces the out-of-order pipeline parameters.
+func WithPipeline(p PipelineParams) Option {
+	return func(c *Config) { c.Uarch = p }
+}
+
+// WithCache replaces the cache-hierarchy configuration.
+func WithCache(cc CacheConfig) Option {
+	return func(c *Config) { c.Cache = cc }
+}
+
+// WithBPred replaces the branch-predictor configuration.
+func WithBPred(b core.BPredConfig) Option {
+	return func(c *Config) { c.BPred = b }
+}
+
+// WithObserver attaches the observability layer (metrics, sampler, events,
+// heartbeat); it is read-only, so the Result is unchanged by it.
+func WithObserver(o *Observer) Option {
+	return func(c *Config) { c.Observer = o }
+}
+
+// WithTrace streams a pipetrace to w: per-cycle lines for detailed cycles
+// and one marker line per fast-forward chain (see Config.Trace).
+func WithTrace(w io.Writer) Option {
+	return func(c *Config) { c.Trace = w }
+}
+
+// WithMemoGraphDot writes the final p-action graph in Graphviz DOT format
+// to w after a memoized run; maxConfigs bounds the export (0 means 64).
+func WithMemoGraphDot(w io.Writer, maxConfigs int) Option {
+	return func(c *Config) {
+		c.MemoGraphDot = w
+		c.MemoGraphMax = maxConfigs
+	}
+}
+
+// WithMaxCycles bounds the simulation (0 keeps the large default).
+func WithMaxCycles(n uint64) Option {
+	return func(c *Config) { c.MaxCycles = n }
+}
+
+// WithSnapshot persists the p-action cache at path across runs: load it
+// before simulating (cold start if the file is missing or rejected) and
+// save it back afterwards. Equivalent to WithSnapshotLoad(path) plus
+// WithSnapshotSave(path).
+func WithSnapshot(path string) Option {
+	return func(c *Config) {
+		c.SnapshotLoad = path
+		c.SnapshotSave = path
+	}
+}
+
+// WithSnapshotLoad warm-starts the p-action cache from the snapshot at
+// path. A missing file is a silent cold start; a corrupt, version-skewed
+// or mismatched file falls back to a cold start with
+// Result.Snapshot.Warning set — the Result is bit-identical either way.
+func WithSnapshotLoad(path string) Option {
+	return func(c *Config) { c.SnapshotLoad = path }
+}
+
+// WithSnapshotSave writes the final p-action cache to path after a
+// successful run, atomically (temp file + fsync + rename). Cancelled or
+// failed runs write nothing.
+func WithSnapshotSave(path string) Option {
+	return func(c *Config) { c.SnapshotSave = path }
+}
+
+// WithSnapshotStrict turns rejected snapshot loads into run errors
+// (ErrSnapshotCorrupt, ErrSnapshotVersion, ...) instead of cold-start
+// fallbacks — for benchmarks and CI jobs that must know their warm start
+// actually happened.
+func WithSnapshotStrict() Option {
+	return func(c *Config) { c.SnapshotStrict = true }
+}
+
+// buildConfig folds opts over DefaultConfig.
+func buildConfig(opts []Option) Config {
+	cfg := core.DefaultConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return cfg
+}
