@@ -35,6 +35,9 @@ func main() {
 		limit    = flag.Int("limit", 0, "p-action cache limit in bytes (0 = unlimited)")
 		memoLoad = flag.String("memo-load", "", "warm-start the p-action cache from this snapshot file (missing/rejected files start cold)")
 		memoSave = flag.String("memo-save", "", "save the p-action cache to this snapshot file after the run (atomic)")
+		budget   = flag.Int("memo-budget", 0, "hard p-action cache memory budget in bytes, enforced for every policy (0 = off)")
+		verify   = flag.Float64("verify", 0, "shadow-verification rate in [0,1]: fraction of cache hits re-executed in detail and cross-checked")
+		chaos    = flag.Uint64("chaos", 0, "arm the chaos fault-injection preset with this seed (0 = off); implies -verify 1 unless set explicitly")
 		trace    = flag.String("trace", "", "write a pipetrace to this file (per-cycle under slowsim; episode-granular under fastsim)")
 		hist     = flag.Bool("hist", false, "print load-latency and replay-chain histograms")
 		sample   = flag.String("sample", "", "write a JSONL time-series sample row every -interval cycles to this file")
@@ -116,9 +119,22 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		cfg.Memo = fastsim.MemoOptions{Policy: pol, Limit: *limit}
+		cfg.Memo = fastsim.MemoOptions{Policy: pol, Limit: *limit, Budget: *budget, VerifyRate: *verify}
 		cfg.SnapshotLoad = *memoLoad
 		cfg.SnapshotSave = *memoSave
+		var inj *fastsim.FaultInjector
+		if *chaos != 0 {
+			inj = fastsim.NewChaosInjector(*chaos)
+			cfg.FaultInject = inj
+			// Chaos default: verify every hit, so injected chain corruption
+			// can never slip into the statistics unverified. An explicit
+			// -verify (even 0) overrides.
+			verifySet := false
+			flag.Visit(func(f *flag.Flag) { verifySet = verifySet || f.Name == "verify" })
+			if !verifySet {
+				cfg.Memo.VerifyRate = 1
+			}
+		}
 		if *trace != "" {
 			f, err := os.Create(*trace)
 			if err != nil {
@@ -160,6 +176,9 @@ func main() {
 			cfg.Observer = fastsim.NewObserver(opt)
 		}
 		res, err := fastsim.RunConfig(prog, cfg)
+		if inj != nil {
+			fmt.Fprintln(os.Stderr, "fastsim:", inj.Summary())
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -246,6 +265,14 @@ func printResult(r *fastsim.Result) {
 			m.DetailedFraction()*100, m.AvgChain(), m.ChainMax)
 		if m.Flushes+m.Collections > 0 {
 			fmt.Printf("               %d flushes, %d collections\n", m.Flushes, m.Collections)
+		}
+		if m.EpisodesVerified+m.Quarantines > 0 {
+			fmt.Printf("               verified %d episodes: %d divergences, %d quarantines (%d actions evicted)\n",
+				m.EpisodesVerified, m.VerifyDivergences, m.Quarantines, m.QuarantinedActions)
+		}
+		if m.GuardPressure+m.GuardDegraded > 0 {
+			fmt.Printf("               guard: %d pressure transitions, %d degradations, %d detailed-only episodes\n",
+				m.GuardPressure, m.GuardDegraded, m.DegradedEpisodes)
 		}
 	}
 }

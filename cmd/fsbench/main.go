@@ -9,6 +9,7 @@
 //	fsbench -all                    # Tables 2-5 from one suite run
 //	fsbench -figure 7               # cache-limit sweep (slow: many runs)
 //	fsbench -warmcold               # snapshot warm-start vs cold-start timing
+//	fsbench -chaos -seed 7          # fault-injection suite: self-heal or typed error
 //	fsbench -ablation gc|direct|encoding
 //	fsbench -workloads 099.go,107.mgrid  # restrict any of the above
 //	fsbench -all -j 4               # fan runs over 4 workers (-j 1: sequential)
@@ -33,6 +34,8 @@ func main() {
 		ablation = flag.String("ablation", "", "run an ablation: gc | direct | encoding | bpred | inorder")
 		all      = flag.Bool("all", false, "regenerate tables 2-5 from one run")
 		warmcold = flag.Bool("warmcold", false, "measure snapshot warm-start vs cold-start wall time")
+		chaos    = flag.Bool("chaos", false, "run the fault-injection suite: every fault must self-heal or fail typed")
+		seed     = flag.Uint64("seed", 1, "fault-injection seed for -chaos")
 		sweep    = flag.Bool("sweep", false, "run the design-space sweep")
 		scale    = flag.Float64("scale", 1.0, "workload scale factor")
 		names    = flag.String("workloads", "", "comma-separated workload subset")
@@ -97,6 +100,19 @@ func main() {
 			return
 		}
 		fmt.Println(tablegen.RenderWarmCold(rows))
+
+	case *chaos:
+		rows, err := tablegen.RunChaos(subset, *scale, *seed, *jobs)
+		if err != nil {
+			fatal(err)
+		}
+		if *asJSON {
+			if err := tablegen.WriteChaosJSON(os.Stdout, rows); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		fmt.Println(tablegen.RenderChaos(rows))
 
 	case *sweep:
 		res, err := tablegen.RunSweep(nil, subset, *scale, true, *jobs)

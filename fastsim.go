@@ -52,6 +52,7 @@ import (
 	"fastsim/internal/cachesim"
 	"fastsim/internal/core"
 	"fastsim/internal/emulator"
+	"fastsim/internal/faultinject"
 	"fastsim/internal/memo"
 	"fastsim/internal/minc"
 	"fastsim/internal/obs"
@@ -95,6 +96,29 @@ type BPredConfig = core.BPredConfig
 // (Result.Snapshot): what was loaded, what was saved, and the warning text
 // when a present snapshot was rejected and the run started cold.
 type SnapshotStatus = core.SnapshotStatus
+
+// FaultInjector is a deterministic, seed-addressed fault injector for chaos
+// testing; arm one with WithFaultInjection. See internal/faultinject and
+// docs/ROBUSTNESS.md.
+type FaultInjector = faultinject.Injector
+
+// EngineFault is the typed error produced when a panic inside the
+// memoization engine (a runtime error, an injected allocation failure) is
+// isolated at an episode boundary; it carries the offending configuration's
+// fingerprint and the simulated cycle. Match it with
+// errors.Is(err, ErrEngineFault) or errors.As.
+type EngineFault = memo.EngineFault
+
+// ErrEngineFault is the sentinel every EngineFault matches via errors.Is.
+var ErrEngineFault = memo.ErrEngineFault
+
+// NewChaosInjector returns the chaos preset: every fault site armed at
+// deterministic, seed-addressed rates — occasional transient snapshot IO
+// failures, one possible truncation, a handful of chain bit flips, and a
+// rare allocation failure. Equal seeds reproduce the exact same fault
+// sequence. Pair it with WithShadowVerify(1) so no corrupted chain can slip
+// into the statistics unverified.
+func NewChaosInjector(seed uint64) *FaultInjector { return faultinject.Chaos(seed) }
 
 // Replacement policies of §4.3.
 const (

@@ -24,6 +24,10 @@ var DeterministicPackages = []string{
 	"internal/core",
 	"internal/direct",
 	"internal/emulator",
+	// fault injection must be deterministic by construction — equal seeds
+	// reproduce the exact same fault sequence — or chaos runs would not be
+	// debuggable.
+	"internal/faultinject",
 	"internal/memo",
 	"internal/obs",
 	// snapshot encoding must be deterministic: the same p-action graph must

@@ -14,6 +14,7 @@ import (
 
 	"fastsim/internal/bpred"
 	"fastsim/internal/cachesim"
+	"fastsim/internal/faultinject"
 	"fastsim/internal/memo"
 	"fastsim/internal/obs"
 	"fastsim/internal/uarch"
@@ -62,6 +63,15 @@ type Config struct {
 	// instead of cold-start fallbacks; for callers that must know their
 	// warm start happened (benchmarking, CI).
 	SnapshotStrict bool
+
+	// FaultInject, when non-nil, arms deterministic fault injection at
+	// every site the run passes through: memo allocation failures and chain
+	// bit flips (via cfg.Memo.Inject) and snapshot IO faults (transient
+	// read/write errors, post-read truncation). It exists for the chaos
+	// modes and the fault-tolerance tests; see docs/ROBUSTNESS.md. Every
+	// injected fault must end in a self-healed bit-identical Result or a
+	// typed error — never a silently wrong statistic.
+	FaultInject *faultinject.Injector
 
 	MaxCycles uint64 // safety bound; 0 means a large default
 }

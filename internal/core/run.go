@@ -111,6 +111,9 @@ func RunContext(ctx context.Context, prog *program.Program, cfg Config) (res *Re
 	var memoStats memo.Stats
 	var snapStatus SnapshotStatus
 	if cfg.Memoize {
+		if cfg.FaultInject != nil {
+			cfg.Memo.Inject = cfg.FaultInject
+		}
 		eng := memo.NewEngine(prog, cfg.Uarch, drv, cfg.Memo)
 		eng.Obs = o
 		eng.TraceW = cfg.Trace

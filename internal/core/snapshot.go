@@ -93,8 +93,15 @@ func fingerprint(prog *program.Program, cfg *Config) uint64 {
 // cfg.SnapshotStrict, which turns the warning into the returned error.
 func loadSnapshot(eng *memo.Engine, prog *program.Program, cfg *Config, st *SnapshotStatus) error {
 	begin := time.Now() //fastsim:allow-wallclock: feeds the snapshot.load_ms gauge only, which the sampler's fixed column set never reads — it stays out of every deterministic stream
-	img, err := snapshot.Load(cfg.SnapshotLoad, fingerprint(prog, cfg))
+	opts := snapshot.FileOptions{Retry: snapshot.DefaultRetry(), Inject: cfg.FaultInject}
+	img, err := snapshot.LoadFile(cfg.SnapshotLoad, fingerprint(prog, cfg), opts)
 	if err == nil {
+		// Chaos chain corruption happens between decode and import, past
+		// the file checksums — the model of in-memory rot. Flips either die
+		// at import validation (cold fallback below) or reach the cache,
+		// where replay's structural guards and shadow verification must
+		// quarantine them.
+		memo.InjectGraphFaults(&img.Graph, cfg.FaultInject)
 		err = eng.Cache.ImportGraph(&img.Graph)
 	}
 	if err != nil {
@@ -136,7 +143,8 @@ func saveSnapshot(eng *memo.Engine, prog *program.Program, cfg *Config, cycles u
 		Fingerprint: fingerprint(prog, cfg),
 		Graph:       *eng.Cache.ExportGraph(),
 	}
-	n, err := snapshot.Save(cfg.SnapshotSave, img)
+	opts := snapshot.FileOptions{Retry: snapshot.DefaultRetry(), Inject: cfg.FaultInject}
+	n, err := snapshot.SaveFile(cfg.SnapshotSave, img, opts)
 	if err != nil {
 		return fmt.Errorf("core: %w", err)
 	}

@@ -67,6 +67,12 @@ func (cfg *Config) Validate() error {
 	if m.MajorEvery < 0 {
 		return bad("memo major-every %d must be >= 0", m.MajorEvery)
 	}
+	if m.Budget < 0 {
+		return bad("memo budget %d must be >= 0", m.Budget)
+	}
+	if !(m.VerifyRate >= 0 && m.VerifyRate <= 1) { // also rejects NaN
+		return bad("memo verify rate %v must be in [0, 1]", m.VerifyRate)
+	}
 
 	if !cfg.Memoize && (cfg.SnapshotLoad != "" || cfg.SnapshotSave != "") {
 		return bad("snapshots require memoization (Memoize=false with a snapshot path)")

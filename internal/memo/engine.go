@@ -3,8 +3,10 @@ package memo
 import (
 	"fmt"
 	"io"
+	"runtime"
 
 	"fastsim/internal/direct"
+	"fastsim/internal/faultinject"
 	"fastsim/internal/obs"
 	"fastsim/internal/program"
 	"fastsim/internal/uarch"
@@ -99,6 +101,16 @@ type Engine struct {
 	chain      uint64 // actions replayed since fast-forwarding last began
 	cancelTick uint64 // episode boundaries toward the next cancellation poll
 
+	// Memory-budget guard state (Options.Budget; see guardCheck).
+	guard     guardLevel
+	guardTick uint64 // boundaries since the guard last reclaimed
+
+	// Shadow-verification sampling (Options.VerifyRate): every
+	// verifyEvery-th hit is executed in detail and cross-checked instead
+	// of replayed; 0 disables. Deterministic by construction — no RNG.
+	verifyEvery uint64
+	verifyTick  uint64
+
 	// recScratch is the engine's single recorder, reset by newRecorder at
 	// each episode boundary. The previous episode's recorder is always
 	// finished (setLink called) before the next one starts, so reusing one
@@ -108,19 +120,53 @@ type Engine struct {
 
 // NewEngine prepares a fast-forwarding run.
 func NewEngine(prog *program.Program, params uarch.Params, drv Driver, opts Options) *Engine {
-	return &Engine{
+	e := &Engine{
 		Cache:  NewCache(opts),
 		drv:    drv,
 		prog:   prog,
 		params: params,
 	}
+	switch rate := opts.VerifyRate; {
+	case rate >= 1:
+		e.verifyEvery = 1
+	case rate > 0:
+		e.verifyEvery = uint64(1/rate + 0.5)
+	}
+	return e
 }
 
 // Run simulates the whole program and returns the total cycle count.
-func (e *Engine) Run(maxCycles uint64) (uint64, error) {
+//
+// Run isolates panics at episode granularity: a runtime error or an
+// injected allocation failure anywhere under it is converted into a typed
+// *EngineFault (matching ErrEngineFault) carrying the offending
+// configuration's fingerprint, instead of crashing the process. Deliberate
+// panics with established contracts — core's run errors, uarch.Desync —
+// re-panic and keep their existing handling.
+func (e *Engine) Run(maxCycles uint64) (cycles uint64, err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		fault := &EngineFault{Fingerprint: hashKey(e.keyBuf), Cycle: e.now}
+		switch v := r.(type) {
+		case faultinject.Failure:
+			fault.Cause = v.Error()
+		case runtime.Error:
+			fault.Cause = v.Error()
+		default:
+			panic(r)
+		}
+		cycles, err = e.now, fault
+	}()
 	if e.Obs != nil {
 		e.Cache.RegisterMetrics(e.Obs.Metrics())
 		e.Cache.SetObserver(e.Obs, func() uint64 { return e.now })
+		reg := e.Obs.Metrics()
+		reg.Gauge(obs.MetricGuardLevel, func() float64 { return float64(e.guard) })
+		reg.Gauge(obs.MetricGuardBudgetBytes, func() float64 { return float64(e.Cache.opts.Budget) })
+		reg.Gauge(obs.MetricGuardDegraded, func() float64 { return float64(e.Cache.stats.DegradedEpisodes) })
 	}
 	if e.TraceW != nil {
 		e.tracer = uarch.NewTextTracer(e.TraceW)
@@ -139,17 +185,44 @@ func (e *Engine) Run(maxCycles uint64) (uint64, error) {
 		if err := e.cancelled(); err != nil {
 			return e.now, err
 		}
+		if e.guardCheck() == guardDetailedOnly {
+			// Budget exhausted and reclaiming did not help: simulate in
+			// detail, detached from the cache, so the footprint cannot
+			// grow. Cache state is frozen; the previous episode's chain
+			// simply ends without a link (an ordinary replay stop).
+			e.Cache.stats.DegradedEpisodes++
+			rec = e.newRecorder(nil, nil)
+			rec.noWrite = true
+			pl.Env = rec
+			e.recordEpisode(pl, rec)
+			if rec.halt {
+				e.halted = true
+			}
+			continue
+		}
 		// Detailed mode, at an episode boundary.
 		e.keyBuf = pl.EncodeConfig(e.keyBuf[:0])
 		e.Cache.Reclaim()
 		cfg, _ := e.Cache.getOrCreate(e.keyBuf)
 		e.Cache.mark(cfg)
 		e.Cache.stats.Lookups++
-		if rec != nil {
+		if rec != nil && !rec.noWrite {
 			rec.setLink(cfg)
 		}
 
-		if cfg.first != nil {
+		switch {
+		case cfg.first != nil && e.shouldVerify():
+			// Shadow verification: execute the episode through the
+			// detailed simulator (ground truth — its side effects are the
+			// real ones) while the recorder cross-checks the cached chain
+			// action by action. A mismatch quarantines the chain and the
+			// episode completes on the detailed results; agreement leaves
+			// the chain marked and untouched.
+			e.Cache.stats.EpisodesVerified++
+			rec = e.newRecorder(cfg, nil)
+			rec.verify = true
+			pl.Env = rec
+		case cfg.first != nil:
 			// Hit: fast-forward until the program halts or an unseen
 			// outcome requires detailed simulation again.
 			e.Cache.stats.Hits++
@@ -159,6 +232,7 @@ func (e *Engine) Run(maxCycles uint64) (uint64, error) {
 				return e.now, rerr
 			}
 			if resume == nil {
+				e.halted = true
 				break // halted during replay
 			}
 			// Reconstruct the detailed simulator from the stopping
@@ -170,11 +244,14 @@ func (e *Engine) Run(maxCycles uint64) (uint64, error) {
 				return e.now, fmt.Errorf("memo: reconstruct: %w", err)
 			}
 			e.observePipeline(pl)
-		} else {
+		default:
 			// Miss (fresh configuration or collected shell): record one
 			// episode into it.
 			rec = e.newRecorder(cfg, nil)
 			pl.Env = rec
+		}
+		if e.halted {
+			break
 		}
 		e.recordEpisode(pl, rec)
 		if rec.halt {
@@ -182,6 +259,131 @@ func (e *Engine) Run(maxCycles uint64) (uint64, error) {
 		}
 	}
 	return e.now, nil
+}
+
+// shouldVerify implements the deterministic verification sampler: with
+// VerifyRate r, every round(1/r)-th hit is verified (every hit at 1.0).
+func (e *Engine) shouldVerify() bool {
+	if e.verifyEvery == 0 {
+		return false
+	}
+	e.verifyTick++
+	if e.verifyTick >= e.verifyEvery {
+		e.verifyTick = 0
+		return true
+	}
+	return false
+}
+
+// quarantineChain atomically evicts cfg's action chain after corruption was
+// detected — by shadow verification (recorder.diverge) or by replayRun's
+// structural guards. The configuration reverts to a shell and re-memoizes
+// from scratch on its next visit; the run continues with correct results.
+func (e *Engine) quarantineChain(cfg *config, reason string) {
+	evicted := e.Cache.evictChain(cfg)
+	s := &e.Cache.stats
+	s.Quarantines++
+	s.QuarantinedActions += evicted
+	e.Obs.Quarantine(e.now, reason, evicted, cfg.hash)
+}
+
+// guardLevel is the memory-budget guard state (Options.Budget).
+type guardLevel uint8
+
+const (
+	// guardNormal: footprint below the soft watermark; no intervention.
+	guardNormal guardLevel = iota
+	// guardPressure: between the soft and hard watermarks; collections are
+	// forced (under any policy) on a cooldown to push the footprint down.
+	guardPressure
+	// guardDetailedOnly: at or above the hard watermark and reclaiming did
+	// not help; episodes run detached from the cache so it cannot grow.
+	guardDetailedOnly
+)
+
+// String returns the guard level name used in guard events and docs.
+func (g guardLevel) String() string {
+	switch g {
+	case guardPressure:
+		return "pressure"
+	case guardDetailedOnly:
+		return "detailed-only"
+	}
+	return "normal"
+}
+
+const (
+	// guardReclaimEvery is the pressure-band cooldown: episode boundaries
+	// between forced collections while between the watermarks.
+	guardReclaimEvery = 64
+	// guardRetryEvery is how many degraded episodes pass between retry
+	// collections once the engine is detailed-only.
+	guardRetryEvery = 256
+)
+
+// setGuard records a guard-level transition: counters for the stats report
+// and a structured event carrying the footprint that triggered it.
+func (e *Engine) setGuard(lvl guardLevel) {
+	if lvl == e.guard {
+		return
+	}
+	switch lvl {
+	case guardPressure:
+		e.Cache.stats.GuardPressure++
+	case guardDetailedOnly:
+		e.Cache.stats.GuardDegraded++
+	}
+	e.guard = lvl
+	if e.Obs != nil {
+		e.Obs.Guard(e.now, lvl.String(), e.Cache.bytes)
+	}
+}
+
+// guardCheck enforces Options.Budget at an episode boundary and returns the
+// resulting guard level. Watermarks: soft = 3/4 Budget (start forcing
+// collections), hard = 7/8 Budget (degrade if collecting cannot get back
+// under). The remaining eighth absorbs the at-most-one-episode allocation
+// between checks, so PeakBytes never exceeds Budget.
+func (e *Engine) guardCheck() guardLevel {
+	b := e.Cache.opts.Budget
+	if b <= 0 {
+		return guardNormal
+	}
+	soft, hard := b-b/4, b-b/8
+	switch bytes := e.Cache.bytes; {
+	case bytes < soft:
+		e.setGuard(guardNormal)
+	case bytes < hard:
+		e.setGuard(guardPressure)
+		e.guardTick++
+		if e.guardTick >= guardReclaimEvery {
+			e.guardTick = 0
+			e.Cache.forceReclaim()
+			if e.Cache.bytes < soft {
+				e.setGuard(guardNormal)
+			}
+		}
+	default:
+		if e.guard == guardDetailedOnly {
+			// Already degraded: collecting every boundary would thrash, so
+			// retry only periodically and stay detached in between.
+			e.guardTick++
+			if e.guardTick < guardRetryEvery {
+				return e.guard
+			}
+		}
+		e.guardTick = 0
+		e.Cache.forceReclaim()
+		switch {
+		case e.Cache.bytes >= hard:
+			e.setGuard(guardDetailedOnly)
+		case e.Cache.bytes >= soft:
+			e.setGuard(guardPressure)
+		default:
+			e.setGuard(guardNormal)
+		}
+	}
+	return e.guard
 }
 
 // observePipeline attaches the trace and metrics sinks to a freshly built
@@ -277,7 +479,12 @@ func (e *Engine) replayRun(cfg *config) (*config, error) {
 		c.mark(cfg)
 		c.markAct(adv)
 		if adv.kind != actAdvance {
-			panic(fmt.Sprintf("memo: episode starts with %v", adv.kind))
+			// Structurally corrupt chain (a flipped kind, a stale node):
+			// quarantine it and fall back to recording from here — no
+			// payload from the bad chain has been applied yet.
+			e.quarantineChain(cfg, fmt.Sprintf("episode starts with %v", adv.kind))
+			e.endChain()
+			return cfg, nil
 		}
 		// All interactions happen in the episode's final cycle, whose
 		// number is one less than the episode-end cycle counter.
@@ -296,6 +503,17 @@ func (e *Engine) replayRun(cfg *config) (*config, error) {
 			c.markAct(act)
 			c.stats.ActionsReplayed++
 			e.chain++
+			if e.chain&replayCancelMask == 0 && e.Cancel != nil {
+				// Mid-replay cancellation: chains can span millions of
+				// actions without reaching an episode boundary, so poll the
+				// context inside the chain too. The episode's detailed
+				// resumption is abandoned, which is fine — cancellation
+				// abandons the whole run.
+				if err := e.Cancel(); err != nil {
+					e.endChain()
+					return nil, err
+				}
+			}
 			switch act.kind {
 			case actOutcome:
 				out := drv.NextOutcome()
@@ -341,11 +559,22 @@ func (e *Engine) replayRun(cfg *config) (*config, error) {
 				cfg = act.nextCfg
 				break episode
 			default:
-				panic(fmt.Sprintf("memo: bad action kind %v", act.kind))
+				// Corrupt kind mid-chain. The episode's interactions so far
+				// hit the real driver and are preserved in e.script, so the
+				// detailed simulator resumes from cfg and re-drives them —
+				// the same machinery as an ordinary replay stop — while the
+				// poisoned chain is quarantined.
+				e.quarantineChain(cfg, fmt.Sprintf("bad action kind %v", act.kind))
+				e.endChain()
+				return cfg, nil
 			}
 		}
 	}
 }
+
+// replayCancelMask amortizes the in-chain cancellation poll to one check per
+// 4096 replayed actions (~microseconds of replay work).
+const replayCancelMask = 4095
 
 // commit applies an episode's advance payload after all its interactions
 // replayed successfully: the cycle counter moves, queue heads pop, and the

@@ -3,6 +3,8 @@ package memo
 import (
 	"fmt"
 	"sort"
+
+	"fastsim/internal/faultinject"
 )
 
 // Graph is a flat, pointer-free image of a Cache: the interned
@@ -126,6 +128,38 @@ func (c *Cache) ExportGraph() *Graph {
 		g.Actions[i] = ga
 	}
 	return g
+}
+
+// InjectGraphFaults applies deterministic bit flips to a decoded Graph at
+// the SiteChainFlip fault point — the chaos model of in-memory or on-disk
+// chain corruption that slipped past checksums. Each armed occurrence flips
+// one bit in one action: usually a payload bit (Cycles for advances, Rel
+// otherwise, both of which only shadow verification can catch), and every
+// eighth draw the Kind field, which the structural guards catch at import or
+// replay time. Returns the number of actions corrupted. Callers apply this
+// after decode and before ImportGraph.
+func InjectGraphFaults(g *Graph, inj *faultinject.Injector) int {
+	if inj == nil {
+		return 0
+	}
+	flips := 0
+	for i := range g.Actions {
+		v, ok := inj.FireValue(faultinject.SiteChainFlip)
+		if !ok {
+			continue
+		}
+		flips++
+		ga := &g.Actions[i]
+		switch {
+		case v%8 == 7:
+			ga.Kind ^= uint8(1 << (v % 7))
+		case actionKind(ga.Kind) == actAdvance:
+			ga.Cycles ^= 1 << (v % 16)
+		default:
+			ga.Rel ^= 1 << (v % 8)
+		}
+	}
+	return flips
 }
 
 // ImportGraph rebuilds the cache from a Graph: configurations are

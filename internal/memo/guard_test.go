@@ -1,0 +1,274 @@
+package memo
+
+import (
+	"errors"
+	"testing"
+
+	"fastsim/internal/uarch"
+)
+
+// A structurally corrupt chain head (first action is not an advance) must be
+// quarantined, not panic: the chain is evicted, the configuration reverts to
+// a shell handed back for re-recording, and nothing was committed.
+func TestReplayQuarantinesBadFirstKind(t *testing.T) {
+	e, d := newStubEngine()
+	c := e.Cache
+	cfg, _ := c.getOrCreate([]byte{1, 0, 0, 0, 0, 0})
+	bad := c.newAction(actOutcome, 0) // a chain can never start with an outcome
+	cfg.first = bad
+
+	e.beginChain()
+	got, rerr := e.replayRun(cfg)
+	if rerr != nil {
+		t.Fatalf("replayRun: %v", rerr)
+	}
+	if got != cfg {
+		t.Fatalf("replayRun returned %v, want the quarantined config for re-recording", got)
+	}
+	if cfg.first != nil {
+		t.Errorf("chain not evicted: first = %v", cfg.first)
+	}
+	st := c.Stats()
+	if st.Quarantines != 1 || st.QuarantinedActions != 1 {
+		t.Errorf("Quarantines = %d (want 1), QuarantinedActions = %d (want 1)",
+			st.Quarantines, st.QuarantinedActions)
+	}
+	if e.now != 0 || len(d.pops) != 0 || st.EpisodesReplay != 0 {
+		t.Errorf("quarantine committed state: now=%d pops=%v episodes=%d",
+			e.now, d.pops, st.EpisodesReplay)
+	}
+}
+
+// A corrupt kind mid-chain quarantines too, and the interactions already
+// performed stay in e.script so the detailed resumption re-drives them — the
+// same contract as an ordinary replay stop.
+func TestReplayQuarantinesBadKindMidChain(t *testing.T) {
+	e, _ := newStubEngine()
+	c := e.Cache
+	cfg, _ := c.getOrCreate([]byte{1, 0, 0, 0, 0, 0})
+	adv := c.newAction(actAdvance, 0)
+	adv.cycles = 3
+	store := c.newAction(actIssueStore, 0)
+	bad := c.newAction(actIssueStore, 0)
+	bad.kind = actionKind(99) // corrupt in place, past ImportGraph's checks
+	cfg.first = adv
+	adv.next = store
+	store.next = bad
+
+	e.beginChain()
+	got, rerr := e.replayRun(cfg)
+	if rerr != nil {
+		t.Fatalf("replayRun: %v", rerr)
+	}
+	if got != cfg {
+		t.Fatalf("replayRun returned %v, want the quarantined config", got)
+	}
+	if cfg.first != nil {
+		t.Errorf("chain not evicted")
+	}
+	st := c.Stats()
+	if st.Quarantines != 1 || st.QuarantinedActions != 3 {
+		t.Errorf("Quarantines = %d (want 1), QuarantinedActions = %d (want 3)",
+			st.Quarantines, st.QuarantinedActions)
+	}
+	if len(e.script) != 1 || e.script[0].kind != actIssueStore {
+		t.Fatalf("script = %+v, want the already-performed store", e.script)
+	}
+	if e.now != 0 {
+		t.Errorf("uncommitted episode advanced the clock: now=%d", e.now)
+	}
+}
+
+// Cancellation must interrupt the middle of a long chain, not just episode
+// boundaries: a single episode of >10k actions is aborted at the in-chain
+// poll (every 4096 replayed actions) without committing anything.
+func TestReplayCancelMidChain(t *testing.T) {
+	e, _ := newStubEngine()
+	c := e.Cache
+	cfg, _ := c.getOrCreate([]byte{1, 0, 0, 0, 0, 0})
+	adv := c.newAction(actAdvance, 0)
+	adv.cycles = 2
+	cfg.first = adv
+	prev := adv
+	const chainLen = 3 * (replayCancelMask + 1) // 12288 actions, one episode
+	for i := 0; i < chainLen; i++ {
+		s := c.newAction(actIssueStore, 0)
+		prev.next = s
+		prev = s
+	}
+
+	cancelErr := errors.New("run cancelled")
+	polls := 0
+	e.Cancel = func() error {
+		polls++
+		if polls >= 3 { // boundary poll, then in-chain at 4096, abort at 8192
+			return cancelErr
+		}
+		return nil
+	}
+
+	e.beginChain()
+	got, rerr := e.replayRun(cfg)
+	if !errors.Is(rerr, cancelErr) {
+		t.Fatalf("replayRun error = %v, want cancellation", rerr)
+	}
+	if got != nil {
+		t.Fatalf("cancelled replay returned a resume config: %v", got)
+	}
+	st := c.Stats()
+	if want := uint64(2 * (replayCancelMask + 1)); st.ActionsReplayed != want {
+		t.Errorf("ActionsReplayed = %d, want abort at exactly %d (the in-chain poll)",
+			st.ActionsReplayed, want)
+	}
+	if e.now != 0 || st.EpisodesReplay != 0 {
+		t.Errorf("cancelled episode committed state: now=%d episodes=%d",
+			e.now, st.EpisodesReplay)
+	}
+}
+
+// Under shadow verification a walk/execution mismatch convicts the cached
+// chain: it is quarantined, the divergence is counted, and the recorder
+// detaches (noWrite) so the episode completes on detailed results alone.
+func TestVerifyDivergenceQuarantines(t *testing.T) {
+	e, _ := newStubEngine()
+	c := e.Cache
+	cfg, _ := c.getOrCreate([]byte{1, 0, 0, 0, 0, 0})
+	adv := c.newAction(actAdvance, 0)
+	adv.cycles = 5
+	cfg.first = adv
+
+	rec := e.newRecorder(cfg, nil)
+	rec.verify = true
+	rec.cycles = 3 // detailed execution disagrees with the recorded advance
+	rec.pre()
+
+	if !rec.noWrite {
+		t.Errorf("recorder still attached after divergence")
+	}
+	if cfg.first != nil {
+		t.Errorf("diverged chain not evicted")
+	}
+	st := c.Stats()
+	if st.VerifyDivergences != 1 || st.Quarantines != 1 || st.QuarantinedActions != 1 {
+		t.Errorf("divergences=%d quarantines=%d evicted=%d, want 1/1/1",
+			st.VerifyDivergences, st.Quarantines, st.QuarantinedActions)
+	}
+
+	// The rest of the episode's interactions must be side-effect-only:
+	// nodeFor hands back nil and nothing is allocated.
+	before := c.Stats().Actions
+	if n := rec.nodeFor(actIssueStore, 0); n != nil {
+		t.Errorf("detached recorder allocated a node")
+	}
+	if c.Stats().Actions != before {
+		t.Errorf("detached recorder grew the cache")
+	}
+}
+
+// Outside verification the same mismatch is an engine bug and must keep
+// panicking as a uarch.Desync — recording follows real execution.
+func TestRecordMismatchStillPanics(t *testing.T) {
+	e, _ := newStubEngine()
+	c := e.Cache
+	cfg, _ := c.getOrCreate([]byte{1, 0, 0, 0, 0, 0})
+	adv := c.newAction(actAdvance, 0)
+	adv.cycles = 5
+	cfg.first = adv
+
+	rec := e.newRecorder(cfg, nil)
+	rec.cycles = 3
+	defer func() {
+		if _, ok := recover().(uarch.Desync); !ok {
+			t.Errorf("recording mismatch did not panic with uarch.Desync")
+		}
+	}()
+	rec.pre()
+}
+
+// chainedCache fills e's cache with one configuration whose chain is newly
+// allocated (current generation), so a forced collection keeps all of it —
+// the "reclaiming did not help" scenario — and returns the footprint.
+func chainedCache(e *Engine, minBytes int) {
+	c := e.Cache
+	cfg, _ := c.getOrCreate([]byte{1, 0, 0, 0, 0, 0})
+	adv := c.newAction(actAdvance, 0)
+	adv.cycles = 1
+	cfg.first = adv
+	prev := adv
+	for c.bytes < minBytes {
+		s := c.newAction(actIssueStore, 0)
+		prev.next = s
+		prev = s
+	}
+}
+
+func TestGuardLevels(t *testing.T) {
+	t.Run("no budget", func(t *testing.T) {
+		e, _ := newStubEngine()
+		e.Cache.bytes = 1 << 30
+		if lvl := e.guardCheck(); lvl != guardNormal {
+			t.Fatalf("guardCheck without a budget = %v, want normal", lvl)
+		}
+	})
+
+	t.Run("pressure band forces collections on a cooldown", func(t *testing.T) {
+		const budget = 1 << 20
+		e := &Engine{Cache: NewCache(Options{Policy: PolicyUnbounded, Budget: budget, MajorEvery: 4})}
+		soft := budget - budget/4
+		chainedCache(e, soft+1024) // above soft, well below hard
+		if e.Cache.bytes >= budget-budget/8 {
+			t.Fatalf("test setup overshot the hard watermark")
+		}
+		if lvl := e.guardCheck(); lvl != guardPressure {
+			t.Fatalf("guardCheck = %v, want pressure", lvl)
+		}
+		if got := e.Cache.Stats().GuardPressure; got != 1 {
+			t.Errorf("GuardPressure = %d, want 1", got)
+		}
+		// No collection until the cooldown elapses.
+		for i := 0; i < guardReclaimEvery-2; i++ {
+			e.guardCheck()
+		}
+		if got := e.Cache.Stats().Collections; got != 0 {
+			t.Errorf("collected %d times inside the cooldown, want 0", got)
+		}
+		e.guardCheck() // cooldown boundary: forced collection
+		if got := e.Cache.Stats().Collections; got != 1 {
+			t.Errorf("Collections = %d after the cooldown, want 1", got)
+		}
+	})
+
+	t.Run("hard watermark degrades to detailed-only", func(t *testing.T) {
+		const budget = 1 << 20
+		e := &Engine{Cache: NewCache(Options{Policy: PolicyUnbounded, Budget: budget, MajorEvery: 4})}
+		chainedCache(e, budget-budget/8+1024) // above hard
+		// The whole chain is current-generation, so the forced collection
+		// keeps it: reclaiming does not help and the engine must degrade.
+		if lvl := e.guardCheck(); lvl != guardDetailedOnly {
+			t.Fatalf("guardCheck = %v, want detailed-only", lvl)
+		}
+		st := e.Cache.Stats()
+		if st.GuardDegraded != 1 || st.Collections != 1 {
+			t.Errorf("GuardDegraded = %d (want 1), Collections = %d (want 1)",
+				st.GuardDegraded, st.Collections)
+		}
+		// While degraded, rechecks are cheap: no collection until the retry
+		// interval elapses...
+		for i := 0; i < guardRetryEvery-1; i++ {
+			if lvl := e.guardCheck(); lvl != guardDetailedOnly {
+				t.Fatalf("degraded guard flapped to %v", lvl)
+			}
+		}
+		if got := e.Cache.Stats().Collections; got != 1 {
+			t.Errorf("degraded rechecks collected: %d", got)
+		}
+		// ...and the retry collection drops the now-stale generation,
+		// recovering to normal — the self-healing path out of degradation.
+		if lvl := e.guardCheck(); lvl != guardNormal {
+			t.Errorf("guard did not recover after the retry collection: %v", lvl)
+		}
+		if got := e.Cache.Stats().Collections; got != 2 {
+			t.Errorf("Collections = %d after retry, want 2", got)
+		}
+	})
+}

@@ -26,6 +26,7 @@ package memo
 import (
 	"fmt"
 
+	"fastsim/internal/faultinject"
 	"fastsim/internal/stats"
 )
 
@@ -79,6 +80,32 @@ type Options struct {
 	// MajorEvery is, for PolicyGenGC, the number of minor collections
 	// between major collections (default 4).
 	MajorEvery int
+
+	// Budget, when positive, is a hard memory bound on the p-action cache
+	// enforced by watermark-driven guard levels at episode boundaries:
+	// crossing the soft watermark (3/4 of Budget) forces collections under
+	// any policy (GC pressure); if reclaiming cannot get back under the
+	// high watermark (7/8), the engine degrades to detailed-only
+	// simulation — no lookups, no recording — until a periodic retry
+	// collection frees space. Unlike Limit, which the policy may overshoot
+	// (PolicyUnbounded ignores it entirely), Budget holds for every
+	// policy; the remaining eighth absorbs the at-most-one-episode
+	// allocation between boundary checks. See docs/ROBUSTNESS.md.
+	Budget int
+
+	// VerifyRate is the shadow-verification sampling rate in [0, 1]: that
+	// fraction of cache hits is re-executed through the detailed simulator
+	// (instead of being replayed) with the recorder cross-checking the
+	// cached chain action by action. A mismatch quarantines the chain and
+	// the run continues on the detailed (ground truth) results. At 1.0
+	// every hit is verified and no corrupt chain can ever influence a
+	// statistic; sampling is deterministic (every k-th hit), never random.
+	VerifyRate float64
+
+	// Inject, when non-nil, arms deterministic fault injection at the
+	// memo sites (allocation failure, chain bit flips); tests and the
+	// opt-in chaos modes only. Nil costs one pointer check per allocation.
+	Inject *faultinject.Injector
 }
 
 // DefaultOptions returns an unbounded p-action cache.
@@ -127,6 +154,17 @@ type Stats struct {
 	ChainTotal uint64
 	ChainMax   uint64
 	ChainHist  stats.Histogram
+
+	// Robustness activity (PR: guarded replay). These counters are
+	// per-run diagnostics and deliberately excluded from the snapshot
+	// format (statsFields), which keeps format v1 stable.
+	EpisodesVerified   uint64 // hits re-executed in detail for shadow verification
+	VerifyDivergences  uint64 // verified episodes whose chain mismatched
+	Quarantines        uint64 // chains atomically evicted (verify or structural)
+	QuarantinedActions uint64 // action nodes evicted by quarantines
+	GuardPressure      uint64 // transitions into the GC-pressure guard level
+	GuardDegraded      uint64 // transitions into detailed-only degradation
+	DegradedEpisodes   uint64 // episodes simulated detached from the cache
 }
 
 // SurvivalPct returns the average fraction of the p-action cache surviving

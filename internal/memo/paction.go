@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"fastsim/internal/faultinject"
 	"fastsim/internal/obs"
 )
 
@@ -178,6 +179,10 @@ func (c *Cache) RegisterMetrics(r *obs.Registry) {
 	r.Counter(obs.MetricMemoDetailedInsts, &c.stats.DetailedInsts)
 	r.Counter(obs.MetricMemoReplayInsts, &c.stats.ReplayInsts)
 	r.Histogram(obs.MetricMemoChainHist, &c.stats.ChainHist)
+	r.Counter(obs.MetricMemoQuarantines, &c.stats.Quarantines)
+	r.Counter(obs.MetricMemoQuarantinedActs, &c.stats.QuarantinedActions)
+	r.Counter(obs.MetricMemoVerifyEpisodes, &c.stats.EpisodesVerified)
+	r.Counter(obs.MetricMemoVerifyDivergences, &c.stats.VerifyDivergences)
 }
 
 // NewCache returns an empty p-action cache.
@@ -229,6 +234,9 @@ func (c *Cache) getOrCreate(key []byte) (cfg *config, created bool) {
 
 // newAction allocates an action node from the arena.
 func (c *Cache) newAction(kind actionKind, rel int32) *action {
+	if c.opts.Inject != nil && c.opts.Inject.Fire(faultinject.SiteMemoAlloc) {
+		panic(faultinject.Failure{Site: faultinject.SiteMemoAlloc, N: c.opts.Inject.Seen(faultinject.SiteMemoAlloc)})
+	}
 	c.stats.Actions++
 	c.live++
 	c.addBytes(actionBytes)
@@ -274,6 +282,62 @@ func (c *Cache) Reclaim() {
 		c.minors++
 		c.collect(c.minors%c.opts.MajorEvery != 0)
 	}
+}
+
+// forceReclaim reclaims regardless of the Limit check — the budget guard's
+// lever. PolicyFlush discards everything as usual; every other policy
+// (including PolicyUnbounded, which has no reclaim of its own) runs a major
+// collection, keeping only what was used since the last one.
+func (c *Cache) forceReclaim() {
+	if c.opts.Policy == PolicyFlush {
+		if c.obs != nil {
+			c.obs.PActionFlush(c.nowFn(), c.bytes)
+		}
+		c.flush()
+		return
+	}
+	c.collect(false)
+}
+
+// evictChain quarantines cfg's action chain: every node of the chain tree
+// is uncharged, cleared (so the orphans retain nothing and the next
+// collection's sweep recycles them) and the configuration reverts to a
+// shell, which re-memoizes from scratch on its next visit. Links from other
+// configurations into cfg stay valid — a link to a shell is an ordinary
+// replay stop. Returns the number of evicted actions.
+func (c *Cache) evictChain(cfg *config) uint64 {
+	var evicted uint64
+	var stack []*action
+	if cfg.first != nil {
+		stack = append(stack, cfg.first)
+	}
+	cfg.first = nil
+	for len(stack) > 0 {
+		a := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		evicted++
+		c.bytes -= actionBytes
+		if a.next != nil {
+			stack = append(stack, a.next)
+		}
+		if a.e1 != nil {
+			stack = append(stack, a.e1)
+		}
+		if a.e2 != nil {
+			stack = append(stack, a.e2)
+		}
+		if a.edges != nil {
+			c.bytes -= len(a.edges) * edgeExtraBytes
+			//fastsim:order-independent: eviction only pushes targets and adjusts counters; no order reaches output
+			for _, t := range a.edges {
+				stack = append(stack, t)
+			}
+		}
+		*a = action{} // gen 0, old false: dead at the next sweep
+	}
+	c.live -= int(evicted)
+	c.stats.Bytes = c.bytes
+	return evicted
 }
 
 // flush discards the entire p-action cache (§4.3's "flush on full"). The

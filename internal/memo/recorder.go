@@ -33,6 +33,17 @@ type recorder struct {
 	halt        bool
 	advanceDone bool
 
+	// verify marks a shadow-verification episode: the detailed simulator
+	// executes (ground truth side effects) while the walk cross-checks the
+	// cached chain, and a mismatch quarantines the chain instead of
+	// panicking — the run continues on the detailed results.
+	verify bool
+	// noWrite detaches the recorder from the graph: interactions still
+	// reach the driver, but nothing is verified, allocated or linked. Set
+	// by diverge after a quarantine (the rest of the episode has no chain
+	// to walk) and by the engine's detailed-only degradation level.
+	noWrite bool
+
 	// Position in the action graph: the successor of (node, label) is
 	// where the next action lives or will be attached. node == nil means
 	// the position is cfg.first.
@@ -72,6 +83,9 @@ func (r *recorder) setSuccessor(a *action) {
 }
 
 func (r *recorder) stepTo(a *action, labeled bool, label int64) {
+	if r.noWrite {
+		return
+	}
 	r.node, r.labeled, r.label = a, labeled, label
 }
 
@@ -85,16 +99,21 @@ func (r *recorder) pre() {
 		return
 	}
 	r.advanceDone = true
+	if r.noWrite {
+		return
+	}
 	adv := r.successor()
 	if adv != nil {
 		if adv.kind != actAdvance {
-			r.desync("episode starts with %v", adv.kind)
+			r.diverge("episode starts with %v", adv.kind)
+			return
 		}
 		if adv.cycles != r.cycles || adv.insts != r.insts || adv.loads != r.loads ||
 			adv.stores != r.stores || adv.recs != r.recs {
-			r.desync("advance payload mismatch: have {%d %d %d %d %d}, recorded {%d %d %d %d %d}",
+			r.diverge("advance payload mismatch: have {%d %d %d %d %d}, recorded {%d %d %d %d %d}",
 				r.cycles, r.insts, r.loads, r.stores, r.recs,
 				adv.cycles, adv.insts, adv.loads, adv.stores, adv.recs)
+			return
 		}
 		r.c.markAct(adv)
 	} else {
@@ -107,12 +126,18 @@ func (r *recorder) pre() {
 }
 
 // nodeFor verifies or allocates the action node for the next interaction.
+// It returns nil once the recorder is detached (noWrite); stepTo then
+// ignores the position, so Env methods need no nil checks of their own.
 func (r *recorder) nodeFor(kind actionKind, rel int32) *action {
 	r.pre()
+	if r.noWrite {
+		return nil
+	}
 	n := r.successor()
 	if n != nil {
 		if n.kind != kind || n.rel != rel {
-			r.desync("expected %v rel=%d, graph has %v rel=%d", kind, rel, n.kind, n.rel)
+			r.diverge("expected %v rel=%d, graph has %v rel=%d", kind, rel, n.kind, n.rel)
+			return nil
 		}
 		r.c.markAct(n)
 	} else {
@@ -128,10 +153,14 @@ func (r *recorder) setLink(cfg *config) {
 	if !r.advanceDone {
 		r.desync("episode ended without interactions")
 	}
+	if r.noWrite {
+		return
+	}
 	n := r.successor()
 	if n != nil {
 		if n.kind != actLink {
-			r.desync("expected link, graph has %v", n.kind)
+			r.diverge("expected link, graph has %v", n.kind)
+			return
 		}
 		r.c.markAct(n)
 		if n.nextCfg == nil || n.nextCfg.key != cfg.key {
@@ -146,6 +175,22 @@ func (r *recorder) setLink(cfg *config) {
 
 func (r *recorder) desync(format string, args ...interface{}) {
 	panic(uarch.Desync{Msg: "memo: " + fmt.Sprintf(format, args...)})
+}
+
+// diverge handles a walk/execution mismatch. Outside verification it is a
+// desync — recording follows real execution, so a mismatch there is an
+// engine bug and panics as before. Under shadow verification the detailed
+// simulator is ground truth and the mismatch convicts the cached chain:
+// the chain is quarantined (atomically evicted, the configuration left as
+// a shell to re-memoize from scratch) and the recorder detaches for the
+// rest of the episode, which completes on the detailed results alone.
+func (r *recorder) diverge(format string, args ...interface{}) {
+	if !r.verify {
+		r.desync(format, args...)
+	}
+	r.c.stats.VerifyDivergences++
+	r.e.quarantineChain(r.cfg, fmt.Sprintf(format, args...))
+	r.noWrite = true
 }
 
 func (r *recorder) take(kind actionKind) (scriptEntry, bool) {

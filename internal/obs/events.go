@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 )
 
@@ -37,6 +38,15 @@ const (
 	// events always carry cycle 0 (load) or the final cycle (save), never
 	// wall-clock time, preserving stream determinism.
 	EvSnapshot = "snapshot"
+	// EvQuarantine reports a corrupt or diverging p-action chain being
+	// atomically evicted: Reason is the detected mismatch, Actions the
+	// evicted node count, Fingerprint the poisoned configuration's hash.
+	// The run self-heals by re-recording the configuration from scratch.
+	EvQuarantine = "memo_quarantine"
+	// EvGuard reports a memory-budget guard transition: Op is the new
+	// level ("normal", "pressure" or "detailed-only") and Bytes the
+	// p-action footprint at the transition.
+	EvGuard = "guard"
 )
 
 // Event is one line of the JSONL event stream. Type and Cycle are always
@@ -60,9 +70,11 @@ type Event struct {
 
 	Rec int `json:"rec,omitempty"` // rollback: control-record index
 
-	Op      string `json:"op,omitempty"`      // snapshot: load / fallback / save
+	Op      string `json:"op,omitempty"`      // snapshot: load / fallback / save; guard: level
 	Configs int    `json:"configs,omitempty"` // snapshot: configurations moved
-	Reason  string `json:"reason,omitempty"`  // snapshot fallback: rejection cause
+	Reason  string `json:"reason,omitempty"`  // snapshot fallback / memo_quarantine: cause
+
+	Fingerprint string `json:"fingerprint,omitempty"` // memo_quarantine: poisoned config hash (hex)
 }
 
 type eventSink struct {
@@ -159,6 +171,27 @@ func (o *Observer) Snapshot(cycle uint64, op string, configs int, actions, bytes
 		Type: EvSnapshot, Cycle: cycle, Op: op,
 		Configs: configs, Actions: uint64(actions), Bytes: bytes, Reason: reason,
 	})
+}
+
+// Quarantine reports a corrupt p-action chain being evicted: reason is the
+// detected mismatch, actions the evicted node count, fp the poisoned
+// configuration's hash.
+func (o *Observer) Quarantine(cycle uint64, reason string, actions uint64, fp uint64) {
+	if o == nil || o.events == nil {
+		return
+	}
+	o.events.emit(&Event{
+		Type: EvQuarantine, Cycle: cycle, Reason: reason, Actions: actions,
+		Fingerprint: fmt.Sprintf("%016x", fp),
+	})
+}
+
+// Guard reports a memory-budget guard level transition.
+func (o *Observer) Guard(cycle uint64, level string, bytes int) {
+	if o == nil || o.events == nil {
+		return
+	}
+	o.events.emit(&Event{Type: EvGuard, Cycle: cycle, Op: level, Bytes: bytes})
 }
 
 // CheckpointStall reports wrong-path execution running off the text

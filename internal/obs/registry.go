@@ -44,6 +44,15 @@ const (
 	MetricMemoReplayInsts    = "memo.replay_insts"
 	MetricMemoChainHist      = "memo.chain_length" // histogram
 
+	MetricMemoQuarantines       = "memo.quarantine.count"
+	MetricMemoQuarantinedActs   = "memo.quarantine.evicted_actions"
+	MetricMemoVerifyEpisodes    = "memo.verify.episodes"
+	MetricMemoVerifyDivergences = "memo.verify.divergences"
+
+	MetricGuardLevel       = "guard.level"
+	MetricGuardBudgetBytes = "guard.budget_bytes"
+	MetricGuardDegraded    = "guard.degraded_episodes"
+
 	MetricIQDepth    = "uarch.iq_depth"
 	MetricUarchCycle = "uarch.cycle"
 )

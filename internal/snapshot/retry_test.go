@@ -1,0 +1,157 @@
+package snapshot
+
+import (
+	"errors"
+	"io/fs"
+	"path/filepath"
+	"reflect"
+	"syscall"
+	"testing"
+	"time"
+
+	"fastsim/internal/faultinject"
+)
+
+// fakeSleeper records requested backoff pauses without sleeping.
+type fakeSleeper struct{ pauses []time.Duration }
+
+func (s *fakeSleeper) sleep(d time.Duration) { s.pauses = append(s.pauses, d) }
+
+func retryWith(s *fakeSleeper, attempts int) RetryPolicy {
+	return RetryPolicy{Attempts: attempts, BaseDelay: 2 * time.Millisecond,
+		MaxDelay: 50 * time.Millisecond, Seed: 7, Sleep: s.sleep}
+}
+
+// Transient write faults must be retried until an attempt succeeds, with
+// backoff pauses between tries, and the saved snapshot must be intact —
+// every attempt writes a fresh temp file, never a resumed partial one.
+func TestSaveRetriesTransientFaults(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.fsnap")
+	var sl fakeSleeper
+	inj := faultinject.New(1, faultinject.Fault{
+		Site: faultinject.SiteSnapshotWrite, Rate: 1, Times: 2, // first two attempts fail
+	})
+	n, err := SaveFile(path, testImage(), FileOptions{Retry: retryWith(&sl, 3), Inject: inj})
+	if err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	if n == 0 {
+		t.Fatalf("SaveFile wrote nothing")
+	}
+	if len(sl.pauses) != 2 {
+		t.Fatalf("slept %d times, want 2 (one per retried attempt)", len(sl.pauses))
+	}
+	if sl.pauses[0] < time.Millisecond || sl.pauses[0] >= 2*time.Millisecond {
+		t.Errorf("first pause %v outside [base/2, base)", sl.pauses[0])
+	}
+	if sl.pauses[1] < 2*time.Millisecond || sl.pauses[1] >= 4*time.Millisecond {
+		t.Errorf("second pause %v outside [2*base/2, 2*base)", sl.pauses[1])
+	}
+	got, err := Load(path, testFP)
+	if err != nil {
+		t.Fatalf("Load after retried save: %v", err)
+	}
+	if !reflect.DeepEqual(got, testImage()) {
+		t.Errorf("retried save round-trip mismatch")
+	}
+}
+
+// When every attempt fails transiently, the final error must surface as the
+// transient class (EINTR) so callers can tell exhaustion from corruption.
+func TestSaveExhaustsRetries(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.fsnap")
+	var sl fakeSleeper
+	inj := faultinject.New(1, faultinject.Fault{Site: faultinject.SiteSnapshotWrite, Rate: 1})
+	_, err := SaveFile(path, testImage(), FileOptions{Retry: retryWith(&sl, 3), Inject: inj})
+	if !IsTransient(err) {
+		t.Fatalf("exhausted save error = %v, want transient", err)
+	}
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Errorf("error does not identify as injected: %v", err)
+	}
+	if len(sl.pauses) != 2 {
+		t.Errorf("slept %d times for 3 attempts, want 2", len(sl.pauses))
+	}
+}
+
+// Load retries transient read faults and then succeeds; decode errors are
+// permanent and must not be retried.
+func TestLoadRetriesTransientButNotDecode(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.fsnap")
+	if _, err := Save(path, testImage()); err != nil {
+		t.Fatal(err)
+	}
+
+	var sl fakeSleeper
+	inj := faultinject.New(2, faultinject.Fault{Site: faultinject.SiteSnapshotRead, Nth: 1})
+	got, err := LoadFile(path, testFP, FileOptions{Retry: retryWith(&sl, 3), Inject: inj})
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if !reflect.DeepEqual(got, testImage()) {
+		t.Errorf("retried load mismatch")
+	}
+	if len(sl.pauses) != 1 {
+		t.Errorf("slept %d times, want 1", len(sl.pauses))
+	}
+
+	// Injected truncation corrupts the bytes after a successful read: the
+	// checksum rejects it with ErrCorrupt on the first decode, no retries.
+	sl.pauses = nil
+	inj = faultinject.New(3, faultinject.Fault{Site: faultinject.SiteSnapshotTrunc, Nth: 1})
+	_, err = LoadFile(path, testFP, FileOptions{Retry: retryWith(&sl, 3), Inject: inj})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated load error = %v, want ErrCorrupt", err)
+	}
+	if len(sl.pauses) != 0 {
+		t.Errorf("decode failure was retried (%d sleeps)", len(sl.pauses))
+	}
+}
+
+// A missing file is permanent (fs.ErrNotExist), not transient: no retries,
+// and callers keep their silent cold-start contract.
+func TestLoadMissingFileNotRetried(t *testing.T) {
+	var sl fakeSleeper
+	_, err := LoadFile(filepath.Join(t.TempDir(), "absent"), testFP,
+		FileOptions{Retry: retryWith(&sl, 3)})
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("err = %v, want fs.ErrNotExist", err)
+	}
+	if len(sl.pauses) != 0 {
+		t.Errorf("missing file was retried (%d sleeps)", len(sl.pauses))
+	}
+}
+
+// The jittered backoff schedule is a pure function of (policy, attempt):
+// equal seeds reproduce it exactly, different seeds vary the jitter within
+// the same envelope.
+func TestBackoffDeterministic(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 2 * time.Millisecond, MaxDelay: 50 * time.Millisecond, Seed: 11}
+	q := p
+	for try := 0; try < 8; try++ {
+		if p.backoff(try) != q.backoff(try) {
+			t.Fatalf("backoff(%d) not deterministic", try)
+		}
+	}
+	r := p
+	r.Seed = 12
+	same := true
+	for try := 0; try < 8; try++ {
+		if p.backoff(try) != r.backoff(try) {
+			same = false
+		}
+		d, max := r.backoff(try), p.BaseDelay<<uint(try)
+		if max > p.MaxDelay {
+			max = p.MaxDelay
+		}
+		if d < max/2 || d >= max {
+			t.Errorf("seed 12 backoff(%d) = %v outside [%v, %v)", try, d, max/2, max)
+		}
+	}
+	if same {
+		t.Errorf("different seeds produced identical jitter at every attempt")
+	}
+	if IsTransient(syscall.ENOSPC) {
+		t.Errorf("ENOSPC must not be transient")
+	}
+}

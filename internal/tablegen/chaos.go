@@ -1,0 +1,258 @@
+package tablegen
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"time"
+
+	"fastsim/internal/core"
+	"fastsim/internal/faultinject"
+	"fastsim/internal/memo"
+	"fastsim/internal/snapshot"
+	"fastsim/internal/workloads"
+)
+
+// ChaosRow is one fault-injection scenario's verdict: which fault was
+// armed, whether it fired, and how the run ended. Outcome is always one of
+// OutcomeHealed (self-healed, Result bit-identical to the fault-free
+// baseline), OutcomeTyped (the run failed with the documented typed error),
+// or OutcomeNotFired (the armed fault never triggered; the Result identity
+// still held). A silently wrong statistic is never a row — it fails the
+// whole suite.
+type ChaosRow struct {
+	Workload    string
+	Scenario    string
+	Seed        uint64
+	Outcome     string
+	Detail      string // error text or healing evidence
+	FaultsFired uint64
+	Quarantines uint64
+	Divergences uint64
+	Degraded    uint64 // detailed-only episodes under the budget scenario
+	Wall        time.Duration
+}
+
+// Chaos outcomes.
+const (
+	OutcomeHealed   = "healed"
+	OutcomeTyped    = "typed-error"
+	OutcomeNotFired = "not-fired"
+)
+
+// chaosScenario arms one fault pattern on a warm-started run.
+type chaosScenario struct {
+	name   string
+	inject func(seed uint64) *faultinject.Injector
+	budget int  // non-zero: run under this memo budget
+	cold   bool // run without the warm-start snapshot
+}
+
+func chaosScenarios() []chaosScenario {
+	one := func(site faultinject.Site) func(uint64) *faultinject.Injector {
+		return func(seed uint64) *faultinject.Injector {
+			return faultinject.New(seed, faultinject.Fault{Site: site, Nth: 1})
+		}
+	}
+	return []chaosScenario{
+		{name: "chain-flip", inject: one(faultinject.SiteChainFlip)},
+		{name: "io-transient", inject: one(faultinject.SiteSnapshotRead)},
+		{name: "io-persistent", inject: func(seed uint64) *faultinject.Injector {
+			return faultinject.New(seed, faultinject.Fault{Site: faultinject.SiteSnapshotRead, Rate: 1})
+		}},
+		{name: "truncate", inject: one(faultinject.SiteSnapshotTrunc)},
+		{name: "alloc-fault", cold: true, inject: func(seed uint64) *faultinject.Injector {
+			return faultinject.New(seed, faultinject.Fault{Site: faultinject.SiteMemoAlloc, Nth: 200})
+		}},
+		{name: "budget", budget: 1 << 15},
+		{name: "chaos-preset", inject: faultinject.Chaos},
+	}
+}
+
+// chaosNormalize zeroes the Result fields that legitimately differ between
+// a faulted-but-healed run and the clean baseline: wall time, the memo
+// diagnostics, and the snapshot status. Everything else must be identical.
+func chaosNormalize(r *core.Result) core.Result {
+	c := *r
+	c.WallTime = 0
+	c.Memo = memo.Stats{}
+	c.Snapshot = core.SnapshotStatus{}
+	return c
+}
+
+// typedChaosError reports whether err is one of the documented chaos
+// outcomes: an isolated engine fault, an injected failure, a transient-IO
+// exhaustion, or a strict snapshot rejection.
+func typedChaosError(err error) bool {
+	return errors.Is(err, memo.ErrEngineFault) ||
+		errors.Is(err, faultinject.ErrInjected) ||
+		snapshot.IsTransient(err) ||
+		errors.Is(err, snapshot.ErrCorrupt) ||
+		errors.Is(err, snapshot.ErrVersion)
+}
+
+// RunChaos runs the fault-injection suite: per workload, a clean baseline
+// run saves a snapshot, then every scenario warm-starts from it with one
+// fault pattern armed (and shadow verification at 1.0) and must end either
+// self-healed with a bit-identical Result or with a typed error. Any
+// silently wrong statistic aborts the suite with an error naming the
+// scenario. seed varies the injector addressing; equal seeds reproduce
+// identical fault sequences.
+func RunChaos(names []string, scale float64, seed uint64, jobs int) ([]*ChaosRow, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	if len(names) == 0 {
+		names = []string{"099.go", "129.compress", "107.mgrid"}
+	}
+	tmpDir, err := os.MkdirTemp("", "fastsim-chaos-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmpDir)
+
+	scenarios := chaosScenarios()
+	out := make([][]*ChaosRow, len(names))
+	err = forEach(jobs, len(names), func(i int) error {
+		n := names[i]
+		w, ok := workloads.Get(n)
+		if !ok {
+			return fmt.Errorf("unknown workload %q", n)
+		}
+		prog, err := w.Build(scale)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(tmpDir, n+".fsnap")
+
+		baseCfg := core.DefaultConfig()
+		baseCfg.SnapshotSave = path
+		base, err := core.Run(prog, baseCfg)
+		if err != nil {
+			return fmt.Errorf("%s: baseline: %w", n, err)
+		}
+		want := chaosNormalize(base)
+
+		rows := make([]*ChaosRow, 0, len(scenarios))
+		for si, sc := range scenarios {
+			scSeed := seed + uint64(si)
+			var inj *faultinject.Injector
+			if sc.inject != nil {
+				inj = sc.inject(scSeed)
+			}
+			cfg := core.DefaultConfig()
+			cfg.Memo.VerifyRate = 1
+			cfg.Memo.Budget = sc.budget
+			cfg.FaultInject = inj
+			if !sc.cold {
+				cfg.SnapshotLoad = path
+			}
+			res, rerr := core.Run(prog, cfg)
+
+			row := &ChaosRow{Workload: n, Scenario: sc.name, Seed: scSeed}
+			if inj != nil {
+				row.FaultsFired = inj.FiredTotal()
+			}
+			switch {
+			case rerr != nil && typedChaosError(rerr):
+				row.Outcome = OutcomeTyped
+				row.Detail = rerr.Error()
+			case rerr != nil:
+				return fmt.Errorf("%s/%s: untyped chaos error: %w", n, sc.name, rerr)
+			default:
+				row.Quarantines = res.Memo.Quarantines
+				row.Divergences = res.Memo.VerifyDivergences
+				row.Degraded = res.Memo.DegradedEpisodes
+				row.Wall = res.WallTime
+				if got := chaosNormalize(res); !resultsEqual(&got, &want) {
+					return fmt.Errorf("%s/%s: SILENT DIVERGENCE: healed Result differs from baseline", n, sc.name)
+				}
+				if inj != nil && row.FaultsFired == 0 {
+					row.Outcome = OutcomeNotFired
+				} else {
+					row.Outcome = OutcomeHealed
+				}
+				switch {
+				case res.Snapshot.Warning != "":
+					row.Detail = "cold fallback: " + res.Snapshot.Warning
+				case row.Quarantines > 0:
+					row.Detail = fmt.Sprintf("%d chains quarantined", row.Quarantines)
+				case row.Degraded > 0:
+					row.Detail = fmt.Sprintf("%d detailed-only episodes", row.Degraded)
+				case res.Snapshot.Loaded:
+					row.Detail = "warm start intact"
+				default:
+					row.Detail = "clean run"
+				}
+			}
+			rows = append(rows, row)
+		}
+		out[i] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var flat []*ChaosRow
+	for _, rows := range out {
+		flat = append(flat, rows...)
+	}
+	return flat, nil
+}
+
+// resultsEqual compares two normalized Results.
+func resultsEqual(a, b *core.Result) bool {
+	return reflect.DeepEqual(a, b)
+}
+
+// RenderChaos formats the suite's verdicts.
+func RenderChaos(rows []*ChaosRow) string {
+	var b strings.Builder
+	b.WriteString("Chaos suite: every injected fault must end self-healed (bit-identical\n")
+	b.WriteString("Result) or in a typed error — never a silently wrong statistic.\n\n")
+	fmt.Fprintf(&b, "%-14s %-13s %-10s %6s %6s %6s  %s\n",
+		"workload", "scenario", "outcome", "fired", "quar", "diverg", "detail")
+	for _, r := range rows {
+		detail := r.Detail
+		if len(detail) > 60 {
+			detail = detail[:57] + "..."
+		}
+		fmt.Fprintf(&b, "%-14s %-13s %-10s %6d %6d %6d  %s\n",
+			r.Workload, r.Scenario, r.Outcome, r.FaultsFired, r.Quarantines, r.Divergences, detail)
+	}
+	return b.String()
+}
+
+// chaosJSON is the JSON row shape.
+type chaosJSON struct {
+	Workload    string `json:"workload"`
+	Scenario    string `json:"scenario"`
+	Seed        uint64 `json:"seed"`
+	Outcome     string `json:"outcome"`
+	Detail      string `json:"detail"`
+	FaultsFired uint64 `json:"faults_fired"`
+	Quarantines uint64 `json:"quarantines"`
+	Divergences uint64 `json:"divergences"`
+	Degraded    uint64 `json:"degraded_episodes"`
+}
+
+// WriteChaosJSON emits the rows as indented JSON.
+func WriteChaosJSON(w io.Writer, rows []*ChaosRow) error {
+	out := make([]chaosJSON, len(rows))
+	for i, r := range rows {
+		out[i] = chaosJSON{
+			Workload: r.Workload, Scenario: r.Scenario, Seed: r.Seed,
+			Outcome: r.Outcome, Detail: r.Detail,
+			FaultsFired: r.FaultsFired, Quarantines: r.Quarantines,
+			Divergences: r.Divergences, Degraded: r.Degraded,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

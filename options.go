@@ -129,6 +129,38 @@ func WithSnapshotStrict() Option {
 	return func(c *Config) { c.SnapshotStrict = true }
 }
 
+// WithMemoBudget sets a hard memory bound (bytes) on the p-action cache,
+// enforced for every replacement policy by watermark-driven guard levels:
+// above 3/4 of the budget collections are forced; if reclaiming cannot get
+// back under 7/8 the engine degrades to detailed-only simulation until a
+// retry collection frees space. Unlike WithPolicy's limit — which a policy
+// may overshoot or ignore — the budget always holds: Result.Memo.PeakBytes
+// never exceeds it, and the Result stays bit-identical. n <= 0 disables the
+// guard. See docs/ROBUSTNESS.md.
+func WithMemoBudget(n int) Option {
+	return func(c *Config) { c.Memo.Budget = n }
+}
+
+// WithShadowVerify re-executes the given fraction of cache hits through the
+// detailed simulator (instead of replaying them), cross-checking the cached
+// chain action by action. A divergence quarantines the chain — it is
+// atomically evicted and re-memoized from scratch — and the run continues
+// on the detailed (ground-truth) results. rate 1 verifies every hit, so no
+// corrupt chain can ever influence a statistic; sampling is deterministic
+// (every k-th hit), never random. See docs/ROBUSTNESS.md.
+func WithShadowVerify(rate float64) Option {
+	return func(c *Config) { c.Memo.VerifyRate = rate }
+}
+
+// WithFaultInjection arms deterministic fault injection at every site the
+// run passes through: memo allocation failures, chain bit flips, and
+// snapshot IO faults. For chaos testing only — see NewChaosInjector and
+// docs/ROBUSTNESS.md. Every injected fault ends in a self-healed
+// bit-identical Result or a typed error, never a silently wrong statistic.
+func WithFaultInjection(inj *FaultInjector) Option {
+	return func(c *Config) { c.FaultInject = inj }
+}
+
 // buildConfig folds opts over DefaultConfig.
 func buildConfig(opts []Option) Config {
 	cfg := core.DefaultConfig()
