@@ -9,6 +9,7 @@
 package fastsim
 
 import (
+	"io"
 	"sync"
 	"testing"
 
@@ -16,6 +17,7 @@ import (
 	"fastsim/internal/core"
 	"fastsim/internal/emulator"
 	"fastsim/internal/memo"
+	"fastsim/internal/obs"
 	"fastsim/internal/program"
 	"fastsim/internal/refsim"
 	"fastsim/internal/workloads"
@@ -205,6 +207,41 @@ func BenchmarkAblationPolicies(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkTracerOverhead measures the span tracer's cost on the FastSim hot
+// path: "off" is the tracer-disabled run (nil *Tracer, one pointer check per
+// hook — the configuration every other benchmark measures), "cycles" streams
+// a full cycle-timebase trace to io.Discard. The off/on ns/op ratio bounds
+// what -span-trace costs; the off figures are what the CI perf gate compares
+// against BENCH_3.json.
+func BenchmarkTracerOverhead(b *testing.B) {
+	const wl = "099.go"
+	b.Run("off", func(b *testing.B) {
+		prog := benchProgram(b, wl)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runEngine(b, prog, true)
+		}
+	})
+	b.Run("cycles", func(b *testing.B) {
+		prog := benchProgram(b, wl)
+		b.ResetTimer()
+		var events uint64
+		for i := 0; i < b.N; i++ {
+			tr := obs.NewTracer(io.Discard, obs.TracerOptions{})
+			cfg := core.DefaultConfig()
+			cfg.Tracer = tr
+			if _, err := core.Run(prog, cfg); err != nil {
+				b.Fatal(err)
+			}
+			events = tr.Events()
+			if err := tr.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(events), "events")
+	})
 }
 
 // BenchmarkComponents breaks down the cost of the individual engines on a

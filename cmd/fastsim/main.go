@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"fastsim"
+	"fastsim/internal/debugsrv"
 	"fastsim/internal/memo"
 	"fastsim/internal/micro"
 	"fastsim/internal/profile"
@@ -39,6 +40,9 @@ func main() {
 		verify   = flag.Float64("verify", 0, "shadow-verification rate in [0,1]: fraction of cache hits re-executed in detail and cross-checked")
 		chaos    = flag.Uint64("chaos", 0, "arm the chaos fault-injection preset with this seed (0 = off); implies -verify 1 unless set explicitly")
 		trace    = flag.String("trace", "", "write a pipetrace to this file (per-cycle under slowsim; episode-granular under fastsim)")
+		spanOut  = flag.String("span-trace", "", "write a Chrome trace-event span trace (Perfetto-loadable JSON) to this file")
+		spanTB   = flag.String("span-timebase", "cycles", "span-trace timebase: cycles (deterministic) | wall (profiling)")
+		debug    = flag.String("debug-addr", "", "serve the live debug HTTP endpoints (pprof, expvar, /metrics, /status) on this address")
 		hist     = flag.Bool("hist", false, "print load-latency and replay-chain histograms")
 		sample   = flag.String("sample", "", "write a JSONL time-series sample row every -interval cycles to this file")
 		interval = flag.Uint64("interval", fastsim.DefaultSampleInterval, "sampling interval in simulated cycles for -sample")
@@ -151,7 +155,25 @@ func main() {
 			defer f.Close()
 			cfg.MemoGraphDot = f
 		}
-		if *sample != "" || *events != "" || *progress {
+		if *spanOut != "" {
+			tb := fastsim.TimebaseCycles
+			switch *spanTB {
+			case "cycles":
+			case "wall":
+				tb = fastsim.TimebaseWall
+			default:
+				fatal(fmt.Errorf("unknown span timebase %q (want cycles or wall)", *spanTB))
+			}
+			f, err := os.Create(*spanOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			tr := fastsim.NewTracer(f, fastsim.TracerOptions{Timebase: tb, Name: "fastsim " + prog.Name})
+			defer tr.Close()
+			cfg.Tracer = tr
+		}
+		if *sample != "" || *events != "" || *progress || *debug != "" {
 			var opt fastsim.ObserverOptions
 			if *sample != "" {
 				f, err := os.Create(*sample)
@@ -172,6 +194,22 @@ func main() {
 			}
 			if *progress {
 				opt.ProgressW = os.Stderr
+			}
+			if *debug != "" {
+				opt.Publish = &fastsim.Published{}
+				srv, err := debugsrv.Start(*debug, debugsrv.Options{
+					Published: opt.Publish,
+					Info: map[string]string{
+						"program": prog.Name,
+						"engine":  *engine,
+						"policy":  *policy,
+					},
+				})
+				if err != nil {
+					fatal(err)
+				}
+				defer srv.Close()
+				fmt.Fprintf(os.Stderr, "fastsim: debug server on http://%s/\n", srv.Addr())
 			}
 			cfg.Observer = fastsim.NewObserver(opt)
 		}

@@ -24,6 +24,7 @@ import (
 	"os"
 	"strings"
 
+	"fastsim/internal/debugsrv"
 	"fastsim/internal/tablegen"
 )
 
@@ -42,8 +43,27 @@ func main() {
 		jobs     = flag.Int("j", 0, "worker-pool width: 0 = all CPUs, 1 = sequential")
 		quiet    = flag.Bool("q", false, "suppress progress output")
 		asJSON   = flag.Bool("json", false, "emit suite results as JSON (with -table/-all)")
+		debug    = flag.String("debug-addr", "", "serve pprof/expvar/status on this address (e.g. :6060) while the suite runs")
 	)
 	flag.Parse()
+
+	if *debug != "" {
+		srv, err := debugsrv.Start(*debug, debugsrv.Options{
+			Info: map[string]string{
+				"command": "fsbench",
+				"args":    strings.Join(os.Args[1:], " "),
+			},
+			Progress: func() map[string]string {
+				done, total := tablegen.ProgressCounts()
+				return map[string]string{"units": fmt.Sprintf("%d/%d", done, total)}
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "fsbench: debug server on http://%s/\n", srv.Addr())
+	}
 
 	var subset []string
 	if *names != "" {

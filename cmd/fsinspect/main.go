@@ -1,0 +1,88 @@
+// Command fsinspect is the offline memo-cache inspector: it digests
+// p-action snapshot files (.fsnap) and observability event streams (JSONL)
+// without ever touching a live cache.
+//
+// Usage:
+//
+//	fsinspect -snapshot prog.fsnap            # chain shapes, hot chains, kinds
+//	fsinspect -snapshot prog.fsnap -top 25    # widen the hot-chain listing
+//	fsinspect -events run.events.jsonl        # episode/chain distributions, timeline
+//	fsinspect -snapshot a.fsnap -events b.jsonl -json   # both, as one JSON object
+//
+// Snapshots are decoded through the fingerprint-free inspection path
+// (integrity checks still apply), so any program's snapshot can be analyzed
+// by any build.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"fastsim/internal/inspect"
+	"fastsim/internal/snapshot"
+)
+
+func main() {
+	var (
+		snapPath  = flag.String("snapshot", "", "p-action snapshot file to analyze")
+		eventPath = flag.String("events", "", "JSONL event stream to analyze")
+		topN      = flag.Int("top", 10, "hot chains to list from a snapshot")
+		asJSON    = flag.Bool("json", false, "emit the report(s) as one JSON object")
+	)
+	flag.Parse()
+
+	if *snapPath == "" && *eventPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var out struct {
+		Snapshot *inspect.SnapshotReport `json:"snapshot,omitempty"`
+		Events   *inspect.EventsReport   `json:"events,omitempty"`
+	}
+
+	if *snapPath != "" {
+		img, err := snapshot.Inspect(*snapPath)
+		if err != nil {
+			fatal(err)
+		}
+		out.Snapshot = inspect.AnalyzeSnapshot(img, *topN)
+	}
+	if *eventPath != "" {
+		f, err := os.Open(*eventPath)
+		if err != nil {
+			fatal(err)
+		}
+		rep, err := inspect.AnalyzeEvents(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		out.Events = rep
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(&out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if out.Snapshot != nil {
+		out.Snapshot.Render(os.Stdout)
+	}
+	if out.Events != nil {
+		if out.Snapshot != nil {
+			fmt.Println()
+		}
+		out.Events.Render(os.Stdout)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fsinspect:", err)
+	os.Exit(1)
+}

@@ -155,6 +155,39 @@ const DefaultSampleInterval = obs.DefaultSampleInterval
 // NewObserver builds an Observer with the requested outputs enabled.
 func NewObserver(o ObserverOptions) *Observer { return obs.New(o) }
 
+// Tracer records a hierarchical span trace of one run (run ⊃ record/replay
+// episodes, reclaims, snapshot IO, quarantine and guard instants) as Chrome
+// trace-event JSON loadable in Perfetto. Attach one via Config.Tracer or
+// WithSpanTrace; like the Observer it is strictly read-only, nil-safe, and
+// one pointer check per hook when disabled. Close it after the run. See
+// docs/OBSERVABILITY.md.
+type Tracer = obs.Tracer
+
+// TracerOptions configures NewTracer (timebase and process label).
+type TracerOptions = obs.TracerOptions
+
+// Timebase selects the clock a Tracer stamps spans with.
+type Timebase = obs.Timebase
+
+// Tracer timebases: simulated cycles (deterministic) or host microseconds
+// (profiling).
+const (
+	TimebaseCycles = obs.TimebaseCycles
+	TimebaseWall   = obs.TimebaseWall
+)
+
+// NewTracer builds a Tracer writing trace-event JSON to w.
+func NewTracer(w io.Writer, o TracerOptions) *Tracer { return obs.NewTracer(w, o) }
+
+// Published is the cross-goroutine hand-off point for metrics snapshots:
+// set ObserverOptions.Publish to one and the simulation publishes an
+// immutable registry snapshot at a bounded cycle cadence, which readers
+// (the -debug-addr server) load via Latest. The zero value is ready to use.
+type Published = obs.Published
+
+// MetricsSnapshot is one immutable published registry snapshot.
+type MetricsSnapshot = obs.MetricsSnapshot
+
 // Percent returns 100*part/whole, or 0 when whole is zero — the shared
 // guard for rendering "x% of y" from statistics that may be empty.
 func Percent(part, whole uint64) float64 { return stats.Percent(part, whole) }

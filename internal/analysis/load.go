@@ -28,6 +28,11 @@ var DeterministicPackages = []string{
 	// reproduce the exact same fault sequence — or chaos runs would not be
 	// debuggable.
 	"internal/faultinject",
+	// offline inspection must digest the same snapshot to the same report,
+	// so its analysis and rendering code is order-pinned too. The live debug
+	// server (internal/debugsrv) is deliberately NOT here: it exists to read
+	// wall clocks and serve whenever polled.
+	"internal/inspect",
 	"internal/memo",
 	"internal/obs",
 	// snapshot encoding must be deterministic: the same p-action graph must

@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // ObsHook enforces PR 1's observability contract — "one nil check, zero
@@ -30,11 +31,18 @@ import (
 // its own run-local observer (declared inside the goroutine's function
 // literal), or the call carries //fastsim:observer-goroutine with a reason
 // the sharing is safe.
+//
+// All three rules apply identically to *obs.Tracer (PR 6's span tracer): it
+// shares the disabled-is-nil contract and is likewise a single-writer stream.
 var ObsHook = &Analyzer{
 	Name: "obshook",
-	Doc:  "observer hooks: nil-guarded implementations, allocation-free unguarded call sites, no shared observers in goroutines",
+	Doc:  "observer/tracer hooks: nil-guarded implementations, allocation-free unguarded call sites, no shared observers in goroutines",
 	Run:  runObsHook,
 }
+
+// hookTypes are the obs types whose exported methods are hot-path hooks
+// bound by the nil-guard / cheap-args / single-writer contract.
+var hookTypes = map[string]bool{"Observer": true, "Tracer": true}
 
 func runObsHook(pass *Pass) {
 	if pass.Pkg.Name() == "obs" {
@@ -60,13 +68,13 @@ func checkHookGuards(pass *Pass) {
 				base = star.X
 			}
 			id, ok := base.(*ast.Ident)
-			if !ok || id.Name != "Observer" {
+			if !ok || !hookTypes[id.Name] {
 				continue
 			}
 			if !isPtr {
 				pass.Reportf(fd.Name.Pos(),
-					"exported Observer hook %s has a value receiver; hooks must use a pointer receiver so the disabled state (a nil *Observer) is a no-op",
-					fd.Name.Name)
+					"exported %s hook %s has a value receiver; hooks must use a pointer receiver so the disabled state (a nil *%s) is a no-op",
+					id.Name, fd.Name.Name, id.Name)
 				continue
 			}
 			recvName := ""
@@ -75,8 +83,8 @@ func checkHookGuards(pass *Pass) {
 			}
 			if recvName == "" || recvName == "_" || !startsWithNilGuard(fd.Body, recvName) {
 				pass.Reportf(fd.Name.Pos(),
-					"exported Observer hook %s must begin with a nil-receiver guard (if %s == nil { return ... }); callers invoke hooks unconditionally on a possibly-nil *Observer",
-					fd.Name.Name, nonEmpty(recvName, "o"))
+					"exported %s hook %s must begin with a nil-receiver guard (if %s == nil { return ... }); callers invoke hooks unconditionally on a possibly-nil *%s",
+					id.Name, fd.Name.Name, nonEmpty(recvName, "o"), id.Name)
 			}
 		}
 	}
@@ -117,6 +125,9 @@ func nonEmpty(s, fallback string) string {
 	return s
 }
 
+// lower lower-cases a hook type name for prose ("Observer" -> "observer").
+func lower(s string) string { return strings.ToLower(s) }
+
 // --- call sites (any package) ---
 
 // A guard is a source region within which expr is known non-nil.
@@ -139,7 +150,11 @@ func checkHookCallSites(pass *Pass) {
 					return true
 				}
 				sel, ok := call.Fun.(*ast.SelectorExpr)
-				if !ok || !isObserverExpr(pass, sel.X) {
+				if !ok {
+					return true
+				}
+				hookType, isHook := hookRecvType(pass, sel.X)
+				if !isHook {
 					return true
 				}
 				recv := types.ExprString(sel.X)
@@ -148,7 +163,7 @@ func checkHookCallSites(pass *Pass) {
 						return true // nil-guarded: computed arguments are fine
 					}
 				}
-				checkHookArgs(pass, call, sel, recv)
+				checkHookArgs(pass, call, sel, recv, hookType)
 				return true
 			})
 		}
@@ -250,12 +265,13 @@ func endsInReturn(body *ast.BlockStmt) bool {
 	return false
 }
 
-// isObserverExpr reports whether e's type is obs.Observer or *obs.Observer
-// (matched by name, so fixture packages named obs participate too).
-func isObserverExpr(pass *Pass, e ast.Expr) bool {
+// hookRecvType reports whether e's type is one of the hook-bearing obs
+// types (Observer, Tracer) or a pointer to one, and which (matched by name,
+// so fixture packages named obs participate too).
+func hookRecvType(pass *Pass, e ast.Expr) (string, bool) {
 	tv, ok := pass.Info.Types[e]
 	if !ok || tv.Type == nil {
-		return false
+		return "", false
 	}
 	t := tv.Type
 	if p, ok := t.Underlying().(*types.Pointer); ok {
@@ -263,13 +279,16 @@ func isObserverExpr(pass *Pass, e ast.Expr) bool {
 	}
 	named, ok := t.(*types.Named)
 	if !ok {
-		return false
+		return "", false
 	}
 	obj := named.Obj()
-	return obj != nil && obj.Name() == "Observer" && obj.Pkg() != nil && obj.Pkg().Name() == "obs"
+	if obj == nil || !hookTypes[obj.Name()] || obj.Pkg() == nil || obj.Pkg().Name() != "obs" {
+		return "", false
+	}
+	return obj.Name(), true
 }
 
-func checkHookArgs(pass *Pass, call *ast.CallExpr, sel *ast.SelectorExpr, recv string) {
+func checkHookArgs(pass *Pass, call *ast.CallExpr, sel *ast.SelectorExpr, recv, hookType string) {
 	var sig *types.Signature
 	if tv, ok := pass.Info.Types[sel]; ok {
 		sig, _ = tv.Type.(*types.Signature)
@@ -278,19 +297,19 @@ func checkHookArgs(pass *Pass, call *ast.CallExpr, sel *ast.SelectorExpr, recv s
 		if !isCheapExpr(pass, arg) {
 			if _, isClosure := arg.(*ast.FuncLit); isClosure {
 				pass.Reportf(arg.Pos(),
-					"closure passed to Observer hook %s allocates on every call, even when the observer is disabled; hoist it, or guard the call with if %s != nil",
-					sel.Sel.Name, recv)
+					"closure passed to %s hook %s allocates on every call, even when the %s is disabled; hoist it, or guard the call with if %s != nil",
+					hookType, sel.Sel.Name, lower(hookType), recv)
 			} else {
 				pass.Reportf(arg.Pos(),
-					"argument %s to Observer hook %s is evaluated (and may allocate) even when the observer is disabled; pass a plain value, or guard the call with if %s != nil",
-					types.ExprString(arg), sel.Sel.Name, recv)
+					"argument %s to %s hook %s is evaluated (and may allocate) even when the %s is disabled; pass a plain value, or guard the call with if %s != nil",
+					types.ExprString(arg), hookType, sel.Sel.Name, lower(hookType), recv)
 			}
 			continue
 		}
 		if sig != nil && boxesToInterface(pass, sig, i, arg) {
 			pass.Reportf(arg.Pos(),
-				"argument %s to Observer hook %s is implicitly converted to an interface, allocating even when the observer is disabled; change the hook's parameter type, or guard the call with if %s != nil",
-				types.ExprString(arg), sel.Sel.Name, recv)
+				"argument %s to %s hook %s is implicitly converted to an interface, allocating even when the %s is disabled; change the hook's parameter type, or guard the call with if %s != nil",
+				types.ExprString(arg), hookType, sel.Sel.Name, lower(hookType), recv)
 		}
 	}
 }
@@ -355,7 +374,11 @@ func checkHookGoroutines(pass *Pass) {
 					return true
 				}
 				sel, ok := call.Fun.(*ast.SelectorExpr)
-				if !ok || !isObserverExpr(pass, sel.X) {
+				if !ok {
+					return true
+				}
+				hookType, isHook := hookRecvType(pass, sel.X)
+				if !isHook {
 					return true
 				}
 				root := rootIdent(sel.X)
@@ -375,8 +398,8 @@ func checkHookGoroutines(pass *Pass) {
 					return true
 				}
 				pass.Reportf(call.Pos(),
-					"Observer hook %s is called from a goroutine on %s, which is captured from the enclosing function; observers are single-writer — build a run-local observer inside the goroutine, or annotate //fastsim:observer-goroutine: <why concurrent hook calls are safe>",
-					sel.Sel.Name, types.ExprString(sel.X))
+					"%s hook %s is called from a goroutine on %s, which is captured from the enclosing function; %ss are single-writer — build a run-local %s inside the goroutine, or annotate //fastsim:observer-goroutine: <why concurrent hook calls are safe>",
+					hookType, sel.Sel.Name, types.ExprString(sel.X), lower(hookType), lower(hookType))
 				return true
 			})
 			return true

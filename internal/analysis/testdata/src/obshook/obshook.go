@@ -7,6 +7,7 @@ import "fastsim/internal/obs"
 
 type core struct {
 	o     *obs.Observer
+	tr    *obs.Tracer
 	cycle uint64
 	insts int64
 }
@@ -47,4 +48,37 @@ func (c *core) earlyReturn() {
 		return
 	}
 	c.o.Finish(expensive())
+}
+
+// --- tracer hooks obey the same call-site rules ---
+
+// trace passes identifiers and selectors through unguarded nil-safe tracer
+// hooks: accepted.
+func (c *core) trace(kind string) {
+	c.tr.RecordBegin(kind, c.cycle)
+	c.tr.RecordEnd(c.cycle, uint64(c.insts), c.insts)
+}
+
+func kindOf(verify bool) string {
+	if verify {
+		return "verify"
+	}
+	return "record"
+}
+
+// badTraceCall computes the kind on every call, tracer attached or not.
+func (c *core) badTraceCall(verify bool) {
+	c.tr.RecordBegin(kindOf(verify), c.cycle) // want "argument kindOf.verify. to Tracer hook RecordBegin is evaluated"
+}
+
+// badTraceConcat builds a string on every call.
+func (c *core) badTraceConcat(op string) {
+	c.tr.ReclaimBegin("memo."+op, c.cycle) // want "to Tracer hook ReclaimBegin is evaluated"
+}
+
+// guardedTrace computes freely inside a nil check: accepted.
+func (c *core) guardedTrace(verify bool) {
+	if c.tr != nil {
+		c.tr.RecordBegin(kindOf(verify), c.cycle)
+	}
 }

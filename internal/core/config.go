@@ -43,6 +43,15 @@ type Config struct {
 	// strictly read-only — Result is bit-identical with or without it.
 	Observer *obs.Observer
 
+	// Tracer, when non-nil, records a hierarchical span trace of the run
+	// (run ⊃ record/replay episodes, reclaims, snapshot IO; quarantine and
+	// guard instants) as Chrome trace-event JSON. Like the Observer it is
+	// strictly read-only — Result is bit-identical with or without it —
+	// and with the cycle timebase the trace bytes themselves are
+	// deterministic. The caller owns the Tracer and must Close it after
+	// the run.
+	Tracer *obs.Tracer
+
 	// MemoGraphDot, when non-nil, receives the final p-action graph in
 	// Graphviz DOT format after a memoized run (paper Figure 6).
 	MemoGraphDot io.Writer

@@ -107,6 +107,8 @@ func RunContext(ctx context.Context, prog *program.Program, cfg Config) (res *Re
 	// part of the reported time — the warm-vs-cold benchmark comparison
 	// stays honest.
 	start := time.Now() //fastsim:allow-wallclock: WallTime reports host simulation speed only; determinism tests zero it before comparing Results
+	tr := cfg.Tracer
+	tr.RunBegin(0)
 	var cycles uint64
 	var memoStats memo.Stats
 	var snapStatus SnapshotStatus
@@ -116,12 +118,16 @@ func RunContext(ctx context.Context, prog *program.Program, cfg Config) (res *Re
 		}
 		eng := memo.NewEngine(prog, cfg.Uarch, drv, cfg.Memo)
 		eng.Obs = o
+		eng.Trace = tr
 		eng.TraceW = cfg.Trace
 		if ctx.Done() != nil {
 			eng.Cancel = func() error { return ctx.Err() }
 		}
 		if cfg.SnapshotLoad != "" {
-			if err := loadSnapshot(eng, prog, &cfg, &snapStatus); err != nil {
+			tr.SnapshotBegin("load", 0)
+			err := loadSnapshot(eng, prog, &cfg, &snapStatus)
+			tr.SnapshotEnd(0, snapStatus.LoadedConfigs, snapStatus.LoadedActions, snapStatus.LoadedBytes)
+			if err != nil {
 				return nil, err
 			}
 		}
@@ -136,7 +142,10 @@ func RunContext(ctx context.Context, prog *program.Program, cfg Config) (res *Re
 			}
 		}
 		if cfg.SnapshotSave != "" {
-			if err := saveSnapshot(eng, prog, &cfg, cycles, &snapStatus); err != nil {
+			tr.SnapshotBegin("save", cycles)
+			err := saveSnapshot(eng, prog, &cfg, cycles, &snapStatus)
+			tr.SnapshotEnd(cycles, snapStatus.SavedConfigs, snapStatus.SavedActions, snapStatus.SavedBytes)
+			if err != nil {
 				return nil, err
 			}
 			memoStats = eng.Cache.Stats()
@@ -167,6 +176,7 @@ func RunContext(ctx context.Context, prog *program.Program, cfg Config) (res *Re
 		}
 		cycles = pl.Now
 	}
+	tr.RunEnd(cycles)
 	o.Finish(cycles)
 	wall := time.Since(start) //fastsim:allow-wallclock: see above
 

@@ -21,6 +21,8 @@ type SnapshotStatus struct {
 	LoadedActions int    // actions restored
 	LoadedBytes   int    // p-action cache footprint right after loading
 	Saved         bool   // a snapshot was written after the run
+	SavedConfigs  int    // configurations written
+	SavedActions  int    // actions written
 	SavedBytes    int    // size of the written snapshot file
 	Warning       string // non-empty when a present snapshot was rejected (cold fallback)
 }
@@ -151,6 +153,7 @@ func saveSnapshot(eng *memo.Engine, prog *program.Program, cfg *Config, cycles u
 	st.Saved = true
 	st.SavedBytes = n
 	nConfigs, nActions := len(img.Graph.Keys), len(img.Graph.Actions)
+	st.SavedConfigs, st.SavedActions = nConfigs, nActions
 	cfg.Observer.Snapshot(cycles, "save", nConfigs, nActions, n, "")
 	return nil
 }

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"sync"
+	"testing"
+
+	"fastsim/internal/obs"
+	"fastsim/internal/program"
+)
+
+// tracedRun runs p with a cycle-timebase tracer attached and returns the
+// result and the raw trace bytes.
+func tracedRun(t *testing.T, cfg Config, p *program.Program) (*Result, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	tr := obs.NewTracer(&buf, obs.TracerOptions{Name: "test"})
+	cfg.Tracer = tr
+	res, err := Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatalf("tracer close: %v", err)
+	}
+	return res, buf.Bytes()
+}
+
+// TestTracerDeterminism is the tentpole guarantee for span tracing, on both
+// engines:
+//
+//  1. attaching a Tracer changes no field of Result;
+//  2. the cycle-timebase trace is byte-identical across repeated runs;
+//  3. it stays byte-identical when runs execute concurrently (the -j case:
+//     each run owns its tracer, so worker interleaving cannot leak in).
+func TestTracerDeterminism(t *testing.T) {
+	p := obsWorkloads(t)["099.go"]
+	for _, memoize := range []bool{false, true} {
+		cfg := DefaultConfig()
+		cfg.Memoize = memoize
+		bare, err := Run(p, cfg)
+		if err != nil {
+			t.Fatalf("memoize=%v: %v", memoize, err)
+		}
+
+		traced, trace1 := tracedRun(t, cfg, p)
+		bare.WallTime, traced.WallTime = 0, 0
+		if !reflect.DeepEqual(bare, traced) {
+			t.Errorf("memoize=%v: Result differs with tracer attached:\nbare   %+v\ntraced %+v",
+				memoize, bare, traced)
+		}
+
+		_, trace2 := tracedRun(t, cfg, p)
+		if !bytes.Equal(trace1, trace2) {
+			t.Errorf("memoize=%v: cycle-timebase trace differs between identical runs", memoize)
+		}
+
+		// Concurrent runs, one tracer each — the shape fsbench -j drives.
+		const jobs = 4
+		traces := make([][]byte, jobs)
+		var wg sync.WaitGroup
+		for j := 0; j < jobs; j++ {
+			wg.Add(1)
+			go func(j int) {
+				defer wg.Done()
+				var buf bytes.Buffer
+				tr := obs.NewTracer(&buf, obs.TracerOptions{Name: "test"})
+				c := DefaultConfig()
+				c.Memoize = memoize
+				c.Tracer = tr
+				if _, err := Run(p, c); err != nil {
+					t.Error(err)
+					return
+				}
+				tr.Close()
+				traces[j] = buf.Bytes()
+			}(j)
+		}
+		wg.Wait()
+		for j := 0; j < jobs; j++ {
+			if !bytes.Equal(traces[j], trace1) {
+				t.Errorf("memoize=%v: trace from concurrent run %d differs", memoize, j)
+			}
+		}
+
+		validateTrace(t, trace1, memoize)
+	}
+}
+
+// validateTrace decodes the trace and checks its structural promises: valid
+// JSON, exactly one run span, balanced memo spans on FastSim and none on
+// SlowSim.
+func validateTrace(t *testing.T, data []byte, memoize bool) {
+	t.Helper()
+	var evs []struct {
+		Ph   string `json:"ph"`
+		Name string `json:"name"`
+		Cat  string `json:"cat"`
+		TS   uint64 `json:"ts"`
+		Dur  uint64 `json:"dur"`
+	}
+	if err := json.Unmarshal(data, &evs); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	var run, memo int
+	for _, e := range evs {
+		switch {
+		case e.Ph == "X" && e.Name == "run":
+			run++
+		case e.Ph == "X" && e.Cat == "memo":
+			memo++
+		}
+	}
+	if run != 1 {
+		t.Errorf("memoize=%v: %d run spans, want 1", memoize, run)
+	}
+	if memoize && memo == 0 {
+		t.Errorf("fastsim trace has no memo spans")
+	}
+	if !memoize && memo != 0 {
+		t.Errorf("slowsim trace has %d memo spans, want 0", memo)
+	}
+}
+
+// TestTracerQuarantineInstants: a verified run over a fault-injected cache
+// emits quarantine instants in the trace, and the Result still matches the
+// clean run (the guarded-replay guarantee, now visible in the trace).
+func TestTracerQuarantineInstants(t *testing.T) {
+	p := obsWorkloads(t)["099.go"]
+	cfg := DefaultConfig()
+	cfg.Memo.VerifyRate = 1
+	_, trace := tracedRun(t, cfg, p)
+	var evs []struct {
+		Ph   string `json:"ph"`
+		Name string `json:"name"`
+	}
+	if err := json.Unmarshal(trace, &evs); err != nil {
+		t.Fatalf("trace JSON: %v", err)
+	}
+	verify := 0
+	for _, e := range evs {
+		if e.Ph == "X" && e.Name == "verify" {
+			verify++
+		}
+	}
+	if verify == 0 {
+		t.Fatal("full shadow verification produced no verify spans in the trace")
+	}
+}

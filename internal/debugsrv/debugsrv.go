@@ -1,0 +1,207 @@
+// Package debugsrv is the live introspection HTTP server behind the
+// -debug-addr flag of fastsim and fsbench — the read-only half of the
+// future fssrv (see ROADMAP.md). It exposes:
+//
+//	/              endpoint index
+//	/status        run progress and guard level (text, or ?format=json)
+//	/metrics       JSON dump of the latest published metrics snapshot
+//	/debug/vars    expvar
+//	/debug/pprof/  stdlib profiling endpoints
+//
+// The server never touches simulator state: it reads only immutable
+// obs.MetricsSnapshot values published by the simulation goroutine at a
+// bounded cycle cadence (the same confinement discipline as the progress
+// heartbeat), so attaching it cannot perturb a run's Result.
+package debugsrv
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"time"
+
+	"fastsim/internal/obs"
+)
+
+// Options configures Start. All fields are optional.
+type Options struct {
+	// Published is the metrics hand-off point the simulation publishes
+	// into (obs.Options.Publish). Nil leaves /metrics and the dynamic half
+	// of /status empty.
+	Published *obs.Published
+	// Info holds static key/value pairs shown on /status (workload name,
+	// engine, scale, mode).
+	Info map[string]string
+	// Progress, when non-nil, supplies extra dynamic lines for /status —
+	// the suite runner's completed/total counter. It must be safe to call
+	// from any goroutine.
+	Progress func() map[string]string
+}
+
+// Server is a running debug server. Close shuts it down.
+type Server struct {
+	ln    net.Listener
+	srv   *http.Server
+	start time.Time
+}
+
+// Start binds addr (":0" picks a free port) and serves in a background
+// goroutine.
+func Start(addr string, opts Options) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("debugsrv: %w", err)
+	}
+	s := &Server{ln: ln, start: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) { s.handleStatus(w, r, opts) })
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) { s.handleMetrics(w, r, opts) })
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "fastsim debug server\n\n")
+	fmt.Fprintf(w, "  /status        run progress and guard level (?format=json)\n")
+	fmt.Fprintf(w, "  /metrics       latest published metrics snapshot (JSON)\n")
+	fmt.Fprintf(w, "  /debug/vars    expvar\n")
+	fmt.Fprintf(w, "  /debug/pprof/  profiling\n")
+}
+
+// statusView is the JSON shape of /status?format=json.
+type statusView struct {
+	UptimeSeconds float64           `json:"uptime_seconds"`
+	Info          map[string]string `json:"info,omitempty"`
+	Progress      map[string]string `json:"progress,omitempty"`
+
+	// From the latest published snapshot; absent before the first publish.
+	Seq              uint64  `json:"seq,omitempty"`
+	Cycle            uint64  `json:"cycle,omitempty"`
+	Insts            uint64  `json:"insts,omitempty"`
+	IPC              float64 `json:"ipc,omitempty"`
+	DetailedFraction float64 `json:"detailed_fraction,omitempty"`
+	MemoBytes        int64   `json:"memo_bytes,omitempty"`
+	MemoConfigs      uint64  `json:"memo_configs,omitempty"`
+	MemoActions      uint64  `json:"memo_actions,omitempty"`
+	GuardLevel       string  `json:"guard_level,omitempty"`
+	Quarantines      uint64  `json:"quarantines,omitempty"`
+}
+
+// guardLevelName maps the guard.level gauge to its event spelling (see
+// memo.guardLevel.String; the registry publishes the numeric level).
+func guardLevelName(v float64) string {
+	switch int(v) {
+	case 1:
+		return "pressure"
+	case 2:
+		return "detailed-only"
+	}
+	return "normal"
+}
+
+func buildStatus(s *Server, opts Options) statusView {
+	sv := statusView{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Info:          opts.Info,
+	}
+	if opts.Progress != nil {
+		sv.Progress = opts.Progress()
+	}
+	snap := opts.Published.Latest()
+	if snap == nil {
+		return sv
+	}
+	v := snap.Values
+	sv.Seq = snap.Seq
+	sv.Cycle = snap.Cycle
+	sv.Insts = uint64(v[obs.MetricRetiredInsts])
+	if sv.Cycle > 0 {
+		sv.IPC = float64(sv.Insts) / float64(sv.Cycle)
+	}
+	det, rep := v[obs.MetricMemoDetailedInsts], v[obs.MetricMemoReplayInsts]
+	if det+rep > 0 {
+		sv.DetailedFraction = det / (det + rep)
+	}
+	sv.MemoBytes = int64(v[obs.MetricMemoBytes])
+	sv.MemoConfigs = uint64(v[obs.MetricMemoConfigs])
+	sv.MemoActions = uint64(v[obs.MetricMemoActions])
+	sv.GuardLevel = guardLevelName(v[obs.MetricGuardLevel])
+	sv.Quarantines = uint64(v[obs.MetricMemoQuarantines])
+	return sv
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request, opts Options) {
+	sv := buildStatus(s, opts)
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(&sv) //nolint:errcheck // best-effort HTTP response
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "fastsim status (uptime %.1fs)\n\n", sv.UptimeSeconds)
+	for _, k := range sortedKeys(sv.Info) {
+		fmt.Fprintf(w, "  %-18s %s\n", k, sv.Info[k])
+	}
+	for _, k := range sortedKeys(sv.Progress) {
+		fmt.Fprintf(w, "  %-18s %s\n", k, sv.Progress[k])
+	}
+	if sv.Seq == 0 {
+		fmt.Fprintf(w, "\n  no metrics published yet\n")
+		return
+	}
+	fmt.Fprintf(w, "\n  cycle              %d\n", sv.Cycle)
+	fmt.Fprintf(w, "  insts              %d\n", sv.Insts)
+	fmt.Fprintf(w, "  ipc                %.3f\n", sv.IPC)
+	fmt.Fprintf(w, "  detailed fraction  %.4f\n", sv.DetailedFraction)
+	fmt.Fprintf(w, "  memo bytes         %d\n", sv.MemoBytes)
+	fmt.Fprintf(w, "  memo configs       %d\n", sv.MemoConfigs)
+	fmt.Fprintf(w, "  memo actions       %d\n", sv.MemoActions)
+	fmt.Fprintf(w, "  guard level        %s\n", sv.GuardLevel)
+	fmt.Fprintf(w, "  quarantines        %d\n", sv.Quarantines)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request, opts Options) {
+	w.Header().Set("Content-Type", "application/json")
+	snap := opts.Published.Latest()
+	if snap == nil {
+		w.Write([]byte("{}\n")) //nolint:errcheck // best-effort HTTP response
+		return
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(snap) //nolint:errcheck // best-effort HTTP response
+}
+
+func sortedKeys(m map[string]string) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

@@ -1,0 +1,115 @@
+package debugsrv
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"fastsim/internal/obs"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	pub := &obs.Published{}
+	srv, err := Start("127.0.0.1:0", Options{
+		Published: pub,
+		Info:      map[string]string{"program": "099.go", "engine": "fastsim"},
+		Progress:  func() map[string]string { return map[string]string{"units": "3/18"} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	// Index lists the endpoints.
+	if code, body := get(t, base+"/"); code != 200 || !strings.Contains(body, "/debug/pprof/") {
+		t.Fatalf("index: code %d body %q", code, body)
+	}
+	if code, _ := get(t, base+"/no-such-page"); code != 404 {
+		t.Fatalf("unknown path: code %d, want 404", code)
+	}
+
+	// Before any publish: static info and progress only.
+	code, body := get(t, base+"/status")
+	if code != 200 || !strings.Contains(body, "099.go") || !strings.Contains(body, "3/18") ||
+		!strings.Contains(body, "no metrics published yet") {
+		t.Fatalf("pre-publish status: code %d body %q", code, body)
+	}
+	if _, body := get(t, base+"/metrics"); strings.TrimSpace(body) != "{}" {
+		t.Fatalf("pre-publish metrics = %q, want {}", body)
+	}
+
+	// Publish a snapshot through the real Observer path and read it back.
+	o := obs.New(obs.Options{Publish: pub, PublishInterval: 10})
+	var insts uint64 = 4200
+	o.Metrics().Counter(obs.MetricRetiredInsts, &insts)
+	guard := 1.0
+	o.Metrics().Gauge(obs.MetricGuardLevel, func() float64 { return guard })
+	o.Finish(1000)
+
+	code, body = get(t, base+"/status?format=json")
+	if code != 200 {
+		t.Fatalf("status json: code %d", code)
+	}
+	var sv map[string]any
+	if err := json.Unmarshal([]byte(body), &sv); err != nil {
+		t.Fatalf("status json decode: %v\n%s", err, body)
+	}
+	if sv["cycle"].(float64) != 1000 || sv["insts"].(float64) != 4200 {
+		t.Fatalf("status json = %v", sv)
+	}
+	if sv["guard_level"] != "pressure" {
+		t.Fatalf("guard_level = %v, want pressure", sv["guard_level"])
+	}
+	if ipc := sv["ipc"].(float64); ipc < 4.19 || ipc > 4.21 {
+		t.Fatalf("ipc = %v, want 4.2", ipc)
+	}
+
+	var snap obs.MetricsSnapshot
+	_, body = get(t, base+"/metrics")
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("metrics decode: %v", err)
+	}
+	if snap.Values[obs.MetricRetiredInsts] != 4200 {
+		t.Fatalf("metrics values = %v", snap.Values)
+	}
+
+	// expvar and pprof are wired.
+	if code, body := get(t, base+"/debug/vars"); code != 200 || !strings.Contains(body, "memstats") {
+		t.Fatalf("expvar: code %d", code)
+	}
+	if code, body := get(t, base+"/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index: code %d body %q", code, body)
+	}
+}
+
+func TestGuardLevelNames(t *testing.T) {
+	cases := map[float64]string{0: "normal", 1: "pressure", 2: "detailed-only", 7: "normal"}
+	for v, want := range cases {
+		if got := guardLevelName(v); got != want {
+			t.Errorf("guardLevelName(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestStartBadAddr(t *testing.T) {
+	if _, err := Start("127.0.0.1:-1", Options{}); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}

@@ -29,6 +29,16 @@ type Graph struct {
 	Stats Stats
 }
 
+// KindString names a flattened action's kind ("advance", "outcome", ...,
+// "link"), or "invalid" for out-of-range values — offline inspectors render
+// kind breakdowns without access to the unexported actionKind type.
+func (ga *GraphAction) KindString() string {
+	if ga.Kind > uint8(actLink) {
+		return "invalid"
+	}
+	return actionKind(ga.Kind).String()
+}
+
 // GraphAction is one flattened action node. Next and NextCfg are -1 when
 // absent; Labels is sorted ascending with Targets parallel to it.
 type GraphAction struct {

@@ -154,8 +154,10 @@ type Cache struct {
 	stats  Stats
 
 	// Observability: replacement activity is reported as structured
-	// events, stamped with the engine's cycle counter via nowFn.
+	// events and reclaim spans, stamped with the engine's cycle counter
+	// via nowFn.
 	obs   *obs.Observer
+	tr    *obs.Tracer
 	nowFn func() uint64
 }
 
@@ -163,6 +165,13 @@ type Cache struct {
 // cycle counter events are stamped with.
 func (c *Cache) SetObserver(o *obs.Observer, now func() uint64) {
 	c.obs = o
+	c.nowFn = now
+}
+
+// SetTracer attaches the span tracer: every replacement-policy action
+// (flush, collection, forced collection) becomes a reclaim span.
+func (c *Cache) SetTracer(t *obs.Tracer, now func() uint64) {
+	c.tr = t
 	c.nowFn = now
 }
 
@@ -270,17 +279,37 @@ func (c *Cache) Reclaim() {
 	if c.obs != nil {
 		c.obs.PActionLimit(c.nowFn(), c.bytes)
 	}
+	before := c.bytes
 	switch c.opts.Policy {
 	case PolicyFlush:
 		if c.obs != nil {
 			c.obs.PActionFlush(c.nowFn(), c.bytes)
 		}
+		if c.tr != nil {
+			c.tr.ReclaimBegin("flush", c.nowFn())
+		}
 		c.flush()
 	case PolicyGC:
+		if c.tr != nil {
+			c.tr.ReclaimBegin("gc", c.nowFn())
+		}
 		c.collect(false)
 	case PolicyGenGC:
 		c.minors++
-		c.collect(c.minors%c.opts.MajorEvery != 0)
+		minor := c.minors%c.opts.MajorEvery != 0
+		if c.tr != nil {
+			op := "gc"
+			if minor {
+				op = "minor-gc"
+			}
+			c.tr.ReclaimBegin(op, c.nowFn())
+		}
+		c.collect(minor)
+	default:
+		return // PolicyUnbounded: nothing reclaimed, no span opened
+	}
+	if c.tr != nil {
+		c.tr.ReclaimEnd(c.nowFn(), before, c.bytes)
 	}
 }
 
@@ -289,12 +318,21 @@ func (c *Cache) Reclaim() {
 // (including PolicyUnbounded, which has no reclaim of its own) runs a major
 // collection, keeping only what was used since the last one.
 func (c *Cache) forceReclaim() {
+	before := c.bytes
 	if c.opts.Policy == PolicyFlush {
 		if c.obs != nil {
 			c.obs.PActionFlush(c.nowFn(), c.bytes)
 		}
+		if c.tr != nil {
+			c.tr.ReclaimBegin("flush", c.nowFn())
+			defer func() { c.tr.ReclaimEnd(c.nowFn(), before, c.bytes) }()
+		}
 		c.flush()
 		return
+	}
+	if c.tr != nil {
+		c.tr.ReclaimBegin("forced-gc", c.nowFn())
+		defer func() { c.tr.ReclaimEnd(c.nowFn(), before, c.bytes) }()
 	}
 	c.collect(false)
 }

@@ -45,6 +45,13 @@ type Options struct {
 	// ProgressEvery of wall-clock time (0 selects one second).
 	ProgressW     io.Writer
 	ProgressEvery time.Duration
+
+	// Publish, when non-nil, receives an immutable registry snapshot every
+	// PublishInterval simulated cycles (0 selects DefaultSampleInterval) —
+	// the hand-off point the debug server reads. Like the heartbeat, the
+	// reader side never touches the registry itself.
+	Publish         *Published
+	PublishInterval uint64
 }
 
 // Observer bundles the observability outputs of one simulation run. The
@@ -56,6 +63,11 @@ type Observer struct {
 	sampler *sampler
 	events  *eventSink
 	hb      *heartbeat
+
+	pub         *Published
+	pubInterval uint64
+	pubNext     uint64
+	pubSeq      uint64
 
 	instsFn   func() uint64
 	lastCycle uint64
@@ -87,6 +99,13 @@ func New(opt Options) *Observer {
 			every = time.Second
 		}
 		o.hb = &heartbeat{w: opt.ProgressW, every: every}
+	}
+	if opt.Publish != nil {
+		o.pub = opt.Publish
+		o.pubInterval = opt.PublishInterval
+		if o.pubInterval == 0 {
+			o.pubInterval = DefaultSampleInterval
+		}
 	}
 	return o
 }
@@ -130,6 +149,9 @@ func (o *Observer) Tick(now uint64) {
 	if o.sampler != nil && now >= o.sampler.next {
 		o.sampler.sample(now)
 	}
+	if o.pub != nil && now >= o.pubNext {
+		o.publish(now)
+	}
 }
 
 // Now returns the cycle counter at the most recent observation point.
@@ -167,6 +189,9 @@ func (o *Observer) Finish(now uint64) {
 	o.lastCycle = now
 	if o.sampler != nil && (o.sampler.rows == 0 || now > o.sampler.last) {
 		o.sampler.sample(now)
+	}
+	if o.pub != nil {
+		o.publish(now)
 	}
 	o.Close()
 }

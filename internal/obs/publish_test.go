@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"fastsim/internal/stats"
+)
+
+// TestSamplerZeroInterval: SampleInterval 0 selects the default period, not
+// a row per tick (which would make -sample output explode) and not a
+// division by zero.
+func TestSamplerZeroInterval(t *testing.T) {
+	var buf strings.Builder
+	o := New(Options{SampleW: &buf, SampleInterval: 0})
+	for now := uint64(1); now <= 2*DefaultSampleInterval; now += 1000 {
+		o.Tick(now)
+	}
+	o.Finish(2 * DefaultSampleInterval)
+	// Two interval rows; the final boundary row doubles as Finish's tail.
+	if o.Rows() != 2 {
+		t.Fatalf("%d rows with zero interval over 2 default periods, want 2", o.Rows())
+	}
+}
+
+// TestSamplerIntervalLongerThanRun: a run shorter than one interval still
+// emits exactly one row, from Finish, stamped with the final cycle.
+func TestSamplerIntervalLongerThanRun(t *testing.T) {
+	var buf strings.Builder
+	o := New(Options{SampleW: &buf, SampleInterval: 1 << 30})
+	for now := uint64(1); now <= 500; now++ {
+		o.Tick(now)
+	}
+	o.Finish(500)
+	if o.Rows() != 1 {
+		t.Fatalf("%d rows, want 1", o.Rows())
+	}
+	var row Row
+	if err := json.Unmarshal([]byte(buf.String()), &row); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if row.Cycle != 500 {
+		t.Fatalf("final row cycle %d, want 500", row.Cycle)
+	}
+}
+
+// TestEventStreamQuarantineStorm: a burst of quarantine/guard events far
+// larger than any buffer must survive the stream intact — every line decodes,
+// in order, with its payload.
+func TestEventStreamQuarantineStorm(t *testing.T) {
+	var buf strings.Builder
+	o := New(Options{EventW: &buf})
+	const storm = 10_000
+	for i := uint64(0); i < storm; i++ {
+		o.Quarantine(i, fmt.Sprintf("verify divergence at action %d", i), i%97, i)
+		if i%3 == 0 {
+			o.Guard(i, "pressure", int(i))
+		}
+	}
+	o.Close()
+
+	wantEvents := uint64(storm + (storm+2)/3)
+	if o.Events() != wantEvents {
+		t.Fatalf("%d events, want %d", o.Events(), wantEvents)
+	}
+	dec := json.NewDecoder(strings.NewReader(buf.String()))
+	var q, g uint64
+	for dec.More() {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			t.Fatalf("storm event %d decode: %v", q+g, err)
+		}
+		switch e.Type {
+		case EvQuarantine:
+			if e.Cycle != q || e.Actions != q%97 {
+				t.Fatalf("quarantine %d out of order or corrupt: %+v", q, e)
+			}
+			q++
+		case EvGuard:
+			g++
+		default:
+			t.Fatalf("unexpected event type %q", e.Type)
+		}
+	}
+	if q != storm || g != (storm+2)/3 {
+		t.Fatalf("decoded %d quarantines and %d guards, want %d and %d", q, g, storm, (storm+2)/3)
+	}
+}
+
+// TestPublishedSnapshot: the publish path snapshots counters and histograms
+// at the configured cadence, republishes on Finish, and hands readers
+// immutable values.
+func TestPublishedSnapshot(t *testing.T) {
+	var pub Published
+	if pub.Latest() != nil {
+		t.Fatal("zero-value Published must start empty")
+	}
+	o := New(Options{Publish: &pub, PublishInterval: 100})
+	var insts uint64
+	var h stats.Histogram
+	o.Metrics().Counter(MetricRetiredInsts, &insts)
+	o.Metrics().Histogram(MetricMemoChainHist, &h)
+
+	insts = 50
+	h.Add(8)
+	o.Tick(100) // first boundary
+	snap1 := pub.Latest()
+	if snap1 == nil || snap1.Seq != 1 || snap1.Cycle != 100 {
+		t.Fatalf("first snapshot = %+v", snap1)
+	}
+	if snap1.Values[MetricRetiredInsts] != 50 {
+		t.Fatalf("snapshot values = %v", snap1.Values)
+	}
+	if hs := snap1.Histograms[MetricMemoChainHist]; hs.Count != 1 || hs.Max != 8 {
+		t.Fatalf("snapshot histogram = %+v", hs)
+	}
+
+	insts = 80
+	o.Tick(150) // within the interval: no republish
+	if pub.Latest() != snap1 {
+		t.Fatal("published mid-interval")
+	}
+	o.Finish(175) // Finish republishes regardless of cadence
+	snap2 := pub.Latest()
+	if snap2 == nil || snap2.Seq != 2 || snap2.Cycle != 175 || snap2.Values[MetricRetiredInsts] != 80 {
+		t.Fatalf("finish snapshot = %+v", snap2)
+	}
+	// The earlier snapshot is untouched: immutability is what makes the
+	// cross-goroutine hand-off safe.
+	if snap1.Values[MetricRetiredInsts] != 50 {
+		t.Fatal("published snapshot mutated by later publish")
+	}
+
+	var nilPub *Published
+	if nilPub.Latest() != nil {
+		t.Fatal("nil Published must read as empty")
+	}
+}

@@ -1,0 +1,277 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// traceEvent is the decoded shape of one trace-event JSON object, enough to
+// check what the tests care about.
+type traceEvent struct {
+	Ph   string                 `json:"ph"`
+	Name string                 `json:"name"`
+	Cat  string                 `json:"cat"`
+	TS   uint64                 `json:"ts"`
+	Dur  uint64                 `json:"dur"`
+	Args map[string]interface{} `json:"args"`
+}
+
+func decodeTrace(t *testing.T, data []byte) []traceEvent {
+	t.Helper()
+	var evs []traceEvent
+	if err := json.Unmarshal(data, &evs); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, data)
+	}
+	return evs
+}
+
+// TestTracerSpans drives every hook through one plausible run shape and
+// checks the emitted events: valid JSON, correct nesting arithmetic, correct
+// payloads.
+func TestTracerSpans(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, TracerOptions{Name: "test run"})
+
+	tr.RunBegin(0)
+	tr.SnapshotBegin("load", 0)
+	tr.SnapshotEnd(0, 10, 40, 1234)
+	tr.RecordBegin(SpanRecord, 100)
+	tr.RecordEnd(150, 50, 42)
+	tr.ReplayBegin(150)
+	tr.ReplayEnd(900, 12, 300)
+	tr.Quarantine(905, `bad "chain"`, 17)
+	tr.Guard(910, "pressure", 1<<20)
+	tr.ReclaimBegin("gc", 920)
+	tr.ReclaimEnd(930, 1<<20, 1<<19)
+	tr.RunEnd(1000)
+	if err := tr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	evs := decodeTrace(t, buf.Bytes())
+	// 2 metadata + snapshot + record + replay + quarantine + guard +
+	// reclaim + counter + run.
+	if len(evs) != 10 {
+		t.Fatalf("%d events, want 10:\n%s", len(evs), buf.String())
+	}
+	if tr.Events() != 10 {
+		t.Fatalf("Events() = %d, want 10", tr.Events())
+	}
+
+	byName := map[string]traceEvent{}
+	for _, e := range evs {
+		byName[e.Name] = e
+	}
+	if e := byName["process_name"]; e.Ph != "M" || e.Args["name"] != "test run" {
+		t.Fatalf("process_name = %+v", e)
+	}
+	if e := byName["load"]; e.Ph != "X" || e.Cat != "snapshot" || e.Args["configs"].(float64) != 10 {
+		t.Fatalf("snapshot span = %+v", e)
+	}
+	if e := byName["record"]; e.TS != 100 || e.Dur != 50 || e.Args["insts"].(float64) != 42 {
+		t.Fatalf("record span = %+v", e)
+	}
+	if e := byName["replay"]; e.TS != 150 || e.Dur != 750 || e.Args["actions"].(float64) != 300 {
+		t.Fatalf("replay span = %+v", e)
+	}
+	if e := byName["quarantine"]; e.Ph != "i" || e.Args["reason"] != `bad "chain"` {
+		t.Fatalf("quarantine instant = %+v", e)
+	}
+	if e := byName["guard"]; e.Args["level"] != "pressure" {
+		t.Fatalf("guard instant = %+v", e)
+	}
+	if e := byName["gc"]; e.TS != 920 || e.Dur != 10 || e.Args["bytes_after"].(float64) != 1<<19 {
+		t.Fatalf("reclaim span = %+v", e)
+	}
+	if e := byName["memo.bytes"]; e.Ph != "C" || e.Args["value"].(float64) != 1<<19 {
+		t.Fatalf("counter = %+v", e)
+	}
+	if e := byName["run"]; e.TS != 0 || e.Dur != 1000 {
+		t.Fatalf("run span = %+v", e)
+	}
+}
+
+// TestTracerRecordKinds checks that the record span is named by how the
+// episode reached the detailed simulator.
+func TestTracerRecordKinds(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, TracerOptions{})
+	for _, kind := range []string{SpanRecord, SpanVerify, SpanDegraded, SpanResume} {
+		tr.RecordBegin(kind, 1)
+		tr.RecordEnd(2, 1, 1)
+	}
+	tr.Close()
+	evs := decodeTrace(t, buf.Bytes())
+	var names []string
+	for _, e := range evs {
+		if e.Ph == "X" {
+			names = append(names, e.Name)
+		}
+	}
+	want := []string{"record", "verify", "degraded", "resume"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("record span names = %v, want %v", names, want)
+	}
+}
+
+// TestNilTracerZeroAlloc proves the disabled fast path: every hook on a nil
+// *Tracer performs zero allocations (it is one pointer check).
+func TestNilTracerZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	if avg := testing.AllocsPerRun(1000, func() {
+		tr.RunBegin(0)
+		tr.SpanBegin("w", 1)
+		tr.RecordBegin(SpanRecord, 1)
+		tr.RecordEnd(2, 1, 1)
+		tr.ReplayBegin(2)
+		tr.ReplayEnd(3, 1, 1)
+		tr.ReclaimBegin("gc", 3)
+		tr.ReclaimEnd(4, 1, 0)
+		tr.SnapshotBegin("load", 0)
+		tr.SnapshotEnd(0, 0, 0, 0)
+		tr.Quarantine(4, "r", 1)
+		tr.Guard(4, "normal", 0)
+		tr.SpanEnd(5)
+		tr.RunEnd(5)
+		_ = tr.Events()
+		_ = tr.Close()
+	}); avg != 0 {
+		t.Fatalf("nil-tracer hooks allocate %.1f per run, want 0", avg)
+	}
+}
+
+// TestEnabledTracerSteadyStateZeroAlloc: once the scratch buffer has grown to
+// its working size, an enabled tracer's span hooks do not allocate either —
+// the encoder appends into a reused buffer.
+func TestEnabledTracerSteadyStateZeroAlloc(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Grow(1 << 20)
+	tr := NewTracer(&buf, TracerOptions{})
+	tr.RunBegin(0)
+	cycle := uint64(0)
+	// Warm up the scratch buffer and bufio writer.
+	for i := 0; i < 64; i++ {
+		cycle++
+		tr.RecordBegin(SpanRecord, cycle)
+		tr.RecordEnd(cycle+1, 1, 1)
+	}
+	if avg := testing.AllocsPerRun(1000, func() {
+		cycle++
+		tr.RecordBegin(SpanRecord, cycle)
+		tr.RecordEnd(cycle+1, 1, 1)
+		tr.ReplayBegin(cycle + 1)
+		tr.ReplayEnd(cycle+2, 3, 9)
+	}); avg != 0 {
+		t.Fatalf("enabled tracer episode hooks allocate %.1f per run, want 0", avg)
+	}
+}
+
+// TestTracerDepthOverflow: pushes past the depth bound are dropped and their
+// pops balanced, so deeper spans neither corrupt the stack nor unbalance the
+// enclosing spans.
+func TestTracerDepthOverflow(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, TracerOptions{})
+	const deep = traceMaxDepth + 8
+	for i := 0; i < deep; i++ {
+		tr.SpanBegin("s", uint64(i))
+	}
+	for i := 0; i < deep; i++ {
+		tr.SpanEnd(uint64(deep + i))
+	}
+	// Underflow beyond balance is harmless.
+	tr.SpanEnd(999)
+	tr.Close()
+	evs := decodeTrace(t, buf.Bytes())
+	spans := 0
+	for _, e := range evs {
+		if e.Ph == "X" {
+			spans++
+		}
+	}
+	if spans != traceMaxDepth {
+		t.Fatalf("%d spans written, want %d (overflow must drop, not corrupt)", spans, traceMaxDepth)
+	}
+}
+
+// TestTracerOpenSpansDiscardedOnClose: an error path that leaves spans open
+// must still produce well-formed JSON.
+func TestTracerOpenSpansDiscardedOnClose(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, TracerOptions{})
+	tr.RunBegin(0)
+	tr.RecordBegin(SpanRecord, 5)
+	if err := tr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := tr.Close(); err != nil { // idempotent
+		t.Fatalf("second Close: %v", err)
+	}
+	decodeTrace(t, buf.Bytes())
+}
+
+// TestTracerCycleTimebaseDeterministic: two identical hook sequences produce
+// byte-identical cycle-timebase traces.
+func TestTracerCycleTimebaseDeterministic(t *testing.T) {
+	run := func() []byte {
+		var buf bytes.Buffer
+		tr := NewTracer(&buf, TracerOptions{Name: "det"})
+		tr.RunBegin(0)
+		for c := uint64(1); c < 50; c++ {
+			tr.RecordBegin(SpanVerify, c*10)
+			tr.RecordEnd(c*10+5, 5, int64(c))
+			tr.ReplayBegin(c*10 + 5)
+			tr.ReplayEnd(c*10+9, 2, 7)
+		}
+		tr.RunEnd(500)
+		tr.Close()
+		return buf.Bytes()
+	}
+	if a, b := run(), run(); !bytes.Equal(a, b) {
+		t.Fatal("cycle-timebase traces differ between identical runs")
+	}
+}
+
+// TestTracerWallTimebase: wall traces are valid JSON with monotone
+// non-negative stamps (values are inherently nondeterministic).
+func TestTracerWallTimebase(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, TracerOptions{Timebase: TimebaseWall})
+	tr.RunBegin(0)
+	tr.RecordBegin(SpanRecord, 100)
+	tr.RecordEnd(200, 100, 10)
+	tr.RunEnd(300)
+	tr.Close()
+	for _, e := range decodeTrace(t, buf.Bytes()) {
+		if e.Ph == "X" && e.TS+e.Dur > uint64(1)<<40 {
+			t.Fatalf("wall stamp implausible: %+v", e)
+		}
+	}
+	if TimebaseWall.String() != "wall" || TimebaseCycles.String() != "cycles" {
+		t.Fatal("Timebase.String spelling changed")
+	}
+}
+
+// TestTracerStringEscaping: interpolated reasons with JSON-hostile bytes
+// stay valid.
+func TestTracerStringEscaping(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, TracerOptions{Name: "a\\b\"c\n"})
+	tr.Quarantine(1, "line1\nline2\ttab\\quote\"", 3)
+	tr.Close()
+	evs := decodeTrace(t, buf.Bytes())
+	found := false
+	for _, e := range evs {
+		if e.Name == "quarantine" {
+			found = true
+			if e.Args["reason"] != "line1\nline2\ttab\\quote\"" {
+				t.Fatalf("reason round-trip = %q", e.Args["reason"])
+			}
+		}
+	}
+	if !found {
+		t.Fatal("quarantine instant missing")
+	}
+}

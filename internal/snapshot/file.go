@@ -188,3 +188,14 @@ func LoadFile(path string, wantFingerprint uint64, opts FileOptions) (*Image, er
 	data = opts.Inject.Truncate(faultinject.SiteSnapshotTrunc, data)
 	return Decode(data, wantFingerprint)
 }
+
+// Inspect reads and decodes the snapshot at path without a fingerprint to
+// compare against — the offline-analysis entry point (see DecodeAny). One
+// read attempt, no injection.
+func Inspect(path string) (*Image, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeAny(data)
+}

@@ -120,6 +120,20 @@ func Encode(img *Image) []byte {
 // a cache recorded under a different program or processor model; pass the
 // value computed for the current run.
 func Decode(data []byte, wantFingerprint uint64) (*Image, error) {
+	return decode(data, &wantFingerprint)
+}
+
+// DecodeAny parses data into an Image without the fingerprint guard — the
+// offline-inspection read path (cmd/fsinspect), which examines snapshots
+// away from the program and config that produced them. Every integrity
+// check (magic, version, header and section checksums, structural
+// validation) still applies; only the identity comparison is skipped. Never
+// feed a DecodeAny image into a live cache.
+func DecodeAny(data []byte) (*Image, error) {
+	return decode(data, nil)
+}
+
+func decode(data []byte, wantFingerprint *uint64) (*Image, error) {
 	if len(data) < headerLen {
 		return nil, fmt.Errorf("%w: %d-byte file is shorter than the %d-byte header", ErrCorrupt, len(data), headerLen)
 	}
@@ -134,9 +148,9 @@ func Decode(data []byte, wantFingerprint uint64) (*Image, error) {
 		return nil, fmt.Errorf("%w: file has version %d, this build reads %d", ErrVersion, v, Version)
 	}
 	fingerprint := binary.LittleEndian.Uint64(hdr[16:])
-	if fingerprint != wantFingerprint {
+	if wantFingerprint != nil && fingerprint != *wantFingerprint {
 		return nil, fmt.Errorf("%w: snapshot was taken for fingerprint %#x, this run is %#x",
-			ErrMismatch, fingerprint, wantFingerprint)
+			ErrMismatch, fingerprint, *wantFingerprint)
 	}
 	nsec := binary.LittleEndian.Uint32(hdr[24:])
 	if nsec != 3 {

@@ -37,7 +37,12 @@ type WorkloadResults struct {
 	ActionsPerConfig  float64 `json:"actionsPerConfig"`
 	CyclesPerConfig   float64 `json:"cyclesPerConfig"`
 	AvgChain          float64 `json:"avgChain"`
-	MaxChain          uint64  `json:"maxChain"`
+	// Chain-length quantile bounds from the per-chain histogram, at
+	// power-of-two bucket resolution (upper edge of the containing bucket).
+	ChainP50 uint64 `json:"chainP50"`
+	ChainP90 uint64 `json:"chainP90"`
+	ChainP99 uint64 `json:"chainP99"`
+	MaxChain uint64 `json:"maxChain"`
 
 	Exact bool `json:"exact"` // FastSim == SlowSim (always re-verified)
 }
@@ -70,6 +75,9 @@ func (s *Suite) JSON() *SuiteJSON {
 			ActionsPerConfig:  m.ActionsPerConfig(),
 			CyclesPerConfig:   m.CyclesPerConfig(),
 			AvgChain:          m.AvgChain(),
+			ChainP50:          m.ChainHist.Quantile(0.50),
+			ChainP90:          m.ChainHist.Quantile(0.90),
+			ChainP99:          m.ChainHist.Quantile(0.99),
 			MaxChain:          m.ChainMax,
 
 			Exact: r.Fast.Cycles == r.Slow.Cycles,

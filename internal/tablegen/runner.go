@@ -25,6 +25,7 @@ func forEach(jobs, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
+	unitsTotal.Add(int64(n))
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
@@ -33,7 +34,9 @@ func forEach(jobs, n int, fn func(i int) error) error {
 	}
 	if jobs == 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			err := fn(i)
+			unitsDone.Add(1)
+			if err != nil {
 				return err
 			}
 		}
@@ -52,6 +55,7 @@ func forEach(jobs, n int, fn func(i int) error) error {
 					return
 				}
 				errs[i] = fn(i)
+				unitsDone.Add(1)
 			}
 		}()
 	}
@@ -62,6 +66,20 @@ func forEach(jobs, n int, fn func(i int) error) error {
 		}
 	}
 	return nil
+}
+
+// Cumulative simulation units dispatched and finished by every forEach in
+// this process, published as atomics for external readers — the fsbench
+// -debug-addr /status page polls them from the HTTP goroutine.
+var (
+	unitsTotal atomic.Int64
+	unitsDone  atomic.Int64
+)
+
+// ProgressCounts reports the cumulative (done, total) fan-out units across
+// all suite entry points. Safe to call from any goroutine.
+func ProgressCounts() (done, total int64) {
+	return unitsDone.Load(), unitsTotal.Load()
 }
 
 // progressLog serializes per-item progress output from concurrent workers.

@@ -241,13 +241,16 @@ func (s *Suite) Table5() string {
 	b.WriteString("Table 5: measurements of memoization\n")
 	b.WriteString("(paper: actions/config 3.4-4.9; cycles/config 1.0-1.6;\n")
 	b.WriteString(" integer caches up to 889MB (go), FP caches as small as 2.8MB)\n\n")
-	fmt.Fprintf(&b, "%-14s %10s %10s %11s %9s %9s %11s %13s\n",
-		"Benchmark", "Cache(KB)", "Configs", "Actions", "Act/Cfg", "Cyc/Cfg", "AvgChain", "MaxChain")
+	fmt.Fprintf(&b, "%-14s %10s %10s %11s %9s %9s %11s %9s %9s %9s %13s\n",
+		"Benchmark", "Cache(KB)", "Configs", "Actions", "Act/Cfg", "Cyc/Cfg", "AvgChain",
+		"ChainP50", "ChainP90", "ChainP99", "MaxChain")
 	for _, r := range s.Rows {
 		m := r.Fast.Memo
-		fmt.Fprintf(&b, "%-14s %10d %10d %11d %9.1f %9.1f %11.0f %13d\n",
+		fmt.Fprintf(&b, "%-14s %10d %10d %11d %9.1f %9.1f %11.0f %9d %9d %9d %13d\n",
 			r.Name, m.PeakBytes>>10, m.Configs, m.Actions,
-			m.ActionsPerConfig(), m.CyclesPerConfig(), m.AvgChain(), m.ChainMax)
+			m.ActionsPerConfig(), m.CyclesPerConfig(), m.AvgChain(),
+			m.ChainHist.Quantile(0.50), m.ChainHist.Quantile(0.90), m.ChainHist.Quantile(0.99),
+			m.ChainMax)
 	}
 	return b.String()
 }

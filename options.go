@@ -81,6 +81,21 @@ func WithTrace(w io.Writer) Option {
 	return func(c *Config) { c.Trace = w }
 }
 
+// WithTracer attaches a span tracer (see Tracer); the caller owns it and
+// must Close it after the run. Like WithObserver it is read-only, so the
+// Result is unchanged by it.
+func WithTracer(t *Tracer) Option {
+	return func(c *Config) { c.Tracer = t }
+}
+
+// WithSpanTrace is the one-step form of WithTracer: it builds a Tracer on w
+// with the given timebase and attaches it. The returned tracer must be
+// Closed after the run to terminate the JSON array and flush.
+func WithSpanTrace(w io.Writer, tb Timebase) (Option, *Tracer) {
+	t := NewTracer(w, TracerOptions{Timebase: tb})
+	return WithTracer(t), t
+}
+
 // WithMemoGraphDot writes the final p-action graph in Graphviz DOT format
 // to w after a memoized run; maxConfigs bounds the export (0 means 64).
 func WithMemoGraphDot(w io.Writer, maxConfigs int) Option {
