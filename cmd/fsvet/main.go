@@ -1,19 +1,26 @@
 // Command fsvet runs FastSim's determinism static-analysis suite over the
 // simulation-core packages. Bit-identical replay is the repo's central
 // invariant (see docs/DETERMINISM.md); fsvet turns it into a build-time
-// check: map iteration that can leak order, wall-clock and global-rand
-// reads, observer hooks that break the zero-allocation contract, and exact
-// floating-point comparison are all findings.
+// check. The intraprocedural analyzers catch call-site hazards — map
+// iteration that can leak order, wall-clock and global-rand reads, observer
+// hooks that break the zero-allocation contract, exact floating-point
+// comparison — and the interprocedural analyzers propagate function
+// summaries across every loaded package: transitive wall-clock/rand taint
+// with the offending call chain, purity of //fastsim:memo-policy decision
+// points, and fastsim:guarded-by(mu) lock discipline on shared state.
 //
 // Usage:
 //
 //	go run ./cmd/fsvet ./...
 //	go run ./cmd/fsvet ./internal/memo ./internal/obs
+//	go run ./cmd/fsvet -sarif findings.sarif ./...
+//	go run ./cmd/fsvet -write-baseline debt.json ./... && go run ./cmd/fsvet -baseline debt.json ./...
 //	go run ./cmd/fsvet -list
 //
 // fsvet prints findings as "file:line:col: analyzer: message" and exits 1
-// when there are any (2 on load errors), so it runs as a CI gate. Package
-// patterns outside the deterministic core are ignored.
+// when there are any (2 on load errors), so it runs as a CI gate. A package
+// pattern matching nothing in the vetted set is an error — a typo'd path
+// must not green-light the build.
 package main
 
 import (
@@ -27,8 +34,11 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	sarifPath := flag.String("sarif", "", "also write findings as SARIF 2.1.0 to this file (\"-\" for stdout)")
+	baselinePath := flag.String("baseline", "", "suppress findings recorded in this baseline file; report only new ones")
+	writeBaseline := flag.String("write-baseline", "", "record current findings to this baseline file and exit 0")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: fsvet [-list] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: fsvet [-list] [-sarif file] [-baseline file | -write-baseline file] [packages]\n\n")
 		fmt.Fprintf(flag.CommandLine.Output(), "Runs the determinism analyzers over FastSim's simulation-core packages.\nWith no package arguments, vets all of them (equivalent to ./...).\n\n")
 		flag.PrintDefaults()
 	}
@@ -39,6 +49,9 @@ func main() {
 			fmt.Printf("%-10s %s\n", az.Name, az.Doc)
 		}
 		return
+	}
+	if *baselinePath != "" && *writeBaseline != "" {
+		fatal(fmt.Errorf("-baseline and -write-baseline are mutually exclusive"))
 	}
 
 	cwd, err := os.Getwd()
@@ -58,37 +71,81 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	pkgs := analysis.SelectPackages(patterns, modPath)
-	if len(pkgs) == 0 {
-		fmt.Fprintln(os.Stderr, "fsvet: no deterministic packages match the given patterns")
-		os.Exit(2)
+	pkgs, err := analysis.SelectPackages(patterns, modPath)
+	if err != nil {
+		fatal(err)
 	}
 
-	findings, exit := 0, 0
+	// Load the whole vetted universe once — interprocedural summaries must
+	// propagate across every package boundary even when only a subset is
+	// being reported on — then report per selected package.
+	universe, vetted, err := analysis.LoadUniverse(root, modPath)
+	if err != nil {
+		fatal(err)
+	}
+	prog := analysis.BuildProgram(universe)
+
+	var diags []analysis.Diagnostic
 	for _, rel := range pkgs {
-		pkg, err := analysis.Load(filepath.Join(root, rel), modPath+"/"+rel)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "fsvet: %v\n", err)
-			exit = 2
-			continue
-		}
-		for _, d := range analysis.Check(pkg, analysis.All) {
+		for _, d := range analysis.CheckProgram(prog, vetted[rel], analysis.AnalyzersFor(rel)) {
 			// Print paths relative to the invocation directory when
 			// possible, so findings are clickable where fsvet ran.
 			if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil {
 				d.Pos.Filename = rel
 			}
-			fmt.Println(d)
-			findings++
+			diags = append(diags, d)
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "fsvet: %d finding(s) in %d package(s)\n", findings, len(pkgs))
-		if exit == 0 {
-			exit = 1
+
+	if *writeBaseline != "" {
+		f, err := os.Create(*writeBaseline)
+		if err != nil {
+			fatal(err)
+		}
+		if err := analysis.WriteBaseline(f, diags); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "fsvet: wrote baseline of %d finding(s) to %s\n", len(diags), *writeBaseline)
+		return
+	}
+	if *baselinePath != "" {
+		f, err := os.Open(*baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+		base, err := analysis.ReadBaseline(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		diags = base.Filter(diags)
+	}
+
+	if *sarifPath != "" {
+		w := os.Stdout
+		if *sarifPath != "-" {
+			f, err := os.Create(*sarifPath)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := analysis.WriteSARIF(w, diags, analysis.All); err != nil {
+			fatal(err)
 		}
 	}
-	os.Exit(exit)
+
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "fsvet: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
 }
 
 func fatal(err error) {

@@ -7,9 +7,16 @@
 // Determinism bugs in Go are easy to introduce silently and hard to catch
 // at runtime: map iteration order varies per process, the global math/rand
 // source is auto-seeded, wall-clock reads differ across runs, and
-// floating-point accumulation depends on summation order. Each analyzer
-// targets one of these hazard classes in the simulation-core packages
-// (DeterministicPackages); see docs/DETERMINISM.md for the full contract.
+// floating-point accumulation depends on summation order. Four analyzers
+// target these hazard classes call-site-locally in the simulation-core
+// packages (DeterministicPackages). Three more sit on an interprocedural
+// layer (BuildProgram): per-function summaries and fixed-point propagation
+// across every loaded package catch transitive wall-clock/rand taint with
+// the offending call chain (taint), enforce purity of registered memo
+// decision points (purity), and check guarded-by lock discipline on state
+// shared across goroutines (sharedmut) — the latter also over
+// SharedStatePackages, which are otherwise exempt. See docs/DETERMINISM.md
+// for the full contract.
 //
 // Code with a legitimate reason to break a rule carries an in-source
 // annotation naming that reason:
@@ -18,9 +25,16 @@
 //	//fastsim:order-independent: <why iteration order cannot leak>
 //	//fastsim:float-exact: <why exact float comparison/accumulation is safe>
 //	//fastsim:observer-goroutine: <why concurrent hook calls are safe>
+//	//fastsim:memo-policy: <what this decision point decides>   (registers for purity)
+//	//fastsim:allow-impure: <why this fact cannot diverge replay>
+//	// fastsim:guarded-by(mu)                                   (on a struct field)
+//	//fastsim:caller-holds(mu)                                  (moves the lock check to callers)
+//	//fastsim:allow-unguarded: <why unsynchronized access is safe>
 //
 // An annotation applies to findings on its own line or the line directly
 // below it, so both trailing and preceding comment placement work.
+// allow-wallclock and allow-impure on a declaration absorb the fact for
+// all transitive callers — annotations propagate as summary facts.
 package analysis
 
 import (
@@ -38,6 +52,18 @@ const (
 	MarkerOrderIndependent  = "fastsim:order-independent"
 	MarkerFloatExact        = "fastsim:float-exact"
 	MarkerObserverGoroutine = "fastsim:observer-goroutine"
+
+	// Interprocedural markers (PR 7). MarkerMemoPolicy registers a function
+	// as a memoization decision point the purity analyzer enforces;
+	// MarkerAllowImpure waives one purity fact with a reason.
+	// MarkerGuardedBy declares the mutex protecting a struct field,
+	// MarkerCallerHolds declares a function's lock precondition, and
+	// MarkerAllowUnguarded waives one sharedmut finding with a reason.
+	MarkerMemoPolicy     = "fastsim:memo-policy"
+	MarkerAllowImpure    = "fastsim:allow-impure"
+	MarkerGuardedBy      = "fastsim:guarded-by"
+	MarkerCallerHolds    = "fastsim:caller-holds"
+	MarkerAllowUnguarded = "fastsim:allow-unguarded"
 )
 
 // An Analyzer is one determinism check. Run inspects the package held by
@@ -48,8 +74,10 @@ type Analyzer struct {
 	Run  func(*Pass)
 }
 
-// All is the suite fsvet runs, in reporting order.
-var All = []*Analyzer{Wallclock, MapRange, ObsHook, FloatEq}
+// All is the suite fsvet runs, in reporting order. The first four are the
+// intraprocedural analyzers of PR 2; taint, purity and sharedmut (PR 7) sit
+// on the interprocedural summaries built by BuildProgram.
+var All = []*Analyzer{Wallclock, MapRange, ObsHook, FloatEq, Taint, Purity, SharedMut}
 
 // A Diagnostic is one finding, positioned in the source.
 type Diagnostic struct {
@@ -63,15 +91,19 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }
 
-// A Pass carries one analyzer's view of one type-checked package.
+// A Pass carries one analyzer's view of one type-checked package. Prog is
+// the whole-program view (call graph, per-function summaries, propagated
+// facts) the interprocedural analyzers consult; Check always populates it,
+// with a single-package program in the degenerate case.
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	Prog     *Program
 
-	annots map[string]map[int]string // filename -> line -> comment text
+	annots annotIndex // filename -> line -> comment text
 	diags  *[]Diagnostic
 }
 
@@ -88,26 +120,53 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // it, carries the given marker, and returns the justification text that
 // follows the marker.
 func (p *Pass) Annotation(pos token.Pos, marker string) (reason string, ok bool) {
-	position := p.Fset.Position(pos)
-	lines := p.annots[position.Filename]
+	return p.annots.at(p.Fset, pos, marker)
+}
+
+// annotIndex is the per-package // comment index: filename -> line -> text.
+type annotIndex map[string]map[int]string
+
+// at reports whether the line of pos, or the line directly above it,
+// carries marker, returning the justification text after it.
+func (a annotIndex) at(fset *token.FileSet, pos token.Pos, marker string) (reason string, ok bool) {
+	position := fset.Position(pos)
 	for _, line := range []int{position.Line, position.Line - 1} {
-		text, present := lines[line]
-		if !present {
-			continue
-		}
-		if i := strings.Index(text, marker); i >= 0 {
-			reason = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(text[i+len(marker):]), ":"))
+		if reason, ok = a.lineAt(position.Filename, line, marker); ok {
 			return reason, true
 		}
 	}
 	return "", false
 }
 
+// lineAt is the single-line half of at: marker lookup on one exact line.
+func (a annotIndex) lineAt(filename string, line int, marker string) (reason string, ok bool) {
+	text, present := a[filename][line]
+	if !present {
+		return "", false
+	}
+	i := strings.Index(text, marker)
+	if i < 0 {
+		return "", false
+	}
+	reason = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(text[i+len(marker):]), ":"))
+	return reason, true
+}
+
 // Check runs the analyzers over one loaded package and returns the findings
-// sorted by position, analyzer and message.
+// sorted by position, analyzer and message. The interprocedural analyzers
+// see a single-package program; drivers that load several packages should
+// build one shared Program and use CheckProgram so summaries propagate
+// across package boundaries.
 func Check(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	return CheckProgram(BuildProgram([]*Package{pkg}), pkg, analyzers)
+}
+
+// CheckProgram runs the analyzers over one package with the whole-program
+// summary view attached, returning the findings sorted by position,
+// analyzer and message.
+func CheckProgram(prog *Program, pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
-	annots := gatherAnnotations(pkg.Fset, pkg.Files)
+	annots := prog.annotations(pkg)
 	for _, az := range analyzers {
 		az.Run(&Pass{
 			Analyzer: az,
@@ -115,10 +174,18 @@ func Check(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			Files:    pkg.Files,
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
+			Prog:     prog,
 			annots:   annots,
 			diags:    &diags,
 		})
 	}
+	sortDiagnostics(diags)
+	return diags
+}
+
+// sortDiagnostics orders findings by position, analyzer and message — the
+// stable reporting order every fsvet output format relies on.
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -135,13 +202,12 @@ func Check(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Message < b.Message
 	})
-	return diags
 }
 
 // gatherAnnotations indexes every // comment by file and line, so the
 // annotation lookup is O(1) per finding.
-func gatherAnnotations(fset *token.FileSet, files []*ast.File) map[string]map[int]string {
-	annots := make(map[string]map[int]string)
+func gatherAnnotations(fset *token.FileSet, files []*ast.File) annotIndex {
+	annots := make(annotIndex)
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {

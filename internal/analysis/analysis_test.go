@@ -9,14 +9,45 @@ import (
 
 // loadFixture type-checks one testdata package. Fixtures are real,
 // compiling Go — the go tool ignores testdata directories, so seeded
-// violations never reach the build.
+// violations never reach the build. The import path mirrors the directory
+// layout so Load's recursive pre-loading resolves fixture-to-fixture
+// imports (the cross-package propagation fixtures depend on it).
 func loadFixture(t *testing.T, name string) *Package {
 	t.Helper()
-	pkg, err := Load(filepath.Join("testdata", "src", name), "fastsim/internal/analysis/testdata/"+name)
+	pkg, err := Load(filepath.Join("testdata", "src", name), "fastsim/internal/analysis/testdata/src/"+name)
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", name, err)
 	}
 	return pkg
+}
+
+// fixtureProgram builds the interprocedural Program for a fixture: the
+// fixture package plus every already-loaded package it (transitively)
+// imports, so summaries propagate across fixture package boundaries the
+// same way they do for the real packages under fsvet.
+func fixtureProgram(pkg *Package) *Program {
+	loadMu.Lock()
+	defer loadMu.Unlock()
+	included := map[string]*Package{pkg.Path: pkg}
+	work := []*Package{pkg}
+	for len(work) > 0 {
+		p := work[0]
+		work = work[1:]
+		for _, f := range p.Files {
+			for _, imp := range f.Imports {
+				path := strings.Trim(imp.Path.Value, `"`)
+				if dep, ok := registry[path]; ok && included[path] == nil {
+					included[path] = dep
+					work = append(work, dep)
+				}
+			}
+		}
+	}
+	pkgs := make([]*Package, 0, len(included))
+	for _, p := range included { //fastsim:order-independent: BuildProgram sorts by path
+		pkgs = append(pkgs, p)
+	}
+	return BuildProgram(pkgs)
 }
 
 // wantRe extracts the quoted expectation patterns from a `// want "..."`
@@ -55,7 +86,7 @@ func runFixture(t *testing.T, fixture string, az *Analyzer) {
 		t.Fatalf("fixture %s has no want expectations", fixture)
 	}
 
-	diags := Check(pkg, []*Analyzer{az})
+	diags := CheckProgram(fixtureProgram(pkg), pkg, []*Analyzer{az})
 	found := make(map[lineKey][]Diagnostic)
 	for _, d := range diags {
 		key := lineKey{d.Pos.Filename, d.Pos.Line}
@@ -100,6 +131,34 @@ func runFixture(t *testing.T, fixture string, az *Analyzer) {
 func TestWallclockFixture(t *testing.T) { runFixture(t, "wallclock", Wallclock) }
 func TestMapRangeFixture(t *testing.T)  { runFixture(t, "maprange", MapRange) }
 func TestFloatEqFixture(t *testing.T)   { runFixture(t, "floateq", FloatEq) }
+func TestTaintFixture(t *testing.T)     { runFixture(t, "taint", Taint) }
+func TestPurityFixture(t *testing.T)    { runFixture(t, "purity", Purity) }
+func TestSharedMutFixture(t *testing.T) { runFixture(t, "sharedmut", SharedMut) }
+
+// TestCrossPackagePropagation is the proof the issue demands: the taint
+// fixture reaches time.Now only through the taintdep fixture package, so
+// the call-site-local wallclock analyzer sees nothing while taint flags the
+// chain — a true positive visible only to interprocedural propagation.
+func TestCrossPackagePropagation(t *testing.T) {
+	pkg := loadFixture(t, "taint")
+	prog := fixtureProgram(pkg)
+	if local := CheckProgram(prog, pkg, []*Analyzer{Wallclock}); len(local) != 0 {
+		t.Errorf("wallclock unexpectedly fired on the taint fixture: %v", local)
+	}
+	inter := CheckProgram(prog, pkg, []*Analyzer{Taint})
+	if len(inter) == 0 {
+		t.Fatal("taint found nothing in the cross-package fixture")
+	}
+	sawCross := false
+	for _, d := range inter {
+		if strings.Contains(d.Message, "taintdep.") {
+			sawCross = true
+		}
+	}
+	if !sawCross {
+		t.Errorf("no taint chain crosses into taintdep: %v", inter)
+	}
+}
 
 // TestObsHookGuardFixture covers the implementation-side rules (package
 // named obs), TestObsHookCallSiteFixture the call-site rules against the
@@ -111,9 +170,11 @@ func TestObsHookCallSiteFixture(t *testing.T) { runFixture(t, "obshook", ObsHook
 // observers inside `go func() { ... }` bodies.
 func TestObsHookGoroutineFixture(t *testing.T) { runFixture(t, "obsgoroutine", ObsHook) }
 
-// TestRepoClean is the in-tree mirror of the CI gate: the full suite over
-// every deterministic package must be silent. A failure here means either a
-// real determinism hazard or a missing (or unjustified) annotation.
+// TestRepoClean is the in-tree mirror of the CI gate: the applicable suite
+// over every vetted package — full suite for the deterministic core, lock
+// discipline for the shared-state packages — must be silent, with summaries
+// propagating across the whole loaded universe. A failure here means either
+// a real determinism hazard or a missing (or unjustified) annotation.
 func TestRepoClean(t *testing.T) {
 	root, err := ModuleRoot(".")
 	if err != nil {
@@ -123,12 +184,13 @@ func TestRepoClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, rel := range DeterministicPackages {
-		pkg, err := Load(filepath.Join(root, rel), modPath+"/"+rel)
-		if err != nil {
-			t.Fatalf("%s: %v", rel, err)
-		}
-		for _, d := range Check(pkg, All) {
+	universe, vetted, err := LoadUniverse(root, modPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := BuildProgram(universe)
+	for _, rel := range VettedPackages() {
+		for _, d := range CheckProgram(prog, vetted[rel], AnalyzersFor(rel)) {
 			t.Errorf("%s", d)
 		}
 	}
@@ -136,22 +198,40 @@ func TestRepoClean(t *testing.T) {
 
 func TestSelectPackages(t *testing.T) {
 	mod := "fastsim"
+	all := strings.Join(VettedPackages(), " ")
 	cases := []struct {
 		patterns []string
 		want     string
 	}{
-		{[]string{"./..."}, strings.Join(DeterministicPackages, " ")},
-		{[]string{"..."}, strings.Join(DeterministicPackages, " ")},
+		{[]string{"./..."}, all},
+		{[]string{"..."}, all},
 		{[]string{"./internal/memo"}, "internal/memo"},
 		{[]string{"internal/obs", "fastsim/internal/stats"}, "internal/obs internal/stats"},
-		{[]string{"./internal/..."}, strings.Join(DeterministicPackages, " ")},
-		{[]string{"./internal/minc"}, ""},
-		{[]string{"./cmd/..."}, ""},
+		{[]string{"./internal/..."}, all},
+		{[]string{"./internal/debugsrv"}, "internal/debugsrv"},
 	}
 	for _, c := range cases {
-		got := strings.Join(SelectPackages(c.patterns, mod), " ")
-		if got != c.want {
+		pkgs, err := SelectPackages(c.patterns, mod)
+		if err != nil {
+			t.Errorf("SelectPackages(%v): unexpected error %v", c.patterns, err)
+			continue
+		}
+		if got := strings.Join(pkgs, " "); got != c.want {
 			t.Errorf("SelectPackages(%v) = %q, want %q", c.patterns, got, c.want)
+		}
+	}
+}
+
+// TestSelectPackagesUnmatched pins the CI-typo contract: a pattern naming
+// nothing in the vetted set is an error, never a silent green.
+func TestSelectPackagesUnmatched(t *testing.T) {
+	for _, patterns := range [][]string{
+		{"./internal/minc"},
+		{"./cmd/..."},
+		{"internal/memo", "./internal/typo"},
+	} {
+		if _, err := SelectPackages(patterns, "fastsim"); err == nil {
+			t.Errorf("SelectPackages(%v) = nil error, want non-nil", patterns)
 		}
 	}
 }
@@ -198,10 +278,13 @@ func TestFixturesSeedEnoughViolations(t *testing.T) {
 		{"obsguard", ObsHook},
 		{"obshook", ObsHook},
 		{"obsgoroutine", ObsHook},
+		{"taint", Taint},
+		{"purity", Purity},
+		{"sharedmut", SharedMut},
 	}
 	for _, c := range cases {
 		pkg := loadFixture(t, c.fixture)
-		if n := len(Check(pkg, []*Analyzer{c.az})); n < 2 {
+		if n := len(CheckProgram(fixtureProgram(pkg), pkg, []*Analyzer{c.az})); n < 2 {
 			t.Errorf("fixture %s seeds only %d %s violation(s), want >= 2", c.fixture, n, c.az.Name)
 		}
 	}

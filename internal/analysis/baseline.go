@@ -1,0 +1,90 @@
+package analysis
+
+// Baseline diff mode: fsvet -write-baseline records the current findings,
+// fsvet -baseline reports only findings not in the recorded set. This is
+// the adoption path for a new analyzer over an old codebase — freeze the
+// existing debt, gate new debt — without weakening the clean-repo CI gate.
+//
+// A baseline entry is the (file, analyzer, message) triple with a count,
+// deliberately excluding line and column: pure line drift from unrelated
+// edits must not churn the baseline, while a genuinely new finding (new
+// message or new file) always surfaces.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// A Baseline is a multiset of accepted findings: key -> count.
+type Baseline map[string]int
+
+// BaselineKey is the identity of a finding for baseline purposes.
+func BaselineKey(d Diagnostic) string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos.Filename, d.Analyzer, d.Message)
+}
+
+// WriteBaseline records diags as a sorted JSON object.
+func WriteBaseline(w io.Writer, diags []Diagnostic) error {
+	b := make(Baseline)
+	for _, d := range diags {
+		b[BaselineKey(d)]++
+	}
+	keys := make([]string, 0, len(b))
+	for k := range b { //fastsim:order-independent: sorted below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	// Hand-rolled object emission keeps the key order sorted; json.Marshal
+	// of a map would sort too, but an explicit loop also gets one line per
+	// entry, which is what code review of a baseline change needs.
+	if _, err := io.WriteString(w, "{\n"); err != nil {
+		return err
+	}
+	for i, k := range keys {
+		kb, err := json.Marshal(k)
+		if err != nil {
+			return err
+		}
+		sep := ","
+		if i == len(keys)-1 {
+			sep = ""
+		}
+		if _, err := fmt.Fprintf(w, "  %s: %d%s\n", kb, b[k], sep); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "}\n")
+	return err
+}
+
+// ReadBaseline parses a baseline written by WriteBaseline.
+func ReadBaseline(r io.Reader) (Baseline, error) {
+	var b Baseline
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&b); err != nil {
+		return nil, fmt.Errorf("analysis: parsing baseline: %w", err)
+	}
+	return b, nil
+}
+
+// Filter returns the findings not covered by the baseline, consuming one
+// count per match so a baseline of N identical findings admits exactly N.
+// The receiver is not modified.
+func (b Baseline) Filter(diags []Diagnostic) []Diagnostic {
+	remaining := make(Baseline, len(b))
+	for k, n := range b { //fastsim:order-independent: map copy, no output order
+		remaining[k] = n
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		k := BaselineKey(d)
+		if remaining[k] > 0 {
+			remaining[k]--
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

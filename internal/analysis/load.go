@@ -31,7 +31,7 @@ var DeterministicPackages = []string{
 	// offline inspection must digest the same snapshot to the same report,
 	// so its analysis and rendering code is order-pinned too. The live debug
 	// server (internal/debugsrv) is deliberately NOT here: it exists to read
-	// wall clocks and serve whenever polled.
+	// wall clocks and serve whenever polled — see SharedStatePackages.
 	"internal/inspect",
 	"internal/memo",
 	"internal/obs",
@@ -47,6 +47,36 @@ var DeterministicPackages = []string{
 	"internal/uarch",
 }
 
+// SharedStatePackages are packages exempt from the determinism contract —
+// they exist to interact with the host (wall clocks, sockets) — but which
+// still share mutable state across goroutines, so the sharedmut lock
+// discipline applies to them.
+var SharedStatePackages = []string{
+	"internal/debugsrv",
+}
+
+// VettedPackages is every package fsvet loads: the deterministic core plus
+// the shared-state packages, in path order.
+func VettedPackages() []string {
+	out := make([]string, 0, len(DeterministicPackages)+len(SharedStatePackages))
+	out = append(out, DeterministicPackages...)
+	out = append(out, SharedStatePackages...)
+	sort.Strings(out)
+	return out
+}
+
+// AnalyzersFor returns the analyzer subset that applies to the
+// module-relative package path rel: the full suite for deterministic
+// packages, lock discipline alone for shared-state packages.
+func AnalyzersFor(rel string) []*Analyzer {
+	for _, p := range SharedStatePackages {
+		if p == rel {
+			return []*Analyzer{SharedMut}
+		}
+	}
+	return All
+}
+
 // A Package is one parsed and type-checked target package.
 type Package struct {
 	Dir   string
@@ -57,26 +87,50 @@ type Package struct {
 	Info  *types.Info
 }
 
-// The source importer type-checks dependencies from source and caches them
-// by import path, so one shared instance (and therefore one FileSet) makes
-// loading nine packages cost little more than loading one. It is not safe
-// for concurrent use; loadMu serializes Load.
+// Loading shares one FileSet and one package registry across every Load
+// call, so a function key resolved while type-checking package A names the
+// same summary produced while loading package B. registryImporter consults
+// the registry first — giving directly-loaded packages (with full
+// types.Info) identity priority — and falls back to the module-aware source
+// importer for everything else (stdlib, unvetted helpers). Neither is safe
+// for concurrent use; loadMu serializes all loading.
 var (
 	loadMu     sync.Mutex
 	sharedFset = token.NewFileSet()
 	sharedImp  types.Importer
+	registry   = map[string]*Package{} // import path -> directly-loaded package
 )
+
+type registryImporter struct{}
+
+func (registryImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := registry[path]; ok {
+		return pkg.Types, nil
+	}
+	if sharedImp == nil {
+		sharedImp = importer.ForCompiler(sharedFset, "source", nil)
+	}
+	return sharedImp.Import(path)
+}
 
 // Load parses and type-checks the non-test Go files of the package in dir,
 // recording the type information the analyzers need. importPath is the
 // identity given to the checked package; dependencies resolve through the
-// module-aware source importer, so Load must run with a working directory
-// inside the module.
+// shared registry first and the module-aware source importer second, so
+// Load must run with a working directory inside the module.
+//
+// Module-internal imports whose source directory can be derived from dir
+// and importPath are pre-loaded into the registry recursively, so their
+// function summaries participate in interprocedural propagation.
 func Load(dir, importPath string) (*Package, error) {
 	loadMu.Lock()
 	defer loadMu.Unlock()
-	if sharedImp == nil {
-		sharedImp = importer.ForCompiler(sharedFset, "source", nil)
+	return loadLocked(dir, importPath)
+}
+
+func loadLocked(dir, importPath string) (*Package, error) {
+	if pkg, ok := registry[importPath]; ok {
+		return pkg, nil
 	}
 
 	entries, err := os.ReadDir(dir)
@@ -107,25 +161,89 @@ func Load(dir, importPath string) (*Package, error) {
 		files = append(files, f)
 	}
 
+	// Pre-load module-internal imports whose directories we can locate, so
+	// the registry resolves them with full type info and shared identity.
+	// Import cycles cannot occur in valid Go, so the recursion terminates.
+	if i := strings.LastIndex(importPath, "/internal/"); i >= 0 {
+		modPrefix := importPath[:i]
+		relSelf := importPath[i+1:]
+		// Derive the module root from an absolute form of dir — positions
+		// keep the caller's (possibly relative) spelling, but filepath.Dir
+		// bottoms out at "." on relative paths before reaching the root.
+		root, rootErr := filepath.Abs(dir)
+		if rootErr != nil {
+			root = dir
+		}
+		for range strings.Split(relSelf, "/") {
+			root = filepath.Dir(root)
+		}
+		for _, f := range files {
+			for _, imp := range f.Imports {
+				path := strings.Trim(imp.Path.Value, `"`)
+				rel, ok := strings.CutPrefix(path, modPrefix+"/")
+				if !ok || registry[path] != nil {
+					continue
+				}
+				depDir := filepath.Join(root, filepath.FromSlash(rel))
+				if st, err := os.Stat(depDir); err != nil || !st.IsDir() {
+					continue
+				}
+				if _, err := loadLocked(depDir, path); err != nil {
+					return nil, fmt.Errorf("analysis: loading dependency %s: %w", path, err)
+				}
+			}
+		}
+	}
+
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
 		Defs:       make(map[*ast.Ident]types.Object),
 		Uses:       make(map[*ast.Ident]types.Object),
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 	}
-	conf := types.Config{Importer: sharedImp}
+	conf := types.Config{Importer: registryImporter{}}
 	tpkg, err := conf.Check(importPath, sharedFset, files, info)
 	if err != nil {
 		return nil, fmt.Errorf("analysis: type-checking %s: %w", importPath, err)
 	}
-	return &Package{
+	pkg := &Package{
 		Dir:   dir,
 		Path:  importPath,
 		Fset:  sharedFset,
 		Files: files,
 		Types: tpkg,
 		Info:  info,
-	}, nil
+	}
+	registry[importPath] = pkg
+	return pkg, nil
+}
+
+// LoadUniverse loads every vetted package (deterministic + shared-state)
+// plus — through Load's recursive pre-loading — the module-internal
+// packages they import, returning the full program universe and the map
+// from module-relative path to vetted package. Taint that enters a vetted
+// package through an unvetted helper is only visible when the helper's
+// summaries are in the universe.
+func LoadUniverse(root, modPath string) (universe []*Package, vetted map[string]*Package, err error) {
+	vetted = make(map[string]*Package)
+	for _, rel := range VettedPackages() {
+		pkg, err := Load(filepath.Join(root, filepath.FromSlash(rel)), modPath+"/"+rel)
+		if err != nil {
+			return nil, nil, err
+		}
+		vetted[rel] = pkg
+	}
+	loadMu.Lock()
+	defer loadMu.Unlock()
+	paths := make([]string, 0, len(registry))
+	for p := range registry { //fastsim:order-independent: sorted below
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		universe = append(universe, registry[p])
+	}
+	return universe, vetted, nil
 }
 
 // ModuleRoot walks up from dir to the directory containing go.mod.
@@ -161,27 +279,35 @@ func ModulePath(root string) (string, error) {
 }
 
 // SelectPackages resolves fsvet's command-line patterns to the subset of
-// DeterministicPackages they name. Accepted forms: "./...", a "dir/..."
+// the vetted packages they name. Accepted forms: "./...", a "dir/..."
 // prefix wildcard, and exact paths with or without a "./" or module-path
-// prefix. Patterns naming nothing in the deterministic set resolve to
-// nothing — fsvet only ever vets the simulation core.
-func SelectPackages(patterns []string, modPath string) []string {
+// prefix. A pattern that names nothing in the vetted set is an error — a
+// typo'd path in CI must fail the build, not green-light it.
+func SelectPackages(patterns []string, modPath string) ([]string, error) {
+	all := VettedPackages()
 	selected := make(map[string]bool)
-	for _, pat := range patterns {
-		pat = strings.TrimPrefix(pat, modPath+"/")
+	for _, raw := range patterns {
+		pat := strings.TrimPrefix(raw, modPath+"/")
 		pat = strings.TrimPrefix(pat, "./")
-		for _, pkg := range DeterministicPackages {
+		matched := false
+		for _, pkg := range all {
 			switch {
 			case pat == "..." || pat == "." || pat == "":
 				selected[pkg] = true
+				matched = true
 			case strings.HasSuffix(pat, "/..."):
 				prefix := strings.TrimSuffix(pat, "...")
 				if strings.HasPrefix(pkg+"/", prefix) {
 					selected[pkg] = true
+					matched = true
 				}
 			case pat == pkg:
 				selected[pkg] = true
+				matched = true
 			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("analysis: pattern %q matches no vetted package (deterministic set + shared-state set)", raw)
 		}
 	}
 	out := make([]string, 0, len(selected))
@@ -189,5 +315,5 @@ func SelectPackages(patterns []string, modPath string) []string {
 		out = append(out, pkg)
 	}
 	sort.Strings(out)
-	return out
+	return out, nil
 }

@@ -1,0 +1,50 @@
+package analysis
+
+// The purity analyzer enforces the adaptive-memoization contract from the
+// ROADMAP: every memoization decision point — policy, eviction, guard,
+// verify — must be a pure function of its parameters and the simulated
+// history they carry. A decision that reads mutable package-level state,
+// coordinates with other goroutines, or accumulates floats in map order can
+// differ between a cold run and a replay, and a diverging decision silently
+// breaks bit-identical statistics even when every individual p-action is
+// correct.
+//
+// Decision points register with //fastsim:memo-policy on the declaration.
+// Impurity propagates through the call graph: a policy function is flagged
+// when anything it transitively calls carries an impurity fact, and the
+// witness chain is printed. //fastsim:allow-impure (on a declaration or a
+// call site) waives a fact with a reason — e.g. reading a counter that is
+// itself part of the simulated state.
+
+import "go/ast"
+
+// Purity enforces that registered memo decision points are pure functions
+// of their parameters and simulated history.
+var Purity = &Analyzer{
+	Name: "purity",
+	Doc:  "enforces purity of //fastsim:memo-policy decision functions (no mutable globals, goroutines, channels, or unordered float accumulation)",
+	Run:  runPurity,
+}
+
+func runPurity(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			sum := pass.Prog.Summary(fd)
+			if sum == nil || !sum.Policy {
+				continue
+			}
+			if step := pass.Prog.Impure(sum.Key); step != nil {
+				chain, root := pass.Prog.Chain(pass.Prog.impure, sum.Key)
+				pass.Reportf(step.pos, "memo-policy function %s is impure: %s — %s (decisions must be pure functions of params + simulated history; waive one fact with //fastsim:allow-impure and a reason)", sum.Name, root, chain)
+			}
+			if step := pass.Prog.Tainted(sum.Key); step != nil {
+				chain, root := pass.Prog.Chain(pass.Prog.tainted, sum.Key)
+				pass.Reportf(step.pos, "memo-policy function %s depends on host time: %s — %s (a wall-clock-dependent decision diverges between cold run and replay)", sum.Name, root, chain)
+			}
+		}
+	}
+}

@@ -1,0 +1,383 @@
+package analysis
+
+// The sharedmut analyzer enforces lock discipline on state shared across
+// goroutines — the prerequisite for tablegen's parallel runner, the
+// debugsrv poll loop, and the ROADMAP's sharded configTable. Struct fields
+// declare their guard in the source:
+//
+//	mu   sync.Mutex
+//	bufs []strings.Builder // fastsim:guarded-by(mu)
+//
+// and every access site must then be covered by one of:
+//
+//   - a lexically preceding <base>.mu.Lock() (or RLock() for reads) in the
+//     same function on the same base expression;
+//   - a //fastsim:caller-holds(mu) precondition on the enclosing function —
+//     in which case every *caller* is checked for the lock instead, which
+//     is what makes the check interprocedural;
+//   - a //fastsim:allow-unguarded annotation with a reason (e.g. the struct
+//     is still under construction and unshared).
+//
+// The lexical model is deliberately simple — it does not track Unlock or
+// control flow — but it is sound for the lock-at-entry/defer-unlock idiom
+// the codebase uses, and it is deterministic.
+//
+// The analyzer also flags fields accessed both through sync/atomic
+// operations (&x.f passed to atomic.AddInt64 and friends) and through plain
+// loads/stores: mixing the two publishes half-synchronized values. Typed
+// atomics (atomic.Int64 fields) are immune by construction and preferred.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// SharedMut checks fastsim:guarded-by lock discipline and mixed
+// atomic/plain field access.
+var SharedMut = &Analyzer{
+	Name: "sharedmut",
+	Doc:  "checks fastsim:guarded-by(mu) field access sites for lock discipline and flags mixed atomic/plain access",
+	Run:  runSharedMut,
+}
+
+// A lockEvent is one <base>.<mu>.Lock()/RLock() call inside a function.
+type lockEvent struct {
+	pos   int    // file offset order proxy: token.Pos as int
+	base  string // ExprString of the expression the mutex hangs off ("" for a bare mutex var)
+	mu    string // mutex field/var name
+	write bool   // Lock (write-strength) vs RLock
+}
+
+func runSharedMut(pass *Pass) {
+	guards := guardedFields(pass)
+	atomicFields, plainUses := atomicAccessMap(pass)
+
+	// Mixed atomic/plain access: every plain use of a field that is also
+	// accessed through a sync/atomic call is a finding.
+	fields := make([]*types.Var, 0, len(atomicFields))
+	for f := range atomicFields { //fastsim:order-independent: sorted below by position
+		fields = append(fields, f)
+	}
+	sort.Slice(fields, func(i, j int) bool { return fields[i].Pos() < fields[j].Pos() })
+	for _, f := range fields {
+		for _, use := range plainUses[f] {
+			if _, ok := pass.Annotation(use.Pos(), MarkerAllowUnguarded); ok {
+				continue
+			}
+			pass.Reportf(use.Pos(), "field %s is accessed with sync/atomic elsewhere but plainly here — mixed access publishes half-synchronized values (use a typed atomic, or atomic ops everywhere)", f.Name())
+		}
+	}
+
+	if len(guards) == 0 {
+		return
+	}
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGuardedAccesses(pass, fd, guards)
+			checkCallerHoldsEdges(pass, fd)
+		}
+	}
+}
+
+// guardedFields maps each struct field carrying a fastsim:guarded-by(mu)
+// annotation to its declared mutex names. The usual "line above" annotation
+// placement is honoured only when that line does not itself declare another
+// field — a trailing annotation must not bleed onto the next field down.
+func guardedFields(pass *Pass) map[*types.Var][]string {
+	fieldLines := make(map[string]map[int]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					p := pass.Fset.Position(name.Pos())
+					if fieldLines[p.Filename] == nil {
+						fieldLines[p.Filename] = make(map[int]bool)
+					}
+					fieldLines[p.Filename][p.Line] = true
+				}
+			}
+			return true
+		})
+	}
+	guards := make(map[*types.Var][]string)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					reason, ok := pass.Annotation(name.Pos(), MarkerGuardedBy)
+					if !ok {
+						continue
+					}
+					p := pass.Fset.Position(name.Pos())
+					if _, sameLine := pass.annots.lineAt(p.Filename, p.Line, MarkerGuardedBy); !sameLine && fieldLines[p.Filename][p.Line-1] {
+						continue // annotation belongs to the field above
+					}
+					v, _ := pass.Info.Defs[name].(*types.Var)
+					if v == nil {
+						continue
+					}
+					if mus := parenNames(reason); len(mus) > 0 {
+						guards[v] = mus
+					} else {
+						pass.Reportf(name.Pos(), "fastsim:guarded-by annotation on %s names no mutex — write fastsim:guarded-by(mu)", name.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// checkGuardedAccesses verifies every guarded-field access in fd.
+func checkGuardedAccesses(pass *Pass, fd *ast.FuncDecl, guards map[*types.Var][]string) {
+	locks := collectLocks(pass, fd.Body)
+	var holds []string
+	if sum := pass.Prog.Summary(fd); sum != nil {
+		holds = sum.CallerHolds
+	}
+	writes := writeSelectors(fd.Body)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		v, _ := pass.Info.Uses[sel.Sel].(*types.Var)
+		mus := guards[v]
+		if len(mus) == 0 {
+			return true
+		}
+		isWrite := writes[sel]
+		base := types.ExprString(sel.X)
+		for _, mu := range mus {
+			if holdsLock(locks, holds, mu, base, int(sel.Pos()), isWrite) {
+				return true
+			}
+		}
+		if _, ok := pass.Annotation(sel.Pos(), MarkerAllowUnguarded); ok {
+			return true
+		}
+		verb := "read"
+		need := "Lock or RLock"
+		if isWrite {
+			verb = "write"
+			need = "Lock"
+		}
+		pass.Reportf(sel.Pos(), "%s of %s.%s (guarded by %s) without %s.%s.%s held — acquire it first, declare //fastsim:caller-holds(%s), or annotate //fastsim:allow-unguarded with a reason",
+			verb, base, sel.Sel.Name, strings.Join(mus, ","), base, mus[0], need, mus[0])
+		return true
+	})
+}
+
+// holdsLock reports whether mutex mu on base is held at pos: a preceding
+// lexical Lock (RLock suffices for reads) on the same base, or a
+// caller-holds precondition naming mu.
+func holdsLock(locks []lockEvent, holds []string, mu, base string, pos int, write bool) bool {
+	for _, h := range holds {
+		if h == mu {
+			return true
+		}
+	}
+	for _, l := range locks {
+		if l.mu != mu || l.pos >= pos || l.base != base {
+			continue
+		}
+		if write && !l.write {
+			continue // RLock does not license a write
+		}
+		return true
+	}
+	return false
+}
+
+// collectLocks finds every mutex Lock/RLock call in body.
+func collectLocks(pass *Pass, body *ast.BlockStmt) []lockEvent {
+	var locks []lockEvent
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+			return true
+		}
+		ev := lockEvent{pos: int(call.Pos()), write: sel.Sel.Name == "Lock"}
+		switch muExpr := sel.X.(type) {
+		case *ast.SelectorExpr: // l.mu.Lock()
+			ev.mu = muExpr.Sel.Name
+			ev.base = types.ExprString(muExpr.X)
+		case *ast.Ident: // mu.Lock() on a package-level or local mutex
+			ev.mu = muExpr.Name
+		default:
+			return true
+		}
+		locks = append(locks, ev)
+		return true
+	})
+	return locks
+}
+
+// checkCallerHoldsEdges verifies that every call to a function declaring a
+// fastsim:caller-holds(mu) precondition is itself made with mu held — the
+// interprocedural half of the discipline.
+func checkCallerHoldsEdges(pass *Pass, fd *ast.FuncDecl) {
+	sum := pass.Prog.Summary(fd)
+	if sum == nil {
+		return
+	}
+	locks := collectLocks(pass, fd.Body)
+	for _, edge := range sum.calls {
+		callee := pass.Prog.Lookup(edge.callee)
+		if callee == nil || len(callee.CallerHolds) == 0 {
+			continue
+		}
+		for _, mu := range callee.CallerHolds {
+			if callerHolds(locks, sum.CallerHolds, mu, int(edge.pos)) {
+				continue
+			}
+			if _, ok := pass.Annotation(edge.pos, MarkerAllowUnguarded); ok {
+				continue
+			}
+			pass.Reportf(edge.pos, "call to %s requires %s held (//fastsim:caller-holds) but no lexically preceding %s.Lock() in %s", callee.Name, mu, mu, sum.Name)
+		}
+	}
+}
+
+// callerHolds is holdsLock without base matching: the callee's declared
+// mutex name lives on its own receiver, so the caller's acquisition is
+// matched on the mutex name alone, at write strength.
+func callerHolds(locks []lockEvent, holds []string, mu string, pos int) bool {
+	for _, h := range holds {
+		if h == mu {
+			return true
+		}
+	}
+	for _, l := range locks {
+		if l.mu == mu && l.write && l.pos < pos {
+			return true
+		}
+	}
+	return false
+}
+
+// writeSelectors records every SelectorExpr node in mutation position:
+// assignment target, inc/dec operand, or address-taken.
+func writeSelectors(body *ast.BlockStmt) map[*ast.SelectorExpr]bool {
+	writes := make(map[*ast.SelectorExpr]bool)
+	mark := func(e ast.Expr) {
+		for {
+			switch v := e.(type) {
+			case *ast.SelectorExpr:
+				writes[v] = true
+				return
+			case *ast.ParenExpr:
+				e = v.X
+			case *ast.StarExpr:
+				e = v.X
+			case *ast.IndexExpr:
+				e = v.X
+			default:
+				return
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range v.Lhs {
+				mark(lhs)
+			}
+		case *ast.IncDecStmt:
+			mark(v.X)
+		case *ast.UnaryExpr:
+			if v.Op == token.AND {
+				mark(v.X)
+			}
+		}
+		return true
+	})
+	return writes
+}
+
+// atomicAccessMap classifies every struct-field access in the package:
+// fields whose address is passed to a sync/atomic function, and the plain
+// selector uses of those same fields elsewhere.
+func atomicAccessMap(pass *Pass) (atomicFields map[*types.Var]bool, plainUses map[*types.Var][]*ast.SelectorExpr) {
+	atomicFields = make(map[*types.Var]bool)
+	plainUses = make(map[*types.Var][]*ast.SelectorExpr)
+	inAtomicArg := make(map[*ast.SelectorExpr]bool)
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := staticCallee(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				ue, ok := unparen(arg).(*ast.UnaryExpr)
+				if !ok || ue.Op != token.AND {
+					continue
+				}
+				sel, ok := unparen(ue.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if v, ok := pass.Info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+					atomicFields[v] = true
+					inAtomicArg[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || inAtomicArg[sel] {
+				return true
+			}
+			v, ok := pass.Info.Uses[sel.Sel].(*types.Var)
+			if !ok || !v.IsField() {
+				return true
+			}
+			plainUses[v] = append(plainUses[v], sel)
+			return true
+		})
+	}
+	// Keep only plain uses of fields that are also atomically accessed.
+	for v := range plainUses { //fastsim:order-independent: map mutation only, no output order
+		if !atomicFields[v] {
+			delete(plainUses, v)
+		}
+	}
+	for _, uses := range plainUses { //fastsim:order-independent: per-field sort, no cross-field order
+		sort.Slice(uses, func(i, j int) bool { return uses[i].Pos() < uses[j].Pos() })
+	}
+	return atomicFields, plainUses
+}

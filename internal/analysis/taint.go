@@ -1,0 +1,46 @@
+package analysis
+
+// The taint analyzer is the interprocedural completion of wallclock: a
+// function in a deterministic package is flagged when it *transitively*
+// reaches time.Now (or another forbidden host-time entry point) or the
+// global math/rand source through a chain of calls — including calls
+// through module-internal helper packages that fsvet does not vet directly.
+// Direct uses stay wallclock's report (call-site precision); taint reports
+// exactly the chains wallclock cannot see, printing the full witness path.
+//
+// //fastsim:allow-wallclock propagates as a summary fact: annotating the
+// declaration absorbs the taint (callers stay clean), and annotating an
+// individual call site severs that one edge.
+
+import "go/ast"
+
+// Taint flags functions whose call chains reach wall-clock or global-rand
+// entry points, printing the offending chain.
+var Taint = &Analyzer{
+	Name: "taint",
+	Doc:  "flags call chains that transitively reach time.Now or the global math/rand source",
+	Run:  runTaint,
+}
+
+func runTaint(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			sum := pass.Prog.Summary(fd)
+			if sum == nil {
+				continue
+			}
+			step := pass.Prog.Tainted(sum.Key)
+			if step == nil || step.callee == "" {
+				// Not tainted, or tainted by a direct use in this very body —
+				// the wallclock analyzer already reports that at the call site.
+				continue
+			}
+			chain, root := pass.Prog.Chain(pass.Prog.tainted, sum.Key)
+			pass.Reportf(step.pos, "call chain reaches %s: %s (annotate the entry point //fastsim:allow-wallclock with a reason if host time provably cannot leak into results)", root, chain)
+		}
+	}
+}

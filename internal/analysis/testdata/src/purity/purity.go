@@ -1,0 +1,78 @@
+// Package purity seeds violations of the memo-policy purity contract:
+// decision points registered with //fastsim:memo-policy must be pure
+// functions of their parameters and simulated history.
+package purity
+
+import "fastsim/internal/analysis/testdata/src/taintdep"
+
+// hits is mutable package-level state: assigned below, so any policy
+// function touching it is impure.
+var hits int
+
+// threshold is never assigned or address-taken anywhere — effectively
+// immutable, so policy reads of it are pure.
+var threshold = 8
+
+// bump mutates package state; not itself a policy function, so no direct
+// finding here — the finding lands on policies that reach it.
+func bump() {
+	hits++
+}
+
+// ShouldEvict reads and writes mutable package state directly.
+//
+//fastsim:memo-policy: eviction decision point
+func ShouldEvict(n int) bool {
+	hits++ // want "memo-policy function purity.ShouldEvict is impure: writes package-level var purity.hits"
+	return hits > n
+}
+
+// ShouldFlush is impure only transitively, through bump.
+//
+//fastsim:memo-policy: flush decision point
+func ShouldFlush() bool {
+	bump() // want "memo-policy function purity.ShouldFlush is impure: writes package-level var purity.hits — purity.ShouldFlush → purity.bump"
+	return false
+}
+
+// ShouldSample coordinates with another goroutine — a decision that can
+// interleave differently between cold run and replay.
+//
+//fastsim:memo-policy: verify-sampling decision point
+func ShouldSample(ch chan int) bool {
+	v := <-ch // want "memo-policy function purity.ShouldSample is impure: receives from a channel"
+	return v > 0
+}
+
+// WeightOf accumulates floats in map-iteration order: the sum depends on
+// the per-process hash seed.
+//
+//fastsim:memo-policy: weight decision point
+func WeightOf(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "memo-policy function purity.WeightOf is impure: accumulates floats in map-iteration order"
+	}
+	return sum
+}
+
+// ShouldRefresh depends on host time through the taintdep package.
+//
+//fastsim:memo-policy: refresh decision point
+func ShouldRefresh(last int64) bool {
+	return taintdep.HostStamp() > last // want "memo-policy function purity.ShouldRefresh depends on host time: time.Now — purity.ShouldRefresh → taintdep.HostStamp"
+}
+
+// ShouldKeep is pure: parameters and an immutable threshold only.
+//
+//fastsim:memo-policy: retention decision point
+func ShouldKeep(age, uses int) bool {
+	return uses > threshold || age < threshold
+}
+
+// Waived reads mutable state but carries a justified waiver.
+//
+//fastsim:memo-policy: demo decision point with a waived fact
+func Waived() bool {
+	return hits > 0 //fastsim:allow-impure: hits is replay-deterministic — mutated only on the simulation goroutine in lockstep with simulated history
+}

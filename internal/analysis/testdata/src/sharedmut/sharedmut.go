@@ -1,0 +1,92 @@
+// Package sharedmut seeds lock-discipline violations: guarded-by fields
+// accessed without their mutex, caller-holds preconditions violated at call
+// sites, RLock-held writes, and mixed atomic/plain field access.
+package sharedmut
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int   // fastsim:guarded-by(mu)
+	hi int64 // accessed atomically in Bump, plainly in Skim
+}
+
+// Inc holds the lock across the write: clean.
+func (c *counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// Peek reads the guarded field with no lock at all.
+func (c *counter) Peek() int {
+	return c.n // want "read of c.n .guarded by mu. without c.mu.Lock or RLock held"
+}
+
+// bumpLocked declares its precondition: callers must hold mu.
+//
+//fastsim:caller-holds(mu)
+func (c *counter) bumpLocked() {
+	c.n += 2
+}
+
+// IncTwice acquires the lock before calling the caller-holds helper: clean.
+func (c *counter) IncTwice() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bumpLocked()
+}
+
+// IncRacy calls the caller-holds helper without the lock.
+func (c *counter) IncRacy() {
+	c.bumpLocked() // want "call to sharedmut...counter..bumpLocked requires mu held"
+}
+
+// Bump uses sync/atomic on hi.
+func (c *counter) Bump() {
+	atomic.AddInt64(&c.hi, 1)
+}
+
+// Skim reads hi plainly — mixed with Bump's atomic access.
+func (c *counter) Skim() int64 {
+	return c.hi // want "field hi is accessed with sync/atomic elsewhere but plainly here"
+}
+
+// newCounter initializes fields before the value is shared; the waiver
+// carries the reason.
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 1 //fastsim:allow-unguarded: not yet shared — construction happens-before every reader
+	return c
+}
+
+type table struct {
+	mu   sync.RWMutex
+	rows map[string]int // fastsim:guarded-by(mu)
+}
+
+// Get reads under RLock: clean.
+func (t *table) Get(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows[k]
+}
+
+// Put writes under RLock only — a read lock does not license the write.
+func (t *table) Put(k string, v int) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.rows[k] = v // want "write of t.rows .guarded by mu. without t.mu.Lock held"
+}
+
+// Set writes under the write lock: clean.
+func (t *table) Set(k string, v int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rows[k] = v
+}
+
+var _ = newCounter

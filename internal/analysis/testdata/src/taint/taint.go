@@ -1,0 +1,51 @@
+// Package taint seeds transitive wall-clock/rand reachability violations.
+// Nothing here touches time or math/rand directly — every hazard arrives
+// through the taintdep fixture package or an intra-package hop — so the
+// call-site-local wallclock analyzer must stay silent while taint flags
+// each chain.
+package taint
+
+import "fastsim/internal/analysis/testdata/src/taintdep"
+
+// Stamp is tainted one hop across the package boundary.
+func Stamp() int64 {
+	return taintdep.HostStamp() // want "call chain reaches time.Now: taint.Stamp → taintdep.HostStamp → time.Now"
+}
+
+// Epoch is tainted two hops: through Stamp, then taintdep.
+func Epoch() int64 {
+	return Stamp() / 1e9 // want "call chain reaches time.Now: taint.Epoch → taint.Stamp → taintdep.HostStamp"
+}
+
+// Mix reaches the global rand source transitively.
+func Mix() float64 {
+	return taintdep.Jitter() + 1 // want "call chain reaches rand.Float64: taint.Mix → taintdep.Jitter → rand.Float64"
+}
+
+// Deep is tainted through a chain that never leaves taintdep after entry.
+func Deep() int64 {
+	return taintdep.Elapsed() // want "call chain reaches time.Now: taint.Deep → taintdep.Elapsed → taintdep.hiddenStamp → time.Now"
+}
+
+// Drift calls only the seed-derived helper: deterministic, no finding.
+func Drift(seed int64) int64 {
+	return taintdep.SeededDelta(seed)
+}
+
+// HostLatency absorbs its taint with a declaration annotation, and the
+// absorption propagates as a summary fact: MeasureTwice stays clean too.
+//
+//fastsim:allow-wallclock: host-side latency metric, printed to stderr only, never enters Result
+func HostLatency() int64 {
+	return taintdep.HostStamp()
+}
+
+// MeasureTwice calls an absorbed function — no finding.
+func MeasureTwice() int64 {
+	return HostLatency() - HostLatency()
+}
+
+// SiteWaiver severs a single edge with a call-site annotation.
+func SiteWaiver() int64 {
+	return taintdep.HostStamp() //fastsim:allow-wallclock: wall time feeds a progress log line, not the result
+}

@@ -1,0 +1,36 @@
+// Package taintdep is the dependency half of the cross-package taint
+// fixture: it reaches the forbidden entry points directly, so packages that
+// call it are tainted transitively — invisible to the call-site-local
+// wallclock analyzer, visible to interprocedural propagation.
+package taintdep
+
+import (
+	"math/rand"
+	"time"
+)
+
+// HostStamp reads the wall clock directly.
+func HostStamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Jitter draws from the auto-seeded global rand source.
+func Jitter() float64 {
+	return rand.Float64()
+}
+
+// SeededDelta is deterministic: an explicit source derived from the seed.
+func SeededDelta(seed int64) int64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Int63()
+}
+
+// hiddenStamp shows two-hop propagation inside the dep package.
+func hiddenStamp() time.Time {
+	return time.Now()
+}
+
+// Elapsed reaches the clock through hiddenStamp, one more hop.
+func Elapsed() int64 {
+	return hiddenStamp().Unix()
+}

@@ -51,6 +51,8 @@ type Result struct {
 var ErrCycleLimit = errors.New("inorder: cycle limit exceeded")
 
 // Run simulates prog on the in-order timing model.
+//
+//fastsim:allow-wallclock: Result.WallTime is a host-speed measurement field (like tablegen's EmuTime columns); every simulated statistic is cycle-counted and deterministic
 func Run(prog *program.Program, p Params, cacheCfg cachesim.Config, maxCycles uint64) (*Result, error) {
 	if p.IssueWidth <= 0 {
 		p.IssueWidth = 2

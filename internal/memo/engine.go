@@ -271,6 +271,8 @@ func (e *Engine) Run(maxCycles uint64) (cycles uint64, err error) {
 
 // shouldVerify implements the deterministic verification sampler: with
 // VerifyRate r, every round(1/r)-th hit is verified (every hit at 1.0).
+//
+//fastsim:memo-policy: verification-sampling decision point — must depend only on the engine's simulated-history counters
 func (e *Engine) shouldVerify() bool {
 	if e.verifyEvery == 0 {
 		return false
@@ -356,6 +358,8 @@ func (e *Engine) setGuard(lvl guardLevel) {
 // collections), hard = 7/8 Budget (degrade if collecting cannot get back
 // under). The remaining eighth absorbs the at-most-one-episode allocation
 // between checks, so PeakBytes never exceeds Budget.
+//
+//fastsim:memo-policy: budget-guard decision point — the guard level must be a pure function of cache bytes and options
 func (e *Engine) guardCheck() guardLevel {
 	b := e.Cache.opts.Budget
 	if b <= 0 {

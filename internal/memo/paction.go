@@ -265,6 +265,8 @@ func (c *Cache) addBytes(n int) {
 }
 
 // overLimit reports whether the cache exceeds its configured limit.
+//
+//fastsim:memo-policy: reclaim-trigger decision point — pure in cache bytes and options
 func (c *Cache) overLimit() bool {
 	return c.opts.Limit > 0 && c.bytes > c.opts.Limit
 }
@@ -272,6 +274,8 @@ func (c *Cache) overLimit() bool {
 // Reclaim applies the replacement policy if the cache is over its limit.
 // It must only be called at an episode boundary in recording mode (no
 // replay position can be held across it).
+//
+//fastsim:memo-policy: eviction decision point — what survives a reclaim must be a pure function of cache state
 func (c *Cache) Reclaim() {
 	if !c.overLimit() {
 		return
@@ -317,6 +321,8 @@ func (c *Cache) Reclaim() {
 // lever. PolicyFlush discards everything as usual; every other policy
 // (including PolicyUnbounded, which has no reclaim of its own) runs a major
 // collection, keeping only what was used since the last one.
+//
+//fastsim:memo-policy: forced-eviction decision point — survivors must be a pure function of cache state
 func (c *Cache) forceReclaim() {
 	before := c.bytes
 	if c.opts.Policy == PolicyFlush {

@@ -131,6 +131,8 @@ type sim struct {
 var ErrCycleLimit = errors.New("refsim: cycle limit exceeded")
 
 // Run simulates prog to completion on the reference simulator.
+//
+//fastsim:allow-wallclock: Result.WallTime is a host-speed measurement field (like tablegen's EmuTime columns); every simulated statistic is cycle-counted and deterministic
 func Run(prog *program.Program, p Params, cacheCfg cachesim.Config, maxCycles uint64) (res *Result, err error) {
 	if maxCycles == 0 {
 		maxCycles = 40_000_000_000

@@ -93,9 +93,9 @@ type progressLog struct {
 	direct bool
 
 	mu   sync.Mutex
-	bufs []strings.Builder
-	done []bool
-	next int
+	bufs []strings.Builder // fastsim:guarded-by(mu)
+	done []bool            // fastsim:guarded-by(mu)
+	next int               // fastsim:guarded-by(mu)
 }
 
 func newProgressLog(w io.Writer, n int, direct bool) *progressLog {
