@@ -1,0 +1,152 @@
+package fastsim_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden files")
+
+// TestAPISurface pins the package's exported API against a golden listing.
+// Adding, removing or re-signing an exported symbol fails this test until
+// the golden is regenerated with -update — so API changes are always a
+// reviewed diff, never an accident. CI diffs the same listing.
+func TestAPISurface(t *testing.T) {
+	got := apiSurface(t)
+	goldenPath := filepath.Join("testdata", "api_surface.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with `go test -run APISurface -update`): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exported API surface changed; if intended, regenerate with `go test -run APISurface -update`\n%s",
+			surfaceDiff(string(want), got))
+	}
+}
+
+// apiSurface renders every exported top-level declaration of the root
+// package, one line per symbol, sorted.
+func apiSurface(t *testing.T) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["fastsim"]
+	if !ok {
+		t.Fatalf("package fastsim not found; parsed %v", pkgs)
+	}
+
+	var lines []string
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || !exportedRecv(d) {
+					continue
+				}
+				fn := *d
+				fn.Body = nil
+				fn.Doc = nil
+				lines = append(lines, render(fset, &fn))
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() {
+							lines = append(lines, "type "+render(fset, spec))
+						}
+					case *ast.ValueSpec:
+						for _, name := range s.Names {
+							if name.IsExported() {
+								lines = append(lines, fmt.Sprintf("%s %s", d.Tok, name.Name))
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// exportedRecv reports whether a method's receiver type is exported (plain
+// functions pass trivially).
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	typ := d.Recv.List[0].Type
+	for {
+		switch t := typ.(type) {
+		case *ast.StarExpr:
+			typ = t.X
+		case *ast.IndexExpr:
+			typ = t.X
+		case *ast.Ident:
+			return t.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+func render(fset *token.FileSet, node any) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, node); err != nil {
+		return fmt.Sprintf("<%v>", err)
+	}
+	// Collapse multi-line declarations (struct types, long signatures) to
+	// one line per symbol so the golden diffs cleanly.
+	fields := strings.Fields(buf.String())
+	return strings.Join(fields, " ")
+}
+
+// surfaceDiff reports the added and removed lines between two listings.
+func surfaceDiff(want, got string) string {
+	wantSet := make(map[string]bool)
+	for _, l := range strings.Split(want, "\n") {
+		wantSet[l] = true
+	}
+	gotSet := make(map[string]bool)
+	for _, l := range strings.Split(got, "\n") {
+		gotSet[l] = true
+	}
+	var b strings.Builder
+	for _, l := range strings.Split(got, "\n") {
+		if l != "" && !wantSet[l] {
+			fmt.Fprintf(&b, "+ %s\n", l)
+		}
+	}
+	for _, l := range strings.Split(want, "\n") {
+		if l != "" && !gotSet[l] {
+			fmt.Fprintf(&b, "- %s\n", l)
+		}
+	}
+	if b.Len() == 0 {
+		return "(ordering or whitespace difference)"
+	}
+	return b.String()
+}

@@ -9,6 +9,7 @@
 //	fsbench -all                    # Tables 2-5 from one suite run
 //	fsbench -figure 7               # cache-limit sweep (slow: many runs)
 //	fsbench -warmcold               # snapshot warm-start vs cold-start timing
+//	fsbench -replaycompare          # flat replay bytecode vs pointer replay (bit-identity + speed)
 //	fsbench -chaos -seed 7          # fault-injection suite: self-heal or typed error
 //	fsbench -ablation gc|direct|encoding
 //	fsbench -workloads 099.go,107.mgrid  # restrict any of the above
@@ -30,20 +31,23 @@ import (
 
 func main() {
 	var (
-		table    = flag.Int("table", 0, "regenerate table N (1-5)")
-		figure   = flag.Int("figure", 0, "regenerate figure N (7)")
-		ablation = flag.String("ablation", "", "run an ablation: gc | direct | encoding | bpred | inorder")
-		all      = flag.Bool("all", false, "regenerate tables 2-5 from one run")
-		warmcold = flag.Bool("warmcold", false, "measure snapshot warm-start vs cold-start wall time")
-		chaos    = flag.Bool("chaos", false, "run the fault-injection suite: every fault must self-heal or fail typed")
-		seed     = flag.Uint64("seed", 1, "fault-injection seed for -chaos")
-		sweep    = flag.Bool("sweep", false, "run the design-space sweep")
-		scale    = flag.Float64("scale", 1.0, "workload scale factor")
-		names    = flag.String("workloads", "", "comma-separated workload subset")
-		jobs     = flag.Int("j", 0, "worker-pool width: 0 = all CPUs, 1 = sequential")
-		quiet    = flag.Bool("q", false, "suppress progress output")
-		asJSON   = flag.Bool("json", false, "emit suite results as JSON (with -table/-all)")
-		debug    = flag.String("debug-addr", "", "serve pprof/expvar/status on this address (e.g. :6060) while the suite runs")
+		table     = flag.Int("table", 0, "regenerate table N (1-5)")
+		figure    = flag.Int("figure", 0, "regenerate figure N (7)")
+		ablation  = flag.String("ablation", "", "run an ablation: gc | direct | encoding | bpred | inorder")
+		all       = flag.Bool("all", false, "regenerate tables 2-5 from one run")
+		warmcold  = flag.Bool("warmcold", false, "measure snapshot warm-start vs cold-start wall time")
+		replaycmp = flag.Bool("replaycompare", false, "compare flat replay bytecode against pointer replay: bit-identity matrix + warm throughput")
+		compileN  = flag.Int("compile-threshold", 1, "replay-compile threshold for -replaycompare (Nth replay entry compiles the chain)")
+		rounds    = flag.Int("rounds", 3, "warm throughput rounds per mode for -replaycompare")
+		chaos     = flag.Bool("chaos", false, "run the fault-injection suite: every fault must self-heal or fail typed")
+		seed      = flag.Uint64("seed", 1, "fault-injection seed for -chaos")
+		sweep     = flag.Bool("sweep", false, "run the design-space sweep")
+		scale     = flag.Float64("scale", 1.0, "workload scale factor")
+		names     = flag.String("workloads", "", "comma-separated workload subset")
+		jobs      = flag.Int("j", 0, "worker-pool width: 0 = all CPUs, 1 = sequential")
+		quiet     = flag.Bool("q", false, "suppress progress output")
+		asJSON    = flag.Bool("json", false, "emit suite results as JSON (with -table/-all)")
+		debug     = flag.String("debug-addr", "", "serve pprof/expvar/status on this address (e.g. :6060) while the suite runs")
 	)
 	flag.Parse()
 
@@ -120,6 +124,27 @@ func main() {
 			return
 		}
 		fmt.Println(tablegen.RenderWarmCold(rows))
+
+	case *replaycmp:
+		rows, err := tablegen.RunReplayCompare(subset, *scale, *compileN, *jobs)
+		if err != nil {
+			fatal(err)
+		}
+		tpName := "099.go"
+		if len(subset) > 0 {
+			tpName = subset[0]
+		}
+		tp, err := tablegen.RunReplayThroughput(tpName, *scale, *compileN, *rounds)
+		if err != nil {
+			fatal(err)
+		}
+		if *asJSON {
+			if err := tablegen.WriteReplayCompareJSON(os.Stdout, *compileN, rows, tp); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		fmt.Println(tablegen.RenderReplayCompare(rows, tp))
 
 	case *chaos:
 		rows, err := tablegen.RunChaos(subset, *scale, *seed, *jobs)

@@ -20,8 +20,7 @@ import (
 	"fmt"
 	"os"
 
-	"fastsim/internal/inspect"
-	"fastsim/internal/snapshot"
+	"fastsim"
 )
 
 func main() {
@@ -39,23 +38,23 @@ func main() {
 	}
 
 	var out struct {
-		Snapshot *inspect.SnapshotReport `json:"snapshot,omitempty"`
-		Events   *inspect.EventsReport   `json:"events,omitempty"`
+		Snapshot *fastsim.SnapshotReport `json:"snapshot,omitempty"`
+		Events   *fastsim.EventsReport   `json:"events,omitempty"`
 	}
 
 	if *snapPath != "" {
-		img, err := snapshot.Inspect(*snapPath)
+		snap, err := fastsim.OpenSnapshot(*snapPath)
 		if err != nil {
 			fatal(err)
 		}
-		out.Snapshot = inspect.AnalyzeSnapshot(img, *topN)
+		out.Snapshot = snap.Report(*topN)
 	}
 	if *eventPath != "" {
 		f, err := os.Open(*eventPath)
 		if err != nil {
 			fatal(err)
 		}
-		rep, err := inspect.AnalyzeEvents(f)
+		rep, err := fastsim.AnalyzeEvents(f)
 		f.Close()
 		if err != nil {
 			fatal(err)

@@ -1,8 +1,12 @@
 package fastsim_test
 
 import (
+	"bytes"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
+	"strings"
 
 	"fastsim"
 )
@@ -88,4 +92,88 @@ func ExampleMemoOptions() {
 	// Output:
 	// same cycle count: true
 	// flushed: true
+}
+
+// Hot p-action chains can be compiled into flat replay bytecode; the Result
+// stays bit-identical to the pointer walk.
+func ExampleWithReplayCompile() {
+	w, _ := fastsim.GetWorkload("129.compress")
+	prog, err := w.Build(0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pointer, err := fastsim.Run(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	compiled, err := fastsim.Run(prog, fastsim.WithReplayCompile(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("same cycle count:", pointer.Cycles == compiled.Cycles)
+	fmt.Println("chains compiled:", compiled.Memo.ChainsCompiled > 0)
+	// Output:
+	// same cycle count: true
+	// chains compiled: true
+}
+
+// WithSpanTraceTo streams a Chrome trace-event span trace of the run; the
+// tracer is owned and closed by the run, so one composable option is all it
+// takes.
+func ExampleWithSpanTraceTo() {
+	prog, err := fastsim.Assemble("spin.s", `
+main:
+	li   t0, 50
+loop:
+	addi t0, t0, -1
+	bnez t0, loop
+	li   a0, 0
+	halt
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var trace bytes.Buffer
+	if _, err := fastsim.Run(prog, fastsim.WithSpanTraceTo(&trace, fastsim.TimebaseCycles)); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("trace is a JSON array:", strings.HasPrefix(trace.String(), "["))
+	fmt.Println("has spans:", strings.Contains(trace.String(), `"ph"`))
+	// Output:
+	// trace is a JSON array: true
+	// has spans: true
+}
+
+// OpenSnapshot examines a snapshot file offline — integrity-checked, no
+// live cache, no fingerprint requirement.
+func ExampleOpenSnapshot() {
+	w, _ := fastsim.GetWorkload("129.compress")
+	prog, err := w.Build(0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dir, err := os.MkdirTemp("", "fsnap-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "cache.fsnap")
+	if _, err := fastsim.Run(prog, fastsim.WithSnapshotSave(path)); err != nil {
+		log.Fatal(err)
+	}
+
+	snap, err := fastsim.OpenSnapshot(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("has configurations:", snap.Configs() > 0)
+	fmt.Println("has actions:", snap.Actions() > 0)
+	// Output:
+	// has configurations: true
+	// has actions: true
 }

@@ -32,9 +32,21 @@
 //
 //	res, err := fastsim.Run(prog, fastsim.WithSnapshot("prog.fsnap"))
 //
-// Callers holding a fully built Config can pass it through
-// fastsim.RunConfig (the original struct-based entry point) or
-// fastsim.WithConfig.
+// Run and RunContext are the canonical entry points; every knob is a
+// functional Option (see docs/API.md for ordering rules and the full
+// catalog). Callers holding a fully built Config pass it through
+// fastsim.WithConfig; the struct-based RunConfig survives as a deprecated
+// wrapper over exactly that.
+//
+// Compile hot replay chains into flat bytecode for extra replay
+// throughput, still bit-identical:
+//
+//	res, err := fastsim.Run(prog, fastsim.WithReplayCompile(8))
+//
+// Inspect a snapshot file without touching a live cache:
+//
+//	snap, err := fastsim.OpenSnapshot("prog.fsnap")
+//	fmt.Println(snap.Configs(), snap.Actions())
 //
 // The packages under internal/ implement the full system: the SV8 ISA and
 // assembler, the functional emulator, speculative direct-execution, the
@@ -217,8 +229,13 @@ func RunContext(ctx context.Context, prog *Program, opts ...Option) (*Result, er
 }
 
 // RunConfig simulates prog under a fully built Config — the struct-based
-// form of Run, kept for callers that assemble configurations directly.
-func RunConfig(prog *Program, cfg Config) (*Result, error) { return core.Run(prog, cfg) }
+// form of Run.
+//
+// Deprecated: use Run(prog, WithConfig(cfg)), which this is now literally
+// implemented as; further options can then compose on top of the struct.
+func RunConfig(prog *Program, cfg Config) (*Result, error) {
+	return Run(prog, WithConfig(cfg))
+}
 
 // Assemble translates SV8 assembly source into a runnable Program.
 func Assemble(name, src string) (*Program, error) { return asm.Assemble(name, src) }

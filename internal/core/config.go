@@ -49,8 +49,16 @@ type Config struct {
 	// strictly read-only — Result is bit-identical with or without it —
 	// and with the cycle timebase the trace bytes themselves are
 	// deterministic. The caller owns the Tracer and must Close it after
-	// the run.
+	// the run, unless TracerOwned is set.
 	Tracer *obs.Tracer
+
+	// TracerOwned transfers Tracer ownership to the run: Run closes it on
+	// every path (success, error, panic recovery) before returning, and a
+	// close failure on an otherwise successful run surfaces as the run
+	// error. Set by the facade's WithSpanTrace-style options, which build
+	// the tracer internally; callers attaching their own tracer via
+	// WithTracer keep ownership.
+	TracerOwned bool
 
 	// MemoGraphDot, when non-nil, receives the final p-action graph in
 	// Graphviz DOT format after a memoized run (paper Figure 6).

@@ -77,6 +77,16 @@ func RunContext(ctx context.Context, prog *program.Program, cfg Config) (res *Re
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.TracerOwned && cfg.Tracer != nil {
+		// Registered before the recover defer, so it runs after err is
+		// settled: a close failure only surfaces when the run itself
+		// succeeded (Close is idempotent, so double closes are harmless).
+		defer func() {
+			if cerr := cfg.Tracer.Close(); cerr != nil && err == nil {
+				res, err = nil, fmt.Errorf("core: tracer close: %w", cerr)
+			}
+		}()
+	}
 	maxCycles := cfg.MaxCycles
 	if maxCycles == 0 {
 		maxCycles = defaultMaxCycles

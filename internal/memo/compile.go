@@ -1,0 +1,576 @@
+package memo
+
+import "unsafe"
+
+// Flat replay bytecode (ROADMAP: "Flat replay bytecode"). The p-action
+// graph is a recording-optimal structure: nodes are arena-allocated, edges
+// live in inline slots plus an overflow map, and replay chases pointers.
+// Once a chain is hot — entered by replay CompileThreshold times — its
+// episode tree is compiled into a contiguous flat buffer of fixed-size
+// instructions (branch targets are buffer offsets, the advance payload is
+// hoisted out of the instruction stream, per-action counters accumulate in
+// registers and are flushed at segment ends) and replayed by a tight loop
+// with no pointer loads on the dispatch path. The layout borrows the
+// flattened Graph form the snapshot codec already defines.
+//
+// Correctness contract: a valid compiled unit is a bit-exact image of its
+// configuration's current tree, so compiled replay takes exactly the stops,
+// edge misses and commits the pointer walk would take, and the Result is
+// bit-identical under every replacement policy. The invariant is enforced
+// by invalidation at every mutation point — recorder growth and relinks
+// (dropCompiled), quarantine (evictChain), and whole-cache reclaims or
+// guard transitions, where surviving trees may have been clipped
+// (invalidateCompiled's epoch bump) — so a compiled buffer never outlives
+// its chain.
+
+// maxCompiledOps bounds one compile unit; a single configuration's episode
+// tree is short by construction (one advance, one episode's interactions),
+// so the bound only guards against pathological or corrupt graphs.
+const maxCompiledOps = 1 << 20
+
+// compileLinearScan is the tree size up to which pass 2 resolves op
+// indices by scanning the order slice; the episode trees that dominate are
+// a handful of nodes, where a scan beats building (and garbage-collecting)
+// a map. Larger trees get a prebuilt map.
+const compileLinearScan = 96
+
+// bcOp is one flat replay instruction: 16 bytes, fixed size, contiguous.
+// Labelled kinds (outcome, issue-load, poll-load) resolve their successor
+// through the unit's edge array at edgeOff; unlabelled kinds fall through
+// to next; actLink reads links[edgeOff]. -1 marks an absent successor (a
+// replay stop), mirroring a nil pointer in the graph.
+type bcOp struct {
+	kind    uint8
+	nEdges  uint16
+	rel     int32
+	next    int32 // unlabelled successor op, or -1
+	edgeOff int32 // edges offset (labelled kinds), links index (actLink)
+}
+
+// bcEdge is one labelled branch: the recorded label and the target op.
+type bcEdge struct {
+	label  int64
+	target int32
+}
+
+// Inline capacities: episode trees are a handful of nodes (one episode's
+// interactions), so a typical unit fits entirely in its own allocation —
+// no side arrays, and almost nothing for the garbage collector to scan.
+// Larger trees spill to heap slices.
+const (
+	bcInlineOps   = 8
+	bcInlineEdges = 8
+	bcInlineLinks = 4
+)
+
+// compiled is the flat replay image of one configuration's episode tree.
+// The advance payload is hoisted out of the instruction stream — a tree has
+// exactly one advance, its root — so the interpreter commits straight from
+// the unit. nodes carries per-op graph backrefs for generation marking and
+// is only populated under collecting policies (needMark); without a
+// collector in play the interpreter never touches graph nodes at all.
+type compiled struct {
+	epoch uint64  // valid iff epoch == Cache.bcEpoch
+	adv   *action // root advance node (generation marking)
+	entry int32   // op index of the advance's successor, or -1 (clipped)
+
+	// Advance payload (commit).
+	cycles uint32
+	insts  int32
+	loads  int32
+	stores int32
+	recs   int32
+
+	ops   []bcOp
+	edges []bcEdge
+	links []*config
+	nodes []*action // needMark only
+
+	bytes int // approximate heap charge, for the compile metrics
+
+	opsInline   [bcInlineOps]bcOp
+	edgesInline [bcInlineEdges]bcEdge
+	linksInline [bcInlineLinks]*config
+}
+
+// edgeTarget resolves a labelled op's successor: a linear scan over the
+// op's sorted label run (fan-out is tiny — branch outcome classes, load
+// intervals) with an early exit on overshoot. -1 means the label was never
+// recorded: a replay stop, exactly like action.edge returning nil.
+func (bc *compiled) edgeTarget(op *bcOp, label int64) int32 {
+	for i, end := op.edgeOff, op.edgeOff+int32(op.nEdges); i < end; i++ {
+		switch e := &bc.edges[i]; {
+		case e.label == label:
+			return e.target
+		case e.label > label:
+			return -1
+		}
+	}
+	return -1
+}
+
+// edgeMeta records a labelled node's run in the compiler's label/target
+// scratch during pass 1, aligned index-for-index with the order slice.
+type edgeMeta struct {
+	off int32
+	n   uint16
+}
+
+// compileScratch holds the compiler's reusable traversal buffers. One set
+// per Cache — compiles only run on the engine goroutine — and reuse keeps
+// a compile at (usually) zero allocations beyond the unit itself, which
+// matters because every hot chain compiles once per run, and again after
+// every invalidation.
+type compileScratch struct {
+	order   []*action
+	stack   []*action
+	labels  []int64
+	targets []*action
+	meta    []edgeMeta
+}
+
+// unitArena bump-allocates compiled units in slabs: one zeroed block
+// amortizes the allocator and gives the garbage collector a few large
+// contiguous objects to scan instead of one small one per hot chain. Slab
+// slots are never reused — an epoch bump just orphans old units in place
+// (a stale cfg.bc is rejected by its epoch before it is ever followed), so
+// the slots stay valid until the collector takes the whole slab.
+type unitArena struct {
+	slab []compiled
+	used int
+}
+
+func (ar *unitArena) alloc() *compiled {
+	if ar.used == len(ar.slab) {
+		ar.slab = make([]compiled, 256)
+		ar.used = 0
+	}
+	u := &ar.slab[ar.used]
+	ar.used++
+	return u
+}
+
+// appendEdgesSorted appends a's labelled successors to ls/ts with the
+// appended run ascending by label. Fan-out is tiny, so an insertion sort
+// beats sort.Slice and allocates nothing.
+func appendEdgesSorted(a *action, ls []int64, ts []*action) ([]int64, []*action) {
+	start := len(ls)
+	if a.e1 != nil {
+		ls, ts = append(ls, a.l1), append(ts, a.e1)
+	}
+	if a.e2 != nil {
+		ls, ts = append(ls, a.l2), append(ts, a.e2)
+	}
+	//fastsim:order-independent: the appended run is insertion-sorted by label below before anything observes it
+	for l, t := range a.edges {
+		ls, ts = append(ls, l), append(ts, t)
+	}
+	for i := start + 1; i < len(ls); i++ {
+		l, t := ls[i], ts[i]
+		j := i
+		for j > start && ls[j-1] > l {
+			ls[j], ts[j] = ls[j-1], ts[j-1]
+			j--
+		}
+		ls[j], ts[j] = l, t
+	}
+	return ls, ts
+}
+
+// actionIndex resolves a node to its op index: a linear scan for the tiny
+// trees that dominate, the prebuilt map beyond compileLinearScan. -1 for a
+// node outside the traversal compiles to a dead end, which replays as a
+// stop — never a wrong successor.
+func actionIndex(order []*action, idm map[*action]int32, a *action) int32 {
+	if idm != nil {
+		if i, ok := idm[a]; ok {
+			return i
+		}
+		return -1
+	}
+	for i, x := range order {
+		if x == a {
+			return int32(i)
+		}
+	}
+	return -1
+}
+
+// compile flattens cfg's episode tree into a compiled unit, or returns nil
+// for a tree the bytecode cannot faithfully represent (a corrupt kind, an
+// interior advance, oversize fan-out) — those stay on the pointer path,
+// whose structural guards quarantine them. The traversal is depth-first
+// with a node's unlabelled successor first, then its edges ascending by
+// label, which places straight-line runs contiguously so op.next is
+// usually pc+1.
+func (c *Cache) compile(cfg *config) *compiled {
+	adv := cfg.first
+	if adv == nil || adv.kind != actAdvance {
+		return nil
+	}
+
+	// Pass 1: assign op indices in traversal order and gather every labelled
+	// edge into the scratch run. The p-action graph is a tree (see collect),
+	// so each node is pushed exactly once. Replay only follows edges out of
+	// labelled nodes and next out of unlabelled ones, so only those are
+	// walked; anything else hanging off a node is unreachable in replay.
+	sc := &c.csc
+	order, stack := sc.order[:0], sc.stack[:0]
+	labels, tacts, meta := sc.labels[:0], sc.targets[:0], sc.meta[:0]
+	nLinks := 0
+	ok := true
+	if adv.next != nil {
+		stack = append(stack, adv.next)
+	}
+pass1:
+	for len(stack) > 0 {
+		a := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if a.kind == actAdvance || a.kind > actLink || len(order) >= maxCompiledOps {
+			ok = false
+			break
+		}
+		order = append(order, a)
+		m := edgeMeta{}
+		switch a.kind {
+		case actOutcome, actIssueLoad, actPollLoad:
+			off := len(labels)
+			labels, tacts = appendEdgesSorted(a, labels, tacts)
+			n := len(labels) - off
+			if n > 0xffff {
+				ok = false
+				break pass1
+			}
+			m = edgeMeta{off: int32(off), n: uint16(n)}
+			for i := len(labels) - 1; i >= off; i-- {
+				stack = append(stack, tacts[i])
+			}
+		case actLink:
+			nLinks++
+		default: // issue-store, cancel-load, rollback, halt
+			if a.next != nil {
+				stack = append(stack, a.next)
+			}
+		}
+		meta = append(meta, m)
+	}
+	sc.order, sc.stack, sc.labels, sc.targets, sc.meta = order, stack, labels, tacts, meta
+	if !ok {
+		return nil
+	}
+
+	// Pass 2: emit the flat instructions over the assigned indices. A
+	// typical tree fits the unit's inline arrays, making the whole compile a
+	// single allocation with almost no pointers for the collector to scan.
+	var idm map[*action]int32
+	if len(order) > compileLinearScan {
+		idm = make(map[*action]int32, len(order))
+		for i, a := range order {
+			idm[a] = int32(i)
+		}
+	}
+	unit := c.units.alloc()
+	unit.epoch = c.bcEpoch
+	unit.adv = adv
+	unit.entry = -1
+	unit.cycles = adv.cycles
+	unit.insts, unit.loads, unit.stores, unit.recs = adv.insts, adv.loads, adv.stores, adv.recs
+	if n := len(order); n <= bcInlineOps {
+		unit.ops = unit.opsInline[:n]
+	} else {
+		unit.ops = make([]bcOp, n)
+	}
+	if n := len(labels); n > 0 {
+		if n <= bcInlineEdges {
+			unit.edges = unit.edgesInline[:n]
+		} else {
+			unit.edges = make([]bcEdge, n)
+		}
+		for j, l := range labels {
+			unit.edges[j].label = l
+		}
+	}
+	if nLinks > 0 {
+		if nLinks <= bcInlineLinks {
+			unit.links = unit.linksInline[:0]
+		} else {
+			unit.links = make([]*config, 0, nLinks)
+		}
+	}
+	if c.needMark {
+		unit.nodes = make([]*action, len(order))
+		copy(unit.nodes, order)
+	}
+	if adv.next != nil {
+		unit.entry = actionIndex(order, idm, adv.next)
+	}
+	for i, a := range order {
+		op := &unit.ops[i]
+		op.kind = uint8(a.kind)
+		op.rel = a.rel
+		op.next = -1
+		switch a.kind {
+		case actOutcome, actIssueLoad, actPollLoad:
+			m := meta[i]
+			op.edgeOff = m.off
+			op.nEdges = m.n
+			for j := m.off; j < m.off+int32(m.n); j++ {
+				unit.edges[j].target = actionIndex(order, idm, tacts[j])
+			}
+		case actLink:
+			op.edgeOff = int32(len(unit.links))
+			unit.links = append(unit.links, a.nextCfg) // nil stays nil: a severed link is a replay stop
+		default:
+			if a.next != nil {
+				op.next = actionIndex(order, idm, a.next)
+			}
+		}
+	}
+	unit.bytes = int(unsafe.Sizeof(compiled{}))
+	if len(order) > bcInlineOps {
+		unit.bytes += len(unit.ops) * 16
+	}
+	if len(labels) > bcInlineEdges {
+		unit.bytes += len(unit.edges) * 16
+	}
+	if nLinks > bcInlineLinks {
+		unit.bytes += nLinks * 8
+	}
+	unit.bytes += len(unit.nodes) * 8
+	c.stats.ChainsCompiled++
+	c.stats.CompiledOps += uint64(len(unit.ops))
+	c.stats.CompiledBytes += uint64(unit.bytes)
+	return unit
+}
+
+// dropCompiled invalidates cfg's compiled unit after its underlying tree
+// changed: recorder growth or a relink (the unit no longer images the
+// tree), or a quarantine (the tree is gone).
+func (c *Cache) dropCompiled(cfg *config) {
+	if cfg.bc != nil {
+		cfg.bc = nil
+		c.stats.CompileInvalidations++
+	}
+}
+
+// invalidateCompiled drops every compiled unit at once by bumping the
+// compile epoch — the reclaim and guard paths, where a collection may have
+// clipped edges out of surviving trees or the guard wants the compiled
+// footprint gone. Hot chains recompile on their next replay entry (their
+// use counters already cleared the threshold), so a reclaim costs one
+// recompile per surviving hot chain, not a re-warm.
+func (c *Cache) invalidateCompiled() {
+	if c.opts.CompileThreshold <= 0 {
+		return
+	}
+	c.bcEpoch++
+	c.stats.CompileInvalidations++
+}
+
+// shouldCompile implements the Nth-replay compile trigger: count replay
+// entries into cfg's chain and compile once the threshold is crossed, but
+// never under memory-budget pressure (the guard already wants footprint
+// down, and compiled buffers live outside the budgeted p-action bytes).
+// The use counter saturates and is exported with snapshots as a warmth
+// hint, so a warm-started run recompiles its hot chains on first touch.
+//
+//fastsim:memo-policy: compile-trigger decision point — pure in the configuration's replay-use counter, the threshold and the guard level
+func (e *Engine) shouldCompile(cfg *config) bool {
+	if cfg.first == nil {
+		return false
+	}
+	if cfg.uses < ^uint32(0) {
+		cfg.uses++
+	}
+	return e.guard == guardNormal && cfg.uses >= e.compileN
+}
+
+// compileChain builds and installs cfg's compiled unit, reporting it as a
+// compile span and a memo_compile event. A refusal (structurally unfit
+// tree) resets the use counter so the attempt is not retried every episode;
+// the pointer path's guards handle the tree from there.
+func (e *Engine) compileChain(cfg *config) *compiled {
+	e.Trace.CompileBegin(e.now)
+	bc := e.Cache.compile(cfg)
+	if bc == nil {
+		cfg.uses = 0
+		e.Trace.CompileEnd(e.now, 0, 0)
+		return nil
+	}
+	cfg.bc = bc
+	ops := uint64(len(bc.ops))
+	e.Trace.CompileEnd(e.now, ops, bc.bytes)
+	e.Obs.ChainCompile(e.now, ops, bc.bytes, cfg.hash)
+	return bc
+}
+
+// replayCompiled replays episodes of cfg's chain through compiled units,
+// crossing links from one compiled configuration straight into the next
+// without surfacing to replayRun's outer loop (the compile epoch is stable
+// for the whole run: invalidation only happens at detailed-mode
+// boundaries, so units valid at entry stay valid). Each episode mirrors
+// one iteration of the pointer loop exactly — same driver calls, same
+// script entries, same counter totals at every observation point, same
+// stop conditions — while dispatching over flat buffers.
+//
+// Stats pre-summing: with no Observer attached nothing can sample the
+// counters at episode boundaries, so the replay counters (actions,
+// episodes, cycles, instructions) accumulate in locals across the whole
+// crossing run and flush once at the exit — bit-identical totals, a
+// fraction of the memory traffic. With an Observer they flush before
+// every Obs.Tick, exactly like the pointer path. In-chain cancellation is
+// polled every replayCancelMask+1 actions either way; crossed links skip
+// the outer loop's per-episode poll, so only detection latency differs,
+// never a Result.
+//
+// Returns (next, false, nil) after the last committed episode linked to a
+// configuration without a valid unit, (cfg, true, nil) when replay must
+// stop at cfg for detailed resumption (e.script holds the stopping
+// episode's performed interactions), (nil, false, nil) after a halt
+// (e.halted set), or a cancellation error.
+func (e *Engine) replayCompiled(cfg *config, bc *compiled) (next *config, stopped bool, err error) {
+	drv := e.drv
+	c := e.Cache
+	s := &c.stats
+	epoch := c.bcEpoch
+	needMark := c.needMark
+	gen := c.gen
+	lazy := e.Obs == nil
+
+	chain := e.chain
+	simNow := e.now
+	var entries, episodes, cyclesAcc, instsAcc uint64
+
+episode:
+	for {
+		if lazy {
+			entries++
+		} else {
+			s.CompiledEpisodes++
+		}
+		if needMark {
+			cfg.gen = gen
+			bc.adv.gen = gen
+		}
+		// All interactions happen in the episode's final cycle, whose number
+		// is one less than the episode-end cycle counter (as in replayRun).
+		now := simNow + uint64(bc.cycles) - 1
+		heads := drv.Heads()
+		ops := bc.ops
+		nodes := bc.nodes
+		e.script = e.script[:0]
+		pc := bc.entry
+		for {
+			if pc < 0 {
+				// Successor clipped by a collection, or a label never recorded.
+				s.EdgeMisses++
+				e.bcFlush(chain, simNow, entries, episodes, cyclesAcc, instsAcc)
+				return cfg, true, nil
+			}
+			op := &ops[pc]
+			if needMark {
+				nodes[pc].gen = gen
+			}
+			chain++
+			if chain&replayCancelMask == 0 && e.Cancel != nil {
+				if cerr := e.Cancel(); cerr != nil {
+					e.bcFlush(chain, simNow, entries, episodes, cyclesAcc, instsAcc)
+					return nil, false, cerr
+				}
+			}
+			switch actionKind(op.kind) {
+			case actOutcome:
+				out := drv.NextOutcome()
+				e.script = append(e.script, scriptEntry{kind: actOutcome, out: out})
+				pc = bc.edgeTarget(op, outcomeLabel(out))
+			case actIssueLoad:
+				d := drv.IssueLoad(heads.LQ+int(op.rel), now)
+				e.script = append(e.script, scriptEntry{kind: actIssueLoad, delay: d})
+				pc = bc.edgeTarget(op, int64(d))
+			case actPollLoad:
+				ready, d := drv.PollLoad(heads.LQ+int(op.rel), now)
+				e.script = append(e.script, scriptEntry{kind: actPollLoad, ready: ready, delay: d})
+				lbl := int64(readyEdgeLabel)
+				if !ready {
+					lbl = int64(d)
+				}
+				pc = bc.edgeTarget(op, lbl)
+			case actIssueStore:
+				drv.IssueStore(heads.SQ+int(op.rel), now)
+				e.script = append(e.script, scriptEntry{kind: actIssueStore})
+				pc = op.next
+			case actCancelLoad:
+				drv.CancelLoad(heads.LQ + int(op.rel))
+				e.script = append(e.script, scriptEntry{kind: actCancelLoad})
+				pc = op.next
+			case actRollback:
+				lq, sq := drv.Rollback(heads.Rec + int(op.rel))
+				e.script = append(e.script, scriptEntry{kind: actRollback, lq: lq, sq: sq})
+				pc = op.next
+			case actHalt:
+				simNow += uint64(bc.cycles)
+				drv.ApplyPops(int(bc.insts), int(bc.loads), int(bc.stores), int(bc.recs))
+				e.bcFlush(chain, simNow, entries, episodes+1,
+					cyclesAcc+uint64(bc.cycles), instsAcc+uint64(bc.insts))
+				e.Obs.Tick(simNow)
+				drv.HaltRetired()
+				e.halted = true
+				return nil, false, nil
+			case actLink:
+				nxt := bc.links[op.edgeOff]
+				if nxt == nil {
+					s.EdgeMisses++
+					e.bcFlush(chain, simNow, entries, episodes, cyclesAcc, instsAcc)
+					return cfg, true, nil
+				}
+				// Commit this episode, then cross straight into the next
+				// compiled unit when there is one.
+				simNow += uint64(bc.cycles)
+				drv.ApplyPops(int(bc.insts), int(bc.loads), int(bc.stores), int(bc.recs))
+				if lazy {
+					episodes++
+					cyclesAcc += uint64(bc.cycles)
+					instsAcc += uint64(bc.insts)
+				} else {
+					s.ActionsReplayed += chain - e.chain
+					e.chain = chain
+					e.now = simNow
+					s.EpisodesReplay++
+					s.ReplayCycles += uint64(bc.cycles)
+					s.ReplayInsts += uint64(bc.insts)
+					e.chainEpisodes++
+					e.Obs.Tick(simNow)
+				}
+				if nbc := nxt.bc; nbc != nil && nbc.epoch == epoch {
+					cfg, bc = nxt, nbc
+					continue episode
+				}
+				e.bcFlush(chain, simNow, entries, episodes, cyclesAcc, instsAcc)
+				return nxt, false, nil
+			default:
+				// Unreachable: compile validated every kind. Mirror the pointer
+				// path's structural guard anyway so a future compiler bug heals
+				// instead of looping.
+				e.bcFlush(chain, simNow, entries, episodes, cyclesAcc, instsAcc)
+				e.quarantineChain(cfg, "bad compiled kind")
+				return cfg, true, nil
+			}
+		}
+	}
+}
+
+// bcFlush publishes replayCompiled's locally accumulated counters at an
+// exit. With an Observer attached the per-episode commits already flushed
+// (the accumulators are zero) and this settles only the stopping episode's
+// partial action count; without one it settles the whole crossing run.
+func (e *Engine) bcFlush(chain, simNow, entries, episodes, cyclesAcc, instsAcc uint64) {
+	s := &e.Cache.stats
+	s.ActionsReplayed += chain - e.chain
+	e.chain = chain
+	e.now = simNow
+	s.CompiledEpisodes += entries
+	s.EpisodesReplay += episodes
+	s.ReplayCycles += cyclesAcc
+	s.ReplayInsts += instsAcc
+	e.chainEpisodes += episodes
+}

@@ -1,0 +1,343 @@
+package memo
+
+import (
+	"testing"
+
+	"fastsim/internal/direct"
+	"fastsim/internal/obs"
+	"fastsim/internal/uarch"
+)
+
+// benchDriver is a stub Driver whose interactions are constant, so a chain
+// replays identically every pass — pure dispatch, no core wiring.
+type benchDriver struct {
+	heads uarch.Heads
+	out   uarch.Outcome
+	pops  int
+}
+
+func (d *benchDriver) NextOutcome() uarch.Outcome                 { return d.out }
+func (d *benchDriver) IssueLoad(lqIdx int, now uint64) int        { return 0 }
+func (d *benchDriver) PollLoad(lqIdx int, now uint64) (bool, int) { return true, 0 }
+func (d *benchDriver) IssueStore(sqIdx int, now uint64)           {}
+func (d *benchDriver) CancelLoad(lqIdx int)                       {}
+func (d *benchDriver) Rollback(recIdx int) (int, int)             { return 0, 0 }
+func (d *benchDriver) RetirePop(insts, loads, stores, recs int)   {}
+func (d *benchDriver) HaltRetired()                               {}
+func (d *benchDriver) Heads() uarch.Heads                         { return d.heads }
+func (d *benchDriver) ApplyPops(insts, loads, stores, recs int)   { d.pops++ }
+
+var benchOutcome = uarch.Outcome{Kind: direct.KindBranch, Taken: true}
+
+// buildTestChain links n configurations, each holding one representative
+// episode tree (outcome branch → issue-store → link), ending at a shell
+// that stops replay. Episode shape mirrors the measured average on the
+// paper workloads: a few actions, one labelled branch, one link.
+func buildTestChain(c *Cache, n int) (head, shell *config) {
+	cfgs := make([]*config, n+1)
+	for i := range cfgs {
+		cfgs[i], _ = c.getOrCreate([]byte{byte(i), byte(i >> 8), 1, 0, 0, 0})
+	}
+	for i := 0; i < n; i++ {
+		adv := c.newAction(actAdvance, 0)
+		adv.cycles, adv.insts, adv.stores = 3, 2, 1
+		out := c.newAction(actOutcome, 0)
+		st := c.newAction(actIssueStore, 0)
+		lnk := c.newAction(actLink, 0)
+		lnk.nextCfg = cfgs[i+1]
+		cfgs[i].first = adv
+		adv.next = out
+		out.setEdge(outcomeLabel(benchOutcome), st)
+		st.next = lnk
+	}
+	return cfgs[0], cfgs[n]
+}
+
+func newChainEngine(n int, threshold uint32) (*Engine, *benchDriver, *config, *config) {
+	d := &benchDriver{out: benchOutcome}
+	e := &Engine{Cache: NewCache(Options{Policy: PolicyUnbounded, CompileThreshold: int(threshold)}), drv: d}
+	e.compileN = threshold
+	head, shell := buildTestChain(e.Cache, n)
+	return e, d, head, shell
+}
+
+func replayAll(t *testing.T, e *Engine, head *config) *config {
+	t.Helper()
+	e.beginChain()
+	got, err := e.replayRun(head)
+	if err != nil {
+		t.Fatalf("replayRun: %v", err)
+	}
+	return got
+}
+
+// Compiled replay must be observationally identical to the pointer walk:
+// same stopping configuration, same clock, same pops, same replay counters.
+func TestCompiledReplayMatchesPointer(t *testing.T) {
+	const n = 64
+	ep, dp, headP, shellP := newChainEngine(n, 0)
+	if got := replayAll(t, ep, headP); got != shellP {
+		t.Fatalf("pointer replay stopped at %v, want the shell", got)
+	}
+	ec, dc, headC, shellC := newChainEngine(n, 1)
+	if got := replayAll(t, ec, headC); got != shellC {
+		t.Fatalf("compiled replay stopped at %v, want the shell", got)
+	}
+
+	if ec.now != ep.now {
+		t.Errorf("clock diverged: compiled %d, pointer %d", ec.now, ep.now)
+	}
+	if dc.pops != dp.pops {
+		t.Errorf("pops diverged: compiled %d, pointer %d", dc.pops, dp.pops)
+	}
+	sp, sc := ep.Cache.Stats(), ec.Cache.Stats()
+	if sc.EpisodesReplay != sp.EpisodesReplay || sc.ReplayCycles != sp.ReplayCycles ||
+		sc.ReplayInsts != sp.ReplayInsts || sc.ActionsReplayed != sp.ActionsReplayed {
+		t.Errorf("replay counters diverged:\ncompiled %+v\npointer  %+v", sc, sp)
+	}
+	if sc.ChainsCompiled != n {
+		t.Errorf("ChainsCompiled = %d, want %d", sc.ChainsCompiled, n)
+	}
+	if sc.CompiledEpisodes != n {
+		t.Errorf("CompiledEpisodes = %d, want %d", sc.CompiledEpisodes, n)
+	}
+	if sp.ChainsCompiled != 0 || sp.CompiledEpisodes != 0 {
+		t.Errorf("pointer run compiled something: %+v", sp)
+	}
+}
+
+// The pre-summed (no-Observer) and per-episode (Observer attached) flush
+// paths must land on identical totals.
+func TestCompiledReplayObserverParity(t *testing.T) {
+	const n = 32
+	lazyE, _, lazyHead, _ := newChainEngine(n, 1)
+	replayAll(t, lazyE, lazyHead)
+
+	obsE, _, obsHead, _ := newChainEngine(n, 1)
+	obsE.Obs = obs.New(obs.Options{})
+	replayAll(t, obsE, obsHead)
+
+	a, b := lazyE.Cache.Stats(), obsE.Cache.Stats()
+	if a.EpisodesReplay != b.EpisodesReplay || a.ReplayCycles != b.ReplayCycles ||
+		a.ReplayInsts != b.ReplayInsts || a.ActionsReplayed != b.ActionsReplayed ||
+		a.CompiledEpisodes != b.CompiledEpisodes {
+		t.Errorf("flush paths diverged:\nlazy     %+v\nobserver %+v", a, b)
+	}
+	if lazyE.now != obsE.now {
+		t.Errorf("clock diverged: lazy %d, observer %d", lazyE.now, obsE.now)
+	}
+}
+
+// A halt op must commit the final episode and halt the engine, exactly as
+// the pointer walk does.
+func TestCompiledReplayHalt(t *testing.T) {
+	build := func(threshold uint32) (*Engine, *benchDriver) {
+		d := &benchDriver{out: benchOutcome}
+		e := &Engine{Cache: NewCache(Options{Policy: PolicyUnbounded, CompileThreshold: int(threshold)}), drv: d}
+		e.compileN = threshold
+		cfg, _ := e.Cache.getOrCreate([]byte{9, 0, 0, 0, 0, 0})
+		adv := e.Cache.newAction(actAdvance, 0)
+		adv.cycles, adv.insts = 11, 5
+		hlt := e.Cache.newAction(actHalt, 0)
+		cfg.first = adv
+		adv.next = hlt
+		e.beginChain()
+		got, err := e.replayRun(cfg)
+		if err != nil || got != nil {
+			t.Fatalf("replayRun = (%v, %v), want (nil, nil) on halt", got, err)
+		}
+		return e, d
+	}
+	ep, dp := build(0)
+	ec, dc := build(1)
+	if !ep.halted || !ec.halted {
+		t.Fatalf("halted: pointer %v, compiled %v, want both", ep.halted, ec.halted)
+	}
+	if ec.now != ep.now || dc.pops != dp.pops {
+		t.Errorf("halt commit diverged: now %d vs %d, pops %d vs %d",
+			ec.now, ep.now, dc.pops, dp.pops)
+	}
+}
+
+// A link whose target was severed stops compiled replay without committing
+// the episode — mirroring TestReplayStopAtNilLinkTarget on the pointer path.
+func TestCompiledReplayStopAtNilLinkTarget(t *testing.T) {
+	d := &benchDriver{out: benchOutcome}
+	e := &Engine{Cache: NewCache(Options{Policy: PolicyUnbounded, CompileThreshold: 1}), drv: d}
+	e.compileN = 1
+	c := e.Cache
+	cfg, _ := c.getOrCreate([]byte{7, 0, 0, 0, 0, 0})
+	adv := c.newAction(actAdvance, 0)
+	adv.cycles = 5
+	out := c.newAction(actOutcome, 0)
+	lnk := c.newAction(actLink, 0) // nextCfg nil: target collected
+	cfg.first = adv
+	adv.next = out
+	out.setEdge(outcomeLabel(benchOutcome), lnk)
+
+	e.beginChain()
+	got, err := e.replayRun(cfg)
+	if err != nil {
+		t.Fatalf("replayRun: %v", err)
+	}
+	if got != cfg {
+		t.Fatalf("replayRun returned %v, want the stopping config", got)
+	}
+	st := c.Stats()
+	if st.ChainsCompiled != 1 {
+		t.Fatalf("chain not compiled: %+v", st)
+	}
+	if st.EdgeMisses != 1 {
+		t.Errorf("EdgeMisses = %d, want 1", st.EdgeMisses)
+	}
+	if e.now != 0 || d.pops != 0 {
+		t.Errorf("severed link committed the episode: now=%d pops=%d", e.now, d.pops)
+	}
+	if len(e.script) != 1 || e.script[0].kind != actOutcome {
+		t.Fatalf("script = %+v, want the replayed outcome", e.script)
+	}
+}
+
+// compile refuses structurally unfit trees — a chain whose root is not an
+// advance, or an interior advance — and the refusal resets the use counter
+// so the attempt is not retried every entry.
+func TestCompileRefusals(t *testing.T) {
+	d := &benchDriver{out: benchOutcome}
+	e := &Engine{Cache: NewCache(Options{Policy: PolicyUnbounded, CompileThreshold: 1}), drv: d}
+	e.compileN = 1
+	c := e.Cache
+
+	badRoot, _ := c.getOrCreate([]byte{1, 1, 0, 0, 0, 0})
+	badRoot.first = c.newAction(actOutcome, 0)
+	badRoot.uses = 5
+	if bc := e.compileChain(badRoot); bc != nil {
+		t.Error("compiled a chain whose root is not an advance")
+	}
+	if badRoot.uses != 0 {
+		t.Errorf("refusal did not reset uses: %d", badRoot.uses)
+	}
+
+	interior, _ := c.getOrCreate([]byte{2, 1, 0, 0, 0, 0})
+	adv := c.newAction(actAdvance, 0)
+	adv.next = c.newAction(actAdvance, 0) // interior advance: corrupt
+	interior.first = adv
+	if bc := e.compileChain(interior); bc != nil {
+		t.Error("compiled a tree with an interior advance")
+	}
+	if st := c.Stats(); st.ChainsCompiled != 0 {
+		t.Errorf("refusals counted as compiles: %+v", st)
+	}
+}
+
+// Invalidation: per-chain drops (recorder growth, quarantine) clear the
+// unit immediately; epoch bumps (reclaims, guard transitions) stale every
+// unit at once, and replay recompiles on next entry.
+func TestCompileInvalidation(t *testing.T) {
+	e, _, head, _ := newChainEngine(4, 1)
+	c := e.Cache
+	replayAll(t, e, head)
+	if head.bc == nil {
+		t.Fatal("chain not compiled after replay")
+	}
+
+	c.dropCompiled(head)
+	if head.bc != nil {
+		t.Error("dropCompiled left the unit installed")
+	}
+	if st := c.Stats(); st.CompileInvalidations != 1 {
+		t.Errorf("CompileInvalidations = %d, want 1", st.CompileInvalidations)
+	}
+
+	// Recompile via replay, then stale everything with an epoch bump.
+	e.halted = false
+	e.now = 0
+	replayAll(t, e, head)
+	was := head.bc
+	if was == nil {
+		t.Fatal("chain not recompiled after drop")
+	}
+	c.invalidateCompiled()
+	if was.epoch == c.bcEpoch {
+		t.Fatal("epoch bump did not stale the unit")
+	}
+	e.now = 0
+	replayAll(t, e, head)
+	if head.bc == nil || head.bc.epoch != c.bcEpoch {
+		t.Error("stale unit was not recompiled on next entry")
+	}
+}
+
+// A guard transition away from normal must invalidate every compiled unit:
+// the reclaim it forces may clip compiled trees.
+func TestGuardTransitionInvalidatesCompiled(t *testing.T) {
+	e, _, head, _ := newChainEngine(2, 1)
+	replayAll(t, e, head)
+	epoch := e.Cache.bcEpoch
+	e.setGuard(guardPressure)
+	if e.Cache.bcEpoch == epoch {
+		t.Error("guard transition did not bump the compile epoch")
+	}
+}
+
+// invalidateCompiled must be free when compilation is off — BENCH_3's
+// pointer-replay alloc gates ride on the reclaim path staying untouched.
+func TestInvalidateCompiledNoopWhenDisabled(t *testing.T) {
+	c := NewCache(DefaultOptions())
+	c.invalidateCompiled()
+	if c.bcEpoch != 0 || c.Stats().CompileInvalidations != 0 {
+		t.Errorf("invalidateCompiled ran with compilation disabled: epoch=%d %+v",
+			c.bcEpoch, c.Stats())
+	}
+}
+
+// Overflow-map edges (fan-out past the two inline slots) must come out of
+// the compiler ascending by label regardless of map iteration order.
+func TestAppendEdgesSorted(t *testing.T) {
+	c := NewCache(DefaultOptions())
+	a := c.newAction(actIssueLoad, 0)
+	labels := []int64{41, 3, 17, 99, 5, 28, 64, 8}
+	for _, l := range labels {
+		c.bytes += a.setEdge(l, c.newAction(actIssueStore, 0))
+	}
+	ls, _ := appendEdgesSorted(a, nil, nil)
+	if len(ls) != len(labels) {
+		t.Fatalf("got %d edges, want %d", len(ls), len(labels))
+	}
+	for i := 1; i < len(ls); i++ {
+		if ls[i-1] >= ls[i] {
+			t.Fatalf("labels not ascending: %v", ls)
+		}
+	}
+}
+
+// BenchmarkReplayDispatch isolates the replay dispatch loops from the
+// simulation driver: a long chain of representative episodes replayed
+// against constant interactions. This is the tentpole's target measurement
+// — the compiled interpreter against the pointer walk with the driver cost
+// held at zero.
+func BenchmarkReplayDispatch(b *testing.B) {
+	const chainLen = 512
+	run := func(b *testing.B, threshold uint32) {
+		d := &benchDriver{out: benchOutcome}
+		e := &Engine{Cache: NewCache(Options{Policy: PolicyUnbounded, CompileThreshold: int(threshold)}), drv: d}
+		e.compileN = threshold
+		head, _ := buildTestChain(e.Cache, chainLen)
+		e.beginChain()
+		if _, err := e.replayRun(head); err != nil {
+			b.Fatal(err)
+		}
+		e.endChain()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.now = 0
+			e.beginChain()
+			if _, err := e.replayRun(head); err != nil {
+				b.Fatal(err)
+			}
+			e.endChain()
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/chainLen, "ns/episode")
+	}
+	b.Run("pointer", func(b *testing.B) { run(b, 0) })
+	b.Run("compiled", func(b *testing.B) { run(b, 1) })
+}

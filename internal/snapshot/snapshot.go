@@ -42,7 +42,11 @@ var (
 // header, section framing, section payload encodings, or the meaning of the
 // Stats field sequence; readers reject every other version (no migration —
 // a rejected snapshot is simply rebuilt by the next cold run).
-const Version = 1
+//
+// v2 added a per-configuration replay-use counter to the configs section
+// (the flat-replay-bytecode warmth hint; compiled buffers themselves are
+// rebuilt on demand, never persisted).
+const Version = 2
 
 // magic identifies a FastSim p-action snapshot file.
 var magic = [8]byte{'F', 'S', 'I', 'M', 'S', 'N', 'A', 'P'}
@@ -257,6 +261,11 @@ func encodeConfigs(g *memo.Graph) []byte {
 		out = binary.AppendUvarint(out, uint64(len(key)))
 		out = append(out, key...)
 		out = appendZigzag(out, g.First[i])
+		var uses uint32
+		if g.Uses != nil {
+			uses = g.Uses[i]
+		}
+		out = binary.AppendUvarint(out, uint64(uses))
 	}
 	return out
 }
@@ -269,15 +278,18 @@ func decodeConfigs(payload []byte, g *memo.Graph) error {
 	}
 	g.Keys = make([]string, 0, n)
 	g.First = make([]int64, 0, n)
+	g.Uses = make([]uint32, 0, n)
 	for i := uint64(0); i < n; i++ {
 		kl := r.uvarint()
 		key := r.bytes(kl)
 		first := r.zigzag()
-		if r.bad {
+		uses := r.uvarint()
+		if r.bad || uses > uint64(^uint32(0)) {
 			return fmt.Errorf("%w: truncated config %d", ErrCorrupt, i)
 		}
 		g.Keys = append(g.Keys, string(key))
 		g.First = append(g.First, first)
+		g.Uses = append(g.Uses, uint32(uses))
 	}
 	if len(r.data) != 0 {
 		return fmt.Errorf("%w: %d trailing bytes in configs section", ErrCorrupt, len(r.data))

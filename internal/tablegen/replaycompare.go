@@ -1,0 +1,367 @@
+package tablegen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"time"
+
+	"fastsim/internal/core"
+	"fastsim/internal/memo"
+	"fastsim/internal/workloads"
+)
+
+// ReplayCompare is one cell of the bytecode-exactness matrix: a workload
+// run twice under the same replacement policy — once walking the pointer
+// graph (CompileThreshold 0) and once through flat replay bytecode — with
+// the two Results required to be bit-identical. Only wall time, snapshot
+// status and the compile diagnostics themselves may differ; everything
+// else (cycles, checksum, cache stats, every memo counter and histogram)
+// is compared field for field.
+type ReplayCompare struct {
+	Workload string
+	Policy   string
+
+	PointerWall  time.Duration // pointer-graph replay run
+	CompiledWall time.Duration // bytecode replay run
+
+	Cycles    uint64
+	Identical bool // always true in a returned row; divergence is an error
+
+	// Bytecode activity of the compiled run.
+	ChainsCompiled   uint64
+	CompiledEpisodes uint64
+	CompiledOps      uint64
+	Invalidations    uint64
+}
+
+// Speedup returns the compiled-over-pointer wall-time ratio for this cell.
+// Single whole-run walls are noisy; the ReplayThroughput measurement is
+// the speed figure of record.
+func (r *ReplayCompare) Speedup() float64 {
+	if r.CompiledWall <= 0 {
+		return 0
+	}
+	return r.PointerWall.Seconds() / r.CompiledWall.Seconds()
+}
+
+// replayComparePolicies is the matrix's policy axis: every §4.3
+// replacement policy, bounded ones at the GC-ablation limit so the
+// compiled units actually live through flushes and collections.
+var replayComparePolicies = []memo.Policy{
+	memo.PolicyUnbounded, memo.PolicyFlush, memo.PolicyGC, memo.PolicyGenGC,
+}
+
+// replayCompareLimit bounds the p-action cache for the non-unbounded
+// policies, matching the GC ablation's default.
+const replayCompareLimit = 128 << 10
+
+// normalizeResult strips the fields a bytecode run is allowed to change:
+// wall time, snapshot activity, and the five compile diagnostics. The
+// returned copy is what the bit-identity gate compares.
+func normalizeResult(r *core.Result) core.Result {
+	n := *r
+	n.WallTime = 0
+	n.Snapshot = core.SnapshotStatus{}
+	n.Memo.ChainsCompiled = 0
+	n.Memo.CompiledOps = 0
+	n.Memo.CompiledBytes = 0
+	n.Memo.CompiledEpisodes = 0
+	n.Memo.CompileInvalidations = 0
+	return n
+}
+
+// RunReplayCompare runs the workloads × policies bit-identity matrix:
+// each cell simulates once with pointer replay and once with bytecode
+// replay at the given compile threshold (<= 0 selects 1, compile on first
+// replay — the maximum-exposure setting) and fails unless the normalized
+// Results match exactly. Empty names selects all 18 workloads.
+func RunReplayCompare(names []string, scale float64, threshold, jobs int) ([]*ReplayCompare, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	if threshold <= 0 {
+		threshold = 1
+	}
+	if len(names) == 0 {
+		for _, w := range workloads.All() {
+			names = append(names, w.Name)
+		}
+	}
+	nPol := len(replayComparePolicies)
+	out := make([]*ReplayCompare, len(names)*nPol)
+	err := forEach(jobs, len(out), func(i int) error {
+		n := names[i/nPol]
+		pol := replayComparePolicies[i%nPol]
+		w, ok := workloads.Get(n)
+		if !ok {
+			return fmt.Errorf("unknown workload %q", n)
+		}
+		prog, err := w.Build(scale)
+		if err != nil {
+			return err
+		}
+		run := func(compileN int) (*core.Result, error) {
+			cfg := core.DefaultConfig()
+			cfg.Memo = memo.Options{Policy: pol, MajorEvery: 4, CompileThreshold: compileN}
+			if pol != memo.PolicyUnbounded {
+				cfg.Memo.Limit = replayCompareLimit
+			}
+			return core.Run(prog, cfg)
+		}
+		ptr, err := run(0)
+		if err != nil {
+			return fmt.Errorf("%s/%s: pointer: %w", n, pol, err)
+		}
+		bc, err := run(threshold)
+		if err != nil {
+			return fmt.Errorf("%s/%s: compiled: %w", n, pol, err)
+		}
+		if !reflect.DeepEqual(normalizeResult(ptr), normalizeResult(bc)) {
+			return fmt.Errorf("%s/%s: compiled Result diverged from pointer replay", n, pol)
+		}
+		out[i] = &ReplayCompare{
+			Workload:         n,
+			Policy:           pol.String(),
+			PointerWall:      ptr.WallTime,
+			CompiledWall:     bc.WallTime,
+			Cycles:           ptr.Cycles,
+			Identical:        true,
+			ChainsCompiled:   bc.Memo.ChainsCompiled,
+			CompiledEpisodes: bc.Memo.CompiledEpisodes,
+			CompiledOps:      bc.Memo.CompiledOps,
+			Invalidations:    bc.Memo.CompileInvalidations,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReplayThroughput is the speed side of the comparison: repeated
+// warm-started runs of one workload (snapshot pre-recorded, so nearly all
+// instructions replay) with pointer replay vs bytecode replay, best wall
+// of the rounds each. Warm runs make the replay loop dominate, which is
+// the path the bytecode accelerates.
+type ReplayThroughput struct {
+	Workload  string
+	Threshold int
+	Rounds    int
+
+	Insts  uint64
+	Cycles uint64
+
+	PointerWall  time.Duration // best of rounds, CompileThreshold 0
+	CompiledWall time.Duration // best of rounds, CompileThreshold = Threshold
+
+	ChainsCompiled   uint64 // of the best compiled round
+	CompiledEpisodes uint64
+	EpisodesReplay   uint64
+}
+
+// PointerKIPS returns warm pointer-replay speed in Kinsts/s.
+func (t *ReplayThroughput) PointerKIPS() float64 { return kips(t.Insts, t.PointerWall) }
+
+// CompiledKIPS returns warm bytecode-replay speed in Kinsts/s.
+func (t *ReplayThroughput) CompiledKIPS() float64 { return kips(t.Insts, t.CompiledWall) }
+
+// Speedup returns the compiled-over-pointer warm replay speed ratio.
+func (t *ReplayThroughput) Speedup() float64 {
+	if t.CompiledWall <= 0 {
+		return 0
+	}
+	return t.PointerWall.Seconds() / t.CompiledWall.Seconds()
+}
+
+func kips(insts uint64, wall time.Duration) float64 {
+	s := wall.Seconds()
+	if s <= 0 {
+		return 0
+	}
+	return float64(insts) / s / 1e3
+}
+
+// RunReplayThroughput measures warm replay throughput on one workload:
+// a priming run records the snapshot, then rounds warm runs per mode
+// (pointer, bytecode) take the best wall each. The warm Results are
+// bit-identity checked against each other like the matrix cells.
+func RunReplayThroughput(name string, scale float64, threshold, rounds int) (*ReplayThroughput, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	if threshold <= 0 {
+		threshold = 1
+	}
+	if rounds <= 0 {
+		rounds = 3
+	}
+	w, ok := workloads.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+	prog, err := w.Build(scale)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "fastsim-replaycompare-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, name+".fsnap")
+
+	primeCfg := core.DefaultConfig()
+	primeCfg.SnapshotSave = path
+	if _, err := core.Run(prog, primeCfg); err != nil {
+		return nil, fmt.Errorf("%s: prime: %w", name, err)
+	}
+
+	warm := func(compileN int) (*core.Result, error) {
+		cfg := core.DefaultConfig()
+		cfg.SnapshotLoad = path
+		cfg.SnapshotStrict = true
+		cfg.Memo.CompileThreshold = compileN
+		return core.Run(prog, cfg)
+	}
+	best := func(compileN int) (*core.Result, error) {
+		var b *core.Result
+		for r := 0; r < rounds; r++ {
+			res, err := warm(compileN)
+			if err != nil {
+				return nil, err
+			}
+			if b == nil || res.WallTime < b.WallTime {
+				b = res
+			}
+		}
+		return b, nil
+	}
+	ptr, err := best(0)
+	if err != nil {
+		return nil, fmt.Errorf("%s: warm pointer: %w", name, err)
+	}
+	bc, err := best(threshold)
+	if err != nil {
+		return nil, fmt.Errorf("%s: warm compiled: %w", name, err)
+	}
+	if !reflect.DeepEqual(normalizeResult(ptr), normalizeResult(bc)) {
+		return nil, fmt.Errorf("%s: warm compiled Result diverged from pointer replay", name)
+	}
+	return &ReplayThroughput{
+		Workload:         name,
+		Threshold:        threshold,
+		Rounds:           rounds,
+		Insts:            ptr.Insts,
+		Cycles:           ptr.Cycles,
+		PointerWall:      ptr.WallTime,
+		CompiledWall:     bc.WallTime,
+		ChainsCompiled:   bc.Memo.ChainsCompiled,
+		CompiledEpisodes: bc.Memo.CompiledEpisodes,
+		EpisodesReplay:   bc.Memo.EpisodesReplay,
+	}, nil
+}
+
+// RenderReplayCompare formats the matrix (and the throughput measurement,
+// when present) as text.
+func RenderReplayCompare(rows []*ReplayCompare, tp *ReplayThroughput) string {
+	var b strings.Builder
+	b.WriteString("Flat replay bytecode vs pointer-graph replay.\n")
+	b.WriteString("Every cell ran both modes; normalized Results are bit-identical (verified).\n\n")
+	fmt.Fprintf(&b, "%-14s %-10s %10s %10s %8s %9s %10s %9s\n",
+		"workload", "policy", "pointer", "compiled", "speedup", "chains", "bcEpisode", "invalid")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %-10s %10s %10s %7.2fx %9d %10d %9d\n",
+			r.Workload, r.Policy,
+			r.PointerWall.Round(time.Millisecond), r.CompiledWall.Round(time.Millisecond),
+			r.Speedup(), r.ChainsCompiled, r.CompiledEpisodes, r.Invalidations)
+	}
+	if tp != nil {
+		fmt.Fprintf(&b, "\nWarm replay throughput (%s, snapshot-primed, best of %d rounds, threshold %d):\n",
+			tp.Workload, tp.Rounds, tp.Threshold)
+		fmt.Fprintf(&b, "  pointer:  %10s  %10.1f Kinsts/s\n", tp.PointerWall.Round(time.Millisecond), tp.PointerKIPS())
+		fmt.Fprintf(&b, "  compiled: %10s  %10.1f Kinsts/s  (%.2fx, %d chains -> %d bytecode episodes of %d)\n",
+			tp.CompiledWall.Round(time.Millisecond), tp.CompiledKIPS(), tp.Speedup(),
+			tp.ChainsCompiled, tp.CompiledEpisodes, tp.EpisodesReplay)
+	}
+	return b.String()
+}
+
+// replayCompareJSON is the BENCH_9.json shape.
+type replayCompareJSON struct {
+	Threshold  int                     `json:"threshold"`
+	Matrix     []replayCompareCellJSON `json:"matrix"`
+	Throughput *replayThroughputJSON   `json:"throughput,omitempty"`
+}
+
+type replayCompareCellJSON struct {
+	Workload         string  `json:"workload"`
+	Policy           string  `json:"policy"`
+	PointerMS        float64 `json:"pointer_ms"`
+	CompiledMS       float64 `json:"compiled_ms"`
+	Speedup          float64 `json:"speedup"`
+	Cycles           uint64  `json:"cycles"`
+	Identical        bool    `json:"identical"`
+	ChainsCompiled   uint64  `json:"chains_compiled"`
+	CompiledEpisodes uint64  `json:"compiled_episodes"`
+	CompiledOps      uint64  `json:"compiled_ops"`
+	Invalidations    uint64  `json:"invalidations"`
+}
+
+type replayThroughputJSON struct {
+	Workload         string  `json:"workload"`
+	Rounds           int     `json:"rounds"`
+	Insts            uint64  `json:"insts"`
+	PointerMS        float64 `json:"pointer_ms"`
+	CompiledMS       float64 `json:"compiled_ms"`
+	PointerKIPS      float64 `json:"pointer_kips"`
+	CompiledKIPS     float64 `json:"compiled_kips"`
+	Speedup          float64 `json:"speedup"`
+	ChainsCompiled   uint64  `json:"chains_compiled"`
+	CompiledEpisodes uint64  `json:"compiled_episodes"`
+	EpisodesReplay   uint64  `json:"episodes_replay"`
+}
+
+// WriteReplayCompareJSON emits the matrix and throughput measurement as
+// one indented JSON object (the BENCH_9.json payload).
+func WriteReplayCompareJSON(w io.Writer, threshold int, rows []*ReplayCompare, tp *ReplayThroughput) error {
+	out := replayCompareJSON{Threshold: threshold}
+	for _, r := range rows {
+		out.Matrix = append(out.Matrix, replayCompareCellJSON{
+			Workload:         r.Workload,
+			Policy:           r.Policy,
+			PointerMS:        float64(r.PointerWall.Microseconds()) / 1000,
+			CompiledMS:       float64(r.CompiledWall.Microseconds()) / 1000,
+			Speedup:          r.Speedup(),
+			Cycles:           r.Cycles,
+			Identical:        r.Identical,
+			ChainsCompiled:   r.ChainsCompiled,
+			CompiledEpisodes: r.CompiledEpisodes,
+			CompiledOps:      r.CompiledOps,
+			Invalidations:    r.Invalidations,
+		})
+	}
+	if tp != nil {
+		out.Throughput = &replayThroughputJSON{
+			Workload:         tp.Workload,
+			Rounds:           tp.Rounds,
+			Insts:            tp.Insts,
+			PointerMS:        float64(tp.PointerWall.Microseconds()) / 1000,
+			CompiledMS:       float64(tp.CompiledWall.Microseconds()) / 1000,
+			PointerKIPS:      tp.PointerKIPS(),
+			CompiledKIPS:     tp.CompiledKIPS(),
+			Speedup:          tp.Speedup(),
+			ChainsCompiled:   tp.ChainsCompiled,
+			CompiledEpisodes: tp.CompiledEpisodes,
+			EpisodesReplay:   tp.EpisodesReplay,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&out)
+}

@@ -83,14 +83,52 @@ func WithTrace(w io.Writer) Option {
 
 // WithTracer attaches a span tracer (see Tracer); the caller owns it and
 // must Close it after the run. Like WithObserver it is read-only, so the
-// Result is unchanged by it.
+// Result is unchanged by it. For the common stream-to-a-writer case,
+// WithSpanTraceTo builds and closes the tracer for you.
 func WithTracer(t *Tracer) Option {
-	return func(c *Config) { c.Tracer = t }
+	return func(c *Config) {
+		c.Tracer = t
+		c.TracerOwned = false
+	}
 }
 
-// WithSpanTrace is the one-step form of WithTracer: it builds a Tracer on w
-// with the given timebase and attaches it. The returned tracer must be
-// Closed after the run to terminate the JSON array and flush.
+// WithSpanTraceTo streams a span trace of the run to w in Chrome
+// trace-event JSON: a Tracer is built with the given timebase when the run
+// starts and closed (terminating the JSON array and flushing) before Run
+// returns, on every path. A close failure on an otherwise successful run
+// surfaces as the run error, so a truncated trace is never silent. Unlike
+// the deprecated WithSpanTrace this is a single composable value — no
+// tracer handle to thread through; use WithSpanTraceInto to also observe
+// the tracer (e.g. its event count) after the run.
+func WithSpanTraceTo(w io.Writer, tb Timebase) Option {
+	return func(c *Config) {
+		c.Tracer = NewTracer(w, TracerOptions{Timebase: tb})
+		c.TracerOwned = true
+	}
+}
+
+// WithSpanTraceInto is WithSpanTraceTo with an out-parameter: *out is set
+// to the run-owned tracer when the option applies, so the caller can read
+// Events() after the run. The run still closes the tracer itself (Close is
+// idempotent — closing again is a harmless no-op).
+func WithSpanTraceInto(w io.Writer, tb Timebase, out **Tracer) Option {
+	return func(c *Config) {
+		t := NewTracer(w, TracerOptions{Timebase: tb})
+		c.Tracer = t
+		c.TracerOwned = true
+		if out != nil {
+			*out = t
+		}
+	}
+}
+
+// WithSpanTrace is the original two-value span-trace form: it builds a
+// Tracer on w and returns both the option and the tracer, which the caller
+// must Close after the run.
+//
+// Deprecated: use WithSpanTraceTo (run-owned, single value) or
+// WithSpanTraceInto (run-owned with a tracer out-parameter); this form
+// survives for source compatibility only.
 func WithSpanTrace(w io.Writer, tb Timebase) (Option, *Tracer) {
 	t := NewTracer(w, TracerOptions{Timebase: tb})
 	return WithTracer(t), t
@@ -154,6 +192,17 @@ func WithSnapshotStrict() Option {
 // guard. See docs/ROBUSTNESS.md.
 func WithMemoBudget(n int) Option {
 	return func(c *Config) { c.Memo.Budget = n }
+}
+
+// WithReplayCompile enables flat replay bytecode: once fast-forwarding has
+// entered a p-action chain threshold times, the chain is compiled into a
+// contiguous buffer (actions inline, branch targets as buffer offsets) and
+// replayed by a tight loop with no pointer loads. Results stay bit-identical
+// under every policy — compiled buffers are invalidated whenever their chain
+// changes and rebuilt on demand. threshold 0 disables (the default);
+// 1 compiles on first replay. See docs/API.md and docs/PERFORMANCE.md.
+func WithReplayCompile(threshold int) Option {
+	return func(c *Config) { c.Memo.CompileThreshold = threshold }
 }
 
 // WithShadowVerify re-executes the given fraction of cache hits through the
