@@ -11,6 +11,7 @@
 //	fsbench -warmcold               # snapshot warm-start vs cold-start timing
 //	fsbench -replaycompare          # flat replay bytecode vs pointer replay (bit-identity + speed)
 //	fsbench -chaos -seed 7          # fault-injection suite: self-heal or typed error
+//	fsbench -serverchaos            # fssrv chaos: crash recovery, journal faults, shedding
 //	fsbench -ablation gc|direct|encoding
 //	fsbench -workloads 099.go,107.mgrid  # restrict any of the above
 //	fsbench -all -j 4               # fan runs over 4 workers (-j 1: sequential)
@@ -40,7 +41,9 @@ func main() {
 		compileN  = flag.Int("compile-threshold", 1, "replay-compile threshold for -replaycompare (Nth replay entry compiles the chain)")
 		rounds    = flag.Int("rounds", 3, "warm throughput rounds per mode for -replaycompare")
 		chaos     = flag.Bool("chaos", false, "run the fault-injection suite: every fault must self-heal or fail typed")
-		seed      = flag.Uint64("seed", 1, "fault-injection seed for -chaos")
+		svchaos   = flag.Bool("serverchaos", false, "run the fssrv chaos suite: crash recovery, journal faults, load shedding — every job recovered, retried, or typed")
+		artifacts = flag.String("artifacts", "", "directory receiving journal images from -serverchaos for post-mortem inspection")
+		seed      = flag.Uint64("seed", 1, "fault-injection seed for -chaos/-serverchaos")
 		sweep     = flag.Bool("sweep", false, "run the design-space sweep")
 		scale     = flag.Float64("scale", 1.0, "workload scale factor")
 		names     = flag.String("workloads", "", "comma-separated workload subset")
@@ -158,6 +161,19 @@ func main() {
 			return
 		}
 		fmt.Println(tablegen.RenderChaos(rows))
+
+	case *svchaos:
+		rows, err := tablegen.RunServerChaos(*scale, *seed, *artifacts)
+		if err != nil {
+			fatal(err)
+		}
+		if *asJSON {
+			if err := tablegen.WriteServerChaosJSON(os.Stdout, rows); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		fmt.Println(tablegen.RenderServerChaos(rows))
 
 	case *sweep:
 		res, err := tablegen.RunSweep(nil, subset, *scale, true, *jobs)

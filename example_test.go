@@ -148,6 +148,35 @@ loop:
 	// has spans: true
 }
 
+// A shared p-action cache lets runs of the same (program, configuration)
+// warm each other: the first run records and publishes, later runs replay
+// the published chains. Sharing changes wall time, never statistics.
+func ExampleWithSharedCache() {
+	w, _ := fastsim.GetWorkload("129.compress")
+	prog, err := w.Build(0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	shared := fastsim.NewSharedCache(4)
+	first, err := fastsim.Run(prog, fastsim.WithSharedCache(shared))
+	if err != nil {
+		log.Fatal(err)
+	}
+	second, err := fastsim.Run(prog, fastsim.WithSharedCache(shared))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("first published:", first.Shared.Published)
+	fmt.Println("second warmed:", second.Shared.Warmed)
+	fmt.Println("identical cycles:", first.Cycles == second.Cycles)
+	// Output:
+	// first published: true
+	// second warmed: true
+	// identical cycles: true
+}
+
 // OpenSnapshot examines a snapshot file offline — integrity-checked, no
 // live cache, no fingerprint requirement.
 func ExampleOpenSnapshot() {

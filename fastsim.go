@@ -109,6 +109,27 @@ type BPredConfig = core.BPredConfig
 // when a present snapshot was rejected and the run started cold.
 type SnapshotStatus = core.SnapshotStatus
 
+// SharedCache is a process-wide, sharded exchange point for recorded
+// p-action graphs, keyed by run fingerprint: concurrent runs of the same
+// (program, machine) warm each other under epoch-based publication, with
+// quarantine events propagating as epoch poisons. Attach one with
+// WithSharedCache; all methods are safe for concurrent use. It is the
+// backbone of the multi-tenant simulation server (cmd/fssrv) — see
+// docs/SERVER.md.
+type SharedCache = memo.SharedCache
+
+// SharedCacheStats aggregates a SharedCache's activity across its shards.
+type SharedCacheStats = memo.SharedStats
+
+// SharedStatus reports one run's shared-cache activity (Result.Shared):
+// what was acquired, whether the run published a new epoch, and whether it
+// poisoned its base.
+type SharedStatus = core.SharedStatus
+
+// NewSharedCache builds a SharedCache with at least the given number of
+// shards (rounded up to a power of two; <= 0 selects a default of 8).
+func NewSharedCache(shards int) *SharedCache { return memo.NewShared(shards) }
+
 // FaultInjector is a deterministic, seed-addressed fault injector for chaos
 // testing; arm one with WithFaultInjection. See internal/faultinject and
 // docs/ROBUSTNESS.md.

@@ -53,6 +53,10 @@ var DeterministicPackages = []string{
 // discipline applies to them.
 var SharedStatePackages = []string{
 	"internal/debugsrv",
+	// The simulation service shares job, queue and counter state across
+	// worker goroutines and HTTP handlers; its simulations stay
+	// deterministic because they run through internal/core, which is.
+	"internal/server",
 }
 
 // VettedPackages is every package fsvet loads: the deterministic core plus

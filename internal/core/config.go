@@ -81,6 +81,19 @@ type Config struct {
 	// warm start happened (benchmarking, CI).
 	SnapshotStrict bool
 
+	// Shared, when non-nil, attaches a process-wide shared p-action cache:
+	// before simulating, the run acquires the graph published for its
+	// fingerprint (if any) and imports it exactly like a snapshot warm
+	// start; after a successful run it offers its merged graph back under
+	// epoch-based publication, and a run that quarantined any chain poisons
+	// the epoch it imported so neighbours never replay it. Because warm
+	// starts are bit-identical to cold runs, attaching a SharedCache can
+	// change speed and Result.Memo accounting, never the simulation Result.
+	// SnapshotLoad takes precedence: a run given an explicit snapshot file
+	// neither acquires from nor publishes to the shared cache (the two warm
+	// sources would race for the empty cache). See docs/SERVER.md.
+	Shared *memo.SharedCache
+
 	// FaultInject, when non-nil, arms deterministic fault injection at
 	// every site the run passes through: memo allocation failures and chain
 	// bit flips (via cfg.Memo.Inject) and snapshot IO faults (transient

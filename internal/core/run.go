@@ -40,6 +40,10 @@ type Result struct {
 	// simulation results are bit-identical to a cold run's.
 	Snapshot SnapshotStatus
 
+	// Shared reports shared p-action cache activity (Config.Shared); the
+	// same how-not-what caveat as Snapshot applies.
+	Shared SharedStatus
+
 	WallTime time.Duration // host time spent simulating
 }
 
@@ -122,6 +126,7 @@ func RunContext(ctx context.Context, prog *program.Program, cfg Config) (res *Re
 	var cycles uint64
 	var memoStats memo.Stats
 	var snapStatus SnapshotStatus
+	var sharedStatus SharedStatus
 	if cfg.Memoize {
 		if cfg.FaultInject != nil {
 			cfg.Memo.Inject = cfg.FaultInject
@@ -141,8 +146,16 @@ func RunContext(ctx context.Context, prog *program.Program, cfg Config) (res *Re
 				return nil, err
 			}
 		}
+		var sharedFP uint64
+		sharedActive := cfg.Shared != nil && cfg.SnapshotLoad == ""
+		if sharedActive {
+			sharedFP = acquireShared(eng, prog, &cfg, &sharedStatus)
+		}
 		cycles, err = eng.Run(maxCycles)
 		memoStats = eng.Cache.Stats()
+		if sharedActive {
+			settleShared(eng, sharedFP, &cfg, cycles, err, &sharedStatus)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -214,6 +227,7 @@ func RunContext(ctx context.Context, prog *program.Program, cfg Config) (res *Re
 		Memo:     memoStats,
 
 		Snapshot: snapStatus,
+		Shared:   sharedStatus,
 
 		WallTime: wall,
 	}, nil

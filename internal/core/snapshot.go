@@ -38,6 +38,10 @@ type SnapshotStatus struct {
 // Memoization options (policy, limit) are deliberately excluded: they
 // bound the cache's size, not its meaning, so a snapshot saved under one
 // policy warm-starts a run under another.
+// Fingerprint is the exported form of fingerprint, used by the simulation
+// server to report which shared-cache entry a job keys into.
+func Fingerprint(prog *program.Program, cfg *Config) uint64 { return fingerprint(prog, cfg) }
+
 func fingerprint(prog *program.Program, cfg *Config) uint64 {
 	const (
 		offset64 = 14695981039346656037

@@ -44,9 +44,35 @@ type Options struct {
 
 // Server is a running debug server. Close shuts it down.
 type Server struct {
-	ln    net.Listener
-	srv   *http.Server
+	ln  net.Listener
+	srv *http.Server
+}
+
+// handler serves the debug endpoints; it is the mountable form used both
+// by Start's standalone server and by fssrv, which embeds the same
+// surface under its API mux.
+type handler struct {
 	start time.Time
+	opts  Options
+}
+
+// NewHandler builds the debug surface as a plain http.Handler for
+// embedding into another server's mux (fssrv mounts it at /status,
+// /metrics and /debug/). The handler is read-only by construction: it
+// serves only published metrics snapshots and static info.
+func NewHandler(opts Options) http.Handler {
+	h := &handler{start: time.Now(), opts: opts}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", h.handleIndex)
+	mux.HandleFunc("/status", h.handleStatus)
+	mux.HandleFunc("/metrics", h.handleMetrics)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // Start binds addr (":0" picks a free port) and serves in a background
@@ -56,18 +82,8 @@ func Start(addr string, opts Options) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("debugsrv: %w", err)
 	}
-	s := &Server{ln: ln, start: time.Now()}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/", s.handleIndex)
-	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) { s.handleStatus(w, r, opts) })
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) { s.handleMetrics(w, r, opts) })
-	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	s.srv = &http.Server{Handler: mux}
+	s := &Server{ln: ln}
+	s.srv = &http.Server{Handler: NewHandler(opts)}
 	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
 	return s, nil
 }
@@ -78,7 +94,7 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // Close stops the server.
 func (s *Server) Close() error { return s.srv.Close() }
 
-func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+func (h *handler) handleIndex(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
 		http.NotFound(w, r)
 		return
@@ -122,15 +138,15 @@ func guardLevelName(v float64) string {
 	return "normal"
 }
 
-func buildStatus(s *Server, opts Options) statusView {
+func (h *handler) buildStatus() statusView {
 	sv := statusView{
-		UptimeSeconds: time.Since(s.start).Seconds(),
-		Info:          opts.Info,
+		UptimeSeconds: time.Since(h.start).Seconds(),
+		Info:          h.opts.Info,
 	}
-	if opts.Progress != nil {
-		sv.Progress = opts.Progress()
+	if h.opts.Progress != nil {
+		sv.Progress = h.opts.Progress()
 	}
-	snap := opts.Published.Latest()
+	snap := h.opts.Published.Latest()
 	if snap == nil {
 		return sv
 	}
@@ -153,8 +169,8 @@ func buildStatus(s *Server, opts Options) statusView {
 	return sv
 }
 
-func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request, opts Options) {
-	sv := buildStatus(s, opts)
+func (h *handler) handleStatus(w http.ResponseWriter, r *http.Request) {
+	sv := h.buildStatus()
 	if r.URL.Query().Get("format") == "json" {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
@@ -185,9 +201,9 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request, opts Optio
 	fmt.Fprintf(w, "  quarantines        %d\n", sv.Quarantines)
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request, opts Options) {
+func (h *handler) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	snap := opts.Published.Latest()
+	snap := h.opts.Published.Latest()
 	if snap == nil {
 		w.Write([]byte("{}\n")) //nolint:errcheck // best-effort HTTP response
 		return

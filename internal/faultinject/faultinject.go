@@ -3,7 +3,8 @@
 //
 // A fault point ("site") is a named place in the code that consults an
 // Injector before doing real work: the p-action arena's allocator, the
-// snapshot file reader and writer, and the graph importer's payload words.
+// snapshot file reader and writer, the graph importer's payload words, and
+// the simulation server's job-journal appends and admission point.
 // Whether a given occurrence of a site fires is a pure function of the
 // injector's seed, the site name and the occurrence number — never of wall
 // clock or global randomness — so an injected failure reproduces exactly
@@ -43,11 +44,25 @@ const (
 	// read, so decoding fails with ErrCorrupt (a non-transient, typed
 	// rejection).
 	SiteSnapshotTrunc Site = "snapshot.truncate"
+	// SiteJournalWrite injects a transient (EINTR-class) error into one
+	// append to the simulation server's job journal; the journal's bounded
+	// deterministic-backoff retry should absorb it, and an exhausted retry
+	// surfaces as a typed journal error — never a silently dropped record.
+	SiteJournalWrite Site = "server.journal.write"
+	// SiteServerAccept fails one job admission at the simulation server's
+	// accept point with a transient typed rejection (HTTP 503 +
+	// Retry-After); the client-visible contract is "try again", never a
+	// half-admitted job.
+	SiteServerAccept Site = "server.accept"
 )
 
 // Sites returns every fault point in a fixed order (for reports).
 func Sites() []Site {
-	return []Site{SiteMemoAlloc, SiteChainFlip, SiteSnapshotRead, SiteSnapshotWrite, SiteSnapshotTrunc}
+	return []Site{
+		SiteMemoAlloc, SiteChainFlip,
+		SiteSnapshotRead, SiteSnapshotWrite, SiteSnapshotTrunc,
+		SiteJournalWrite, SiteServerAccept,
+	}
 }
 
 // Fault arms one site. Exactly one of Nth and Rate selects the firing rule:

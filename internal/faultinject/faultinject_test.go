@@ -154,3 +154,46 @@ func TestSummary(t *testing.T) {
 		t.Errorf("empty Summary = %q", New(1).Summary())
 	}
 }
+
+// The server sites are part of the catalog, deterministic like every other
+// site, and their transient form unwraps to EINTR so the journal's retry
+// classification treats an injected fault exactly like a real interrupted
+// syscall.
+func TestServerSites(t *testing.T) {
+	all := Sites()
+	for _, want := range []Site{SiteJournalWrite, SiteServerAccept} {
+		found := false
+		for _, s := range all {
+			if s == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Sites() is missing %s", want)
+		}
+	}
+	in := New(9, Fault{Site: SiteJournalWrite, Nth: 2}, Fault{Site: SiteServerAccept, Rate: 1, Times: 1})
+	if err := in.Transient(SiteJournalWrite); err != nil {
+		t.Errorf("occurrence 1 fired early: %v", err)
+	}
+	err := in.Transient(SiteJournalWrite)
+	if err == nil {
+		t.Fatal("occurrence 2 did not fire")
+	}
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, syscall.EINTR) {
+		t.Errorf("journal fault is not a transient injected error: %v", err)
+	}
+	if !in.Fire(SiteServerAccept) {
+		t.Error("accept site with Rate 1 did not fire")
+	}
+	if in.Fire(SiteServerAccept) {
+		t.Error("accept site fired past Times=1")
+	}
+	// Equal seeds reproduce the exact same decisions.
+	a, b := New(42, Fault{Site: SiteServerAccept, Rate: 0.5}), New(42, Fault{Site: SiteServerAccept, Rate: 0.5})
+	for i := 0; i < 64; i++ {
+		if a.Fire(SiteServerAccept) != b.Fire(SiteServerAccept) {
+			t.Fatalf("occurrence %d diverged between equal seeds", i+1)
+		}
+	}
+}

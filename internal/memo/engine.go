@@ -168,9 +168,9 @@ func (e *Engine) Run(maxCycles uint64) (cycles uint64, err error) {
 		fault := &EngineFault{Fingerprint: hashKey(e.keyBuf), Cycle: e.now}
 		switch v := r.(type) {
 		case faultinject.Failure:
-			fault.Cause = v.Error()
+			fault.Cause, fault.CauseErr = v.Error(), v
 		case runtime.Error:
-			fault.Cause = v.Error()
+			fault.Cause, fault.CauseErr = v.Error(), v
 		default:
 			panic(r)
 		}

@@ -20,6 +20,11 @@ type EngineFault struct {
 	Fingerprint uint64 // hash of the episode's configuration key
 	Cycle       uint64 // simulated cycle at the fault
 	Cause       string // the recovered panic message
+	// CauseErr is the recovered panic value when it was an error (an
+	// injected faultinject.Failure, a runtime.Error); the fault unwraps to
+	// it, so errors.Is can still tell an injected fault — transient by
+	// construction, the server retries it — from an organic one.
+	CauseErr error
 }
 
 func (f *EngineFault) Error() string {
@@ -28,3 +33,6 @@ func (f *EngineFault) Error() string {
 
 // Is makes errors.Is(f, ErrEngineFault) true.
 func (f *EngineFault) Is(target error) bool { return target == ErrEngineFault }
+
+// Unwrap exposes the original panic error for errors.Is/As.
+func (f *EngineFault) Unwrap() error { return f.CauseErr }

@@ -51,6 +51,15 @@ const (
 	// replay bytecode: Actions is the bytecode-op count, Bytes the compiled
 	// buffer size, Fingerprint the configuration's hash.
 	EvMemoCompile = "memo_compile"
+	// EvShared reports shared p-action cache activity: Op is "acquire" (the
+	// run warm-started from a published graph), "publish" (the run's merged
+	// graph became the new epoch), "reject" (a stale or fenced publish was
+	// dropped), or "poison" (the run quarantined chains and dropped the
+	// epoch it imported so no neighbour replays them). Epoch carries the
+	// entry epoch involved. Shared events only appear when a SharedCache is
+	// attached; a run without one emits none, keeping single-tenant event
+	// streams byte-identical to before.
+	EvShared = "memo_shared"
 )
 
 // Event is one line of the JSONL event stream. Type and Cycle are always
@@ -79,6 +88,8 @@ type Event struct {
 	Reason  string `json:"reason,omitempty"`  // snapshot fallback / memo_quarantine: cause
 
 	Fingerprint string `json:"fingerprint,omitempty"` // memo_quarantine: poisoned config hash (hex)
+
+	Epoch uint64 `json:"epoch,omitempty"` // memo_shared: publication epoch
 }
 
 type eventSink struct {
@@ -199,6 +210,21 @@ func (o *Observer) ChainCompile(cycle uint64, ops uint64, bytes int, fp uint64) 
 	}
 	o.events.emit(&Event{
 		Type: EvMemoCompile, Cycle: cycle, Actions: ops, Bytes: bytes,
+		Fingerprint: fmt.Sprintf("%016x", fp),
+	})
+}
+
+// Shared reports shared p-action cache activity: op is "acquire",
+// "publish", "reject" or "poison"; configs/actions describe the graph
+// moved (zero when none), epoch the entry epoch involved, fp the run
+// fingerprint.
+func (o *Observer) Shared(cycle uint64, op string, configs, actions int, epoch, fp uint64) {
+	if o == nil || o.events == nil {
+		return
+	}
+	o.events.emit(&Event{
+		Type: EvShared, Cycle: cycle, Op: op,
+		Configs: configs, Actions: uint64(actions), Epoch: epoch,
 		Fingerprint: fmt.Sprintf("%016x", fp),
 	})
 }

@@ -1,0 +1,199 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"fastsim/internal/debugsrv"
+)
+
+// Handler returns the fssrv HTTP API:
+//
+//	POST   /v1/jobs        submit a JobSpec; 202 with the queued job view
+//	GET    /v1/jobs        list all jobs
+//	GET    /v1/jobs/{id}   one job's view (state, code, digest, result)
+//	DELETE /v1/jobs/{id}   request cancellation
+//	POST   /v1/run         submit and wait; the response ends with the job
+//	POST   /v1/drain       stop admission and drain (also SIGTERM on fssrv)
+//	GET    /v1/healthz     liveness: "ok" or "draining"
+//	GET    /v1/stats       server counters, journal and shared-cache stats
+//
+// plus the read-only debug surface (debugsrv) mounted at /status,
+// /metrics and /debug/. Every error response is a JSON body
+// {"error":{"code":..., "message":...}} whose code maps one-to-one to the
+// HTTP status (see Code.HTTPStatus); load-shed statuses carry Retry-After.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /{$}", s.handleIndex)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("POST /v1/drain", s.handleDrain)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+
+	dbg := debugsrv.NewHandler(debugsrv.Options{
+		Info:     map[string]string{"service": "fssrv"},
+		Progress: s.ProgressInfo,
+	})
+	mux.Handle("/status", dbg)
+	mux.Handle("/metrics", dbg)
+	mux.Handle("/debug/", dbg)
+	return mux
+}
+
+// errBody is the JSON error envelope.
+type errBody struct {
+	Error struct {
+		Code    Code   `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// retryAfterSeconds is the delay advertised with load-shedding statuses.
+const retryAfterSeconds = 1
+
+// writeErr renders err as its typed JSON envelope.
+func writeErr(w http.ResponseWriter, err error) {
+	code := Classify(err)
+	var body errBody
+	body.Error.Code = code
+	var se *Error
+	if errors.As(err, &se) {
+		body.Error.Message = se.Msg
+	} else {
+		body.Error.Message = err.Error()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if code.Retryable() {
+		w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds))
+	}
+	w.WriteHeader(code.HTTPStatus())
+	json.NewEncoder(w).Encode(&body) //nolint:errcheck // best-effort HTTP response
+}
+
+// writeJSON renders v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // best-effort HTTP response
+}
+
+// decodeSpec parses the request body strictly: unknown fields are 400s,
+// so a misspelled option can never silently select a default.
+func decodeSpec(r *http.Request) (JobSpec, error) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return spec, codeErr(CodeBadRequest, err, "decode spec: %v", err)
+	}
+	return spec, nil
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "fssrv — fastsim simulation service\n\n")
+	fmt.Fprintf(w, "  POST   /v1/jobs        submit a job (async)\n")
+	fmt.Fprintf(w, "  GET    /v1/jobs        list jobs\n")
+	fmt.Fprintf(w, "  GET    /v1/jobs/{id}   job state and result digest\n")
+	fmt.Fprintf(w, "  DELETE /v1/jobs/{id}   cancel a job\n")
+	fmt.Fprintf(w, "  POST   /v1/run         submit and wait (sync)\n")
+	fmt.Fprintf(w, "  POST   /v1/drain       drain and stop admission\n")
+	fmt.Fprintf(w, "  GET    /v1/healthz     liveness\n")
+	fmt.Fprintf(w, "  GET    /v1/stats       server statistics\n")
+	fmt.Fprintf(w, "  GET    /status         debug status (debugsrv)\n")
+	fmt.Fprintf(w, "  GET    /debug/pprof/   profiling\n")
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	spec, err := decodeSpec(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	job, err := s.Submit(spec)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.snapshotView())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.Jobs()})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeErr(w, codeErr(CodeNotFound, nil, "no job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.snapshotView())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	if err := s.Cancel(r.PathValue("id")); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"status": "cancelling"})
+}
+
+// handleRun is the synchronous API: the job's cancellation is tied to the
+// request context, so a client that disconnects mid-replay cancels its
+// simulation at the next episode boundary — no abandoned work, and no
+// journal completion record for a run that never completed.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	spec, err := decodeSpec(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	view, err := s.RunSync(r.Context(), spec)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	switch view.State {
+	case StateDone:
+		writeJSON(w, http.StatusOK, view)
+	default:
+		// The job itself failed or was cancelled: the view carries the
+		// typed code; render its status.
+		status := view.Code.HTTPStatus()
+		if view.Code == "" {
+			status = http.StatusInternalServerError
+		}
+		writeJSON(w, status, view)
+	}
+}
+
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	go s.Close() //nolint:errcheck // drain outcome is observable via /v1/healthz
+	writeJSON(w, http.StatusAccepted, map[string]string{"status": "draining"})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	status := "ok"
+	code := http.StatusOK
+	if draining {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]string{"status": status})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}

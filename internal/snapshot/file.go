@@ -102,6 +102,21 @@ func withRetry(p RetryPolicy, op func() error) error {
 	return err
 }
 
+// Do runs op under the policy: transient failures (see IsTransient) are
+// retried with the deterministic jittered backoff, anything else returns
+// immediately. It is the exported form of the retry loop wrapped around
+// snapshot IO, reused by the simulation server's job journal so every
+// durable write in the system shares one retry discipline.
+func (p RetryPolicy) Do(op func() error) error { return withRetry(p, op) }
+
+// WriteAtomic writes data to path with the crash-safe temp+fsync+rename
+// discipline: a crash at any point leaves either the old file or the new
+// one, never a torn mix. It is the building block SaveFile uses, exported
+// for the server's journal compaction.
+func WriteAtomic(path string, data []byte) error {
+	return writeAtomic(filepath.Dir(path), path, data)
+}
+
 // Save writes img to path crash-safely and returns the file size. It is
 // SaveFile with zero options: one attempt, no injection.
 func Save(path string, img *Image) (n int, err error) {

@@ -1,0 +1,572 @@
+package tablegen
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"fastsim/internal/faultinject"
+	"fastsim/internal/server"
+)
+
+// ServerChaosRow is one server-chaos scenario's verdict. The suite-level
+// invariant mirrors the engine chaos suite: every job submitted to the
+// service ends recovered, retried, or typed — a job silently lost, or one
+// whose digest drifts from the clean baseline, aborts the suite with an
+// error naming the scenario.
+type ServerChaosRow struct {
+	Scenario  string
+	Seed      uint64
+	Outcome   string // healed | typed-error (all sheds typed, survivors identical)
+	Detail    string
+	Jobs      int    // submissions attempted
+	Done      int    // jobs that finished with a baseline-identical digest
+	Shed      int    // submissions rejected with a typed retryable error
+	Retries   uint64 // transient-fault re-runs the pool absorbed
+	Recovered uint64 // jobs re-queued from the journal on restart
+	Torn      uint64 // torn journal tail lines dropped during recovery
+	Wall      time.Duration
+}
+
+// scNow, scSleep and scSince concentrate the suite's host-clock access:
+// the server-chaos harness orchestrates a live service — submission
+// polling, crash timing, wall-time columns — and none of it can leak
+// into simulated results, which are compared only through digests
+// computed by core.Run.
+func scNow() time.Time {
+	return time.Now() //fastsim:allow-wallclock: harness orchestration timing; verdicts compare digests, not clocks
+}
+
+func scSleep(d time.Duration) {
+	time.Sleep(d) //fastsim:allow-wallclock: polling a live server between state checks; no simulated state involved
+}
+
+func scSince(t time.Time) time.Duration {
+	return time.Since(t) //fastsim:allow-wallclock: wall-time report column, never part of a digest
+}
+
+// serverChaosBatch is the mixed-duration job batch every scenario runs:
+// fast jobs finish before a mid-batch crash, slow ones are still in
+// flight when it hits.
+func serverChaosBatch(scale float64) []server.JobSpec {
+	return []server.JobSpec{
+		{Workload: "129.compress", Scale: 0.2 * scale},
+		{Workload: "129.compress", Scale: 0.2 * scale},
+		{Workload: "129.compress", Scale: 0.2 * scale},
+		{Workload: "129.compress", Scale: 0.2 * scale},
+		{Workload: "126.gcc", Scale: 0.5 * scale},
+		{Workload: "126.gcc", Scale: 0.5 * scale},
+		{Workload: "107.mgrid", Scale: 1 * scale},
+		{Workload: "107.mgrid", Scale: 1 * scale},
+	}
+}
+
+func serverSpecKey(s server.JobSpec) string {
+	return fmt.Sprintf("%s/%g/%s", s.Workload, s.Scale, s.Policy)
+}
+
+// serverChaosBaselines runs each distinct spec once on a clean
+// single-worker server and records the digest every later scenario must
+// reproduce.
+func serverChaosBaselines(batch []server.JobSpec) (map[string]string, error) {
+	s, err := server.New(server.Options{Workers: 1})
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close() //nolint:errcheck // baseline server, nothing persisted
+	base := make(map[string]string)
+	for _, spec := range batch {
+		key := serverSpecKey(spec)
+		if _, ok := base[key]; ok {
+			continue
+		}
+		view, err := s.RunSync(context.Background(), spec)
+		if err != nil {
+			return nil, fmt.Errorf("baseline %s: %w", key, err)
+		}
+		if view.State != server.StateDone || view.Digest == "" {
+			return nil, fmt.Errorf("baseline %s: %s %s %s", key, view.State, view.Code, view.Msg)
+		}
+		base[key] = view.Digest
+	}
+	return base, nil
+}
+
+func serverTerminal(st server.State) bool {
+	return st == server.StateDone || st == server.StateFailed || st == server.StateCancelled
+}
+
+// waitServerIdle polls until every visible job is terminal.
+func waitServerIdle(s *server.Server, timeout time.Duration) error {
+	deadline := scNow().Add(timeout)
+	for {
+		idle := true
+		for _, v := range s.Jobs() {
+			if !serverTerminal(v.State) {
+				idle = false
+			}
+		}
+		if idle {
+			return nil
+		}
+		if scNow().After(deadline) {
+			return fmt.Errorf("jobs still running after %s", timeout)
+		}
+		scSleep(10 * time.Millisecond)
+	}
+}
+
+// typedSubmitError reports whether a submission rejection is one of the
+// documented load-shedding codes.
+func typedSubmitError(err error) (server.Code, bool) {
+	var se *server.Error
+	if !errors.As(err, &se) {
+		return "", false
+	}
+	switch se.Code {
+	case server.CodeQueueFull, server.CodeMemoryBudget, server.CodeAcceptFault, server.CodeDraining:
+		return se.Code, true
+	}
+	return se.Code, false
+}
+
+// checkBatchDigests verifies every done job against the baselines and
+// counts matches. A digest mismatch is a silent-divergence suite failure.
+func checkBatchDigests(scenario string, views []server.JobView, specs map[string]string, base map[string]string) (int, error) {
+	done := 0
+	for _, v := range views {
+		if v.State != server.StateDone {
+			continue
+		}
+		key, ok := specs[v.ID]
+		if !ok {
+			continue
+		}
+		if v.Digest != base[key] {
+			return done, fmt.Errorf("%s: SILENT DIVERGENCE: job %s (%s) digest %s != baseline %s",
+				scenario, v.ID, key, v.Digest, base[key])
+		}
+		done++
+	}
+	return done, nil
+}
+
+// RunServerChaos runs the service-level chaos suite: a clean baseline
+// pass pins per-spec digests, then each scenario subjects a server to one
+// failure pattern — a mid-batch crash (journal image captured at the
+// crash instant, exactly what SIGKILL leaves on disk), a torn journal
+// tail, journal-write faults, admission faults, per-tenant engine faults
+// — and every job must end recovered, retried, or typed, bit-identical
+// when it completes. artifactDir, when non-empty, receives the journal
+// images for post-mortem inspection.
+func RunServerChaos(scale float64, seed uint64, artifactDir string) ([]*ServerChaosRow, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	tmpDir, err := os.MkdirTemp("", "fastsim-serverchaos-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmpDir)
+	if artifactDir != "" {
+		if err := os.MkdirAll(artifactDir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	keepArtifact := func(name, src string) {
+		if artifactDir == "" {
+			return
+		}
+		data, err := os.ReadFile(src)
+		if err == nil {
+			_ = os.WriteFile(filepath.Join(artifactDir, name), data, 0o644) //nolint:errcheck // best-effort artifact
+		}
+	}
+
+	batch := serverChaosBatch(scale)
+	base, err := serverChaosBaselines(batch)
+	if err != nil {
+		return nil, fmt.Errorf("server-chaos baseline: %w", err)
+	}
+
+	var rows []*ServerChaosRow
+
+	// --- Scenario 1+2: crash mid-batch, then the same image with a torn
+	// tail appended.
+	crashImage := filepath.Join(tmpDir, "crash.jsonl")
+	{
+		start := scNow()
+		livePath := filepath.Join(tmpDir, "live.jsonl")
+		a, err := server.New(server.Options{Workers: 2, JournalPath: livePath, DrainTimeout: 2 * time.Second})
+		if err != nil {
+			return nil, err
+		}
+		specs := make(map[string]string)
+		var jobs []*server.Job
+		for _, spec := range batch {
+			job, err := a.Submit(spec)
+			if err != nil {
+				return nil, fmt.Errorf("crash-midbatch submit: %w", err)
+			}
+			specs[job.ID] = serverSpecKey(spec)
+			jobs = append(jobs, job)
+		}
+		// Crash once real work is both finished and in flight.
+		deadline := scNow().Add(60 * time.Second)
+		for {
+			done := 0
+			for _, j := range jobs {
+				if j.State() == server.StateDone {
+					done++
+				}
+			}
+			if done >= 2 || scNow().After(deadline) {
+				break
+			}
+			scSleep(5 * time.Millisecond)
+		}
+		// The crash instant: the journal's on-disk bytes at this moment
+		// are exactly what a SIGKILL would leave (every record is fsynced
+		// before it becomes visible; shutdown writes nothing recovery
+		// depends on).
+		img, err := os.ReadFile(livePath)
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(crashImage, img, 0o644); err != nil {
+			return nil, err
+		}
+		for _, j := range jobs {
+			_ = a.Cancel(j.ID) //nolint:errcheck // already-terminal jobs reject cancellation
+		}
+		_ = a.Close() //nolint:errcheck // the crash image is already captured
+		keepArtifact("crash-midbatch.jsonl", crashImage)
+
+		// Restart over a copy of the image (recovery compacts in place,
+		// and the pristine image is still needed for the torn-tail
+		// scenario).
+		restartPath := filepath.Join(tmpDir, "crash-run.jsonl")
+		if err := os.WriteFile(restartPath, img, 0o644); err != nil {
+			return nil, err
+		}
+		b, err := server.New(server.Options{Workers: 2, JournalPath: restartPath})
+		if err != nil {
+			return nil, fmt.Errorf("crash-midbatch restart: %w", err)
+		}
+		if err := waitServerIdle(b, 2*time.Minute); err != nil {
+			return nil, fmt.Errorf("crash-midbatch: %w", err)
+		}
+		st := b.Stats()
+		views := b.Jobs()
+		if len(views) != len(batch) {
+			return nil, fmt.Errorf("crash-midbatch: %d of %d jobs visible after restart — silent loss", len(views), len(batch))
+		}
+		for _, v := range views {
+			if v.State != server.StateDone {
+				return nil, fmt.Errorf("crash-midbatch: job %s ended %s (%s) after recovery", v.ID, v.State, v.Code)
+			}
+		}
+		done, err := checkBatchDigests("crash-midbatch", views, specs, base)
+		if err != nil {
+			return nil, err
+		}
+		keepArtifact("crash-midbatch-recovered.jsonl", restartPath)
+		_ = b.Close() //nolint:errcheck // verdict already extracted
+		rows = append(rows, &ServerChaosRow{
+			Scenario: "crash-midbatch", Seed: seed, Outcome: OutcomeHealed,
+			Detail: fmt.Sprintf("%d re-queued after crash, all bit-identical", st.Recovered),
+			Jobs:   len(batch), Done: done,
+			Recovered: st.Recovered, Torn: st.JournalTorn, Wall: scSince(start),
+		})
+
+		// Torn tail: the same crash image with a half-written record
+		// appended, as when power dies mid-write.
+		start = scNow()
+		tornPath := filepath.Join(tmpDir, "torn.jsonl")
+		torn := append(append([]byte{}, img...), []byte(`{"seq":9999,"rec":"done","job":"j9`)...)
+		if err := os.WriteFile(tornPath, torn, 0o644); err != nil {
+			return nil, err
+		}
+		keepArtifact("torn-tail.jsonl", tornPath)
+		c, err := server.New(server.Options{Workers: 2, JournalPath: tornPath})
+		if err != nil {
+			return nil, fmt.Errorf("torn-tail restart: %w", err)
+		}
+		if err := waitServerIdle(c, 2*time.Minute); err != nil {
+			return nil, fmt.Errorf("torn-tail: %w", err)
+		}
+		st = c.Stats()
+		views = c.Jobs()
+		for _, v := range views {
+			if v.State != server.StateDone {
+				return nil, fmt.Errorf("torn-tail: job %s ended %s (%s) after recovery", v.ID, v.State, v.Code)
+			}
+		}
+		done, err = checkBatchDigests("torn-tail", views, specs, base)
+		if err != nil {
+			return nil, err
+		}
+		if st.JournalTorn == 0 {
+			return nil, fmt.Errorf("torn-tail: recovery did not report the torn line")
+		}
+		_ = c.Close() //nolint:errcheck // verdict already extracted
+		rows = append(rows, &ServerChaosRow{
+			Scenario: "torn-tail", Seed: seed, Outcome: OutcomeHealed,
+			Detail: fmt.Sprintf("%d torn line(s) dropped, batch bit-identical", st.JournalTorn),
+			Jobs:   len(views), Done: done,
+			Recovered: st.Recovered, Torn: st.JournalTorn, Wall: scSince(start),
+		})
+	}
+
+	// --- Scenario 3: journal-write faults. Transient write failures must
+	// be absorbed by the bounded-backoff retry or shed typed — an
+	// accepted-then-lost job is a suite failure.
+	{
+		start := scNow()
+		path := filepath.Join(tmpDir, "jwfault.jsonl")
+		inj := faultinject.New(seed, faultinject.Fault{Site: faultinject.SiteJournalWrite, Rate: 0.5, Times: 4})
+		s, err := server.New(server.Options{Workers: 2, JournalPath: path, Inject: inj})
+		if err != nil {
+			return nil, err
+		}
+		specs := make(map[string]string)
+		shed := 0
+		for _, spec := range batch {
+			job, err := s.Submit(spec)
+			if err != nil {
+				if code, ok := typedSubmitError(err); ok {
+					shed++
+					_ = code
+					continue
+				}
+				return nil, fmt.Errorf("journal-write-fault: untyped rejection: %w", err)
+			}
+			specs[job.ID] = serverSpecKey(spec)
+		}
+		if err := waitServerIdle(s, 2*time.Minute); err != nil {
+			return nil, fmt.Errorf("journal-write-fault: %w", err)
+		}
+		views := s.Jobs()
+		for _, v := range views {
+			if v.State != server.StateDone {
+				return nil, fmt.Errorf("journal-write-fault: accepted job %s ended %s (%s)", v.ID, v.State, v.Code)
+			}
+		}
+		done, err := checkBatchDigests("journal-write-fault", views, specs, base)
+		if err != nil {
+			return nil, err
+		}
+		if done+shed != len(batch) {
+			return nil, fmt.Errorf("journal-write-fault: %d done + %d shed != %d submitted — silent loss",
+				done, shed, len(batch))
+		}
+		keepArtifact("journal-write-fault.jsonl", path)
+		st := s.Stats()
+		_ = s.Close() //nolint:errcheck // verdict already extracted
+		outcome := OutcomeHealed
+		if shed > 0 {
+			outcome = OutcomeTyped
+		}
+		rows = append(rows, &ServerChaosRow{
+			Scenario: "journal-write-fault", Seed: seed, Outcome: outcome,
+			Detail: fmt.Sprintf("%d faults fired, %d shed typed, survivors identical", inj.FiredTotal(), shed),
+			Jobs:   len(batch), Done: done, Shed: shed,
+			Retries: st.Retries, Torn: st.JournalTorn, Wall: scSince(start),
+		})
+	}
+
+	// --- Scenario 4: admission faults. server.accept failures must shed
+	// typed 503s; everything admitted still completes bit-identical.
+	{
+		start := scNow()
+		inj := faultinject.New(seed+1, faultinject.Fault{Site: faultinject.SiteServerAccept, Rate: 1, Times: 2})
+		s, err := server.New(server.Options{Workers: 2, Inject: inj})
+		if err != nil {
+			return nil, err
+		}
+		specs := make(map[string]string)
+		shed := 0
+		for _, spec := range batch {
+			job, err := s.Submit(spec)
+			if err != nil {
+				code, ok := typedSubmitError(err)
+				if !ok || code != server.CodeAcceptFault {
+					return nil, fmt.Errorf("accept-fault: rejection not typed accept_fault: %v", err)
+				}
+				shed++
+				continue
+			}
+			specs[job.ID] = serverSpecKey(spec)
+		}
+		if shed == 0 {
+			return nil, fmt.Errorf("accept-fault: armed fault never fired")
+		}
+		if err := waitServerIdle(s, 2*time.Minute); err != nil {
+			return nil, fmt.Errorf("accept-fault: %w", err)
+		}
+		done, err := checkBatchDigests("accept-fault", s.Jobs(), specs, base)
+		if err != nil {
+			return nil, err
+		}
+		if done+shed != len(batch) {
+			return nil, fmt.Errorf("accept-fault: %d done + %d shed != %d submitted", done, shed, len(batch))
+		}
+		st := s.Stats()
+		_ = s.Close() //nolint:errcheck // verdict already extracted
+		rows = append(rows, &ServerChaosRow{
+			Scenario: "accept-fault", Seed: seed + 1, Outcome: OutcomeTyped,
+			Detail: fmt.Sprintf("%d submissions shed 503 accept_fault, %d admitted all identical", shed, done),
+			Jobs:   len(batch), Done: done, Shed: shed, Retries: st.Retries, Wall: scSince(start),
+		})
+	}
+
+	// --- Scenario 5: per-tenant engine faults. An injected allocation
+	// fault inside one tenant's engine must be retried by the pool without
+	// touching its neighbours, and the retried run must match the
+	// baseline.
+	{
+		start := scNow()
+		s, err := server.New(server.Options{Workers: 2, MaxRetries: 2, SharedShards: -1})
+		if err != nil {
+			return nil, err
+		}
+		specs := make(map[string]string)
+		faulted := make(map[string]bool)
+		for i, spec := range batch {
+			if i%2 == 0 {
+				spec.Faults = []server.FaultSpec{{Site: "memo.alloc", Rate: 1, Times: 1}}
+				spec.ChaosSeed = seed + uint64(i)
+			}
+			job, err := s.Submit(spec)
+			if err != nil {
+				return nil, fmt.Errorf("engine-fault-retry submit: %w", err)
+			}
+			specs[job.ID] = serverSpecKey(spec)
+			faulted[job.ID] = i%2 == 0
+		}
+		if err := waitServerIdle(s, 2*time.Minute); err != nil {
+			return nil, fmt.Errorf("engine-fault-retry: %w", err)
+		}
+		views := s.Jobs()
+		for _, v := range views {
+			if v.State != server.StateDone {
+				return nil, fmt.Errorf("engine-fault-retry: job %s ended %s (%s)", v.ID, v.State, v.Code)
+			}
+			if faulted[v.ID] && v.Attempt < 2 {
+				return nil, fmt.Errorf("engine-fault-retry: faulted job %s finished on attempt %d — fault never fired", v.ID, v.Attempt)
+			}
+		}
+		done, err := checkBatchDigests("engine-fault-retry", views, specs, base)
+		if err != nil {
+			return nil, err
+		}
+		st := s.Stats()
+		_ = s.Close() //nolint:errcheck // verdict already extracted
+		rows = append(rows, &ServerChaosRow{
+			Scenario: "engine-fault-retry", Seed: seed, Outcome: OutcomeHealed,
+			Detail: fmt.Sprintf("%d retries absorbed injected engine faults, all identical", st.Retries),
+			Jobs:   len(batch), Done: done, Retries: st.Retries, Wall: scSince(start),
+		})
+	}
+
+	// --- Scenario 6: poisoned chains stay quarantined. A tenant whose
+	// recording is corrupted by chain flips must never publish the poison:
+	// clean tenants that follow warm from the shared cache and still match
+	// the baseline.
+	{
+		start := scNow()
+		s, err := server.New(server.Options{Workers: 1})
+		if err != nil {
+			return nil, err
+		}
+		spec := batch[0]
+		poisoned := spec
+		poisoned.Faults = []server.FaultSpec{{Site: "memo.chain_flip", Rate: 0.2, Times: 8}}
+		poisoned.ChaosSeed = seed + 7
+		poisoned.VerifyRate = 1
+		key := serverSpecKey(spec)
+
+		pView, perr := s.RunSync(context.Background(), poisoned)
+		detail := "poisoned run healed under shadow verification"
+		if perr != nil || pView.State != server.StateDone {
+			// Typed failure of the poisoned tenant is a legitimate
+			// outcome; silent publication of its chains is not.
+			detail = fmt.Sprintf("poisoned run ended typed (%s)", pView.Code)
+		} else if pView.Digest != base[key] {
+			return nil, fmt.Errorf("poison-quarantine: poisoned run completed with wrong digest %s != %s", pView.Digest, base[key])
+		}
+
+		cView, cerr := s.RunSync(context.Background(), spec)
+		if cerr != nil || cView.State != server.StateDone {
+			return nil, fmt.Errorf("poison-quarantine: clean follower failed: %v (%s)", cerr, cView.Code)
+		}
+		if cView.Digest != base[key] {
+			return nil, fmt.Errorf("poison-quarantine: SILENT DIVERGENCE: follower digest %s != baseline %s — poison escaped the quarantine",
+				cView.Digest, base[key])
+		}
+		st := s.Stats()
+		_ = s.Close() //nolint:errcheck // verdict already extracted
+		rows = append(rows, &ServerChaosRow{
+			Scenario: "poison-quarantine", Seed: seed + 7, Outcome: OutcomeHealed,
+			Detail: detail + "; follower bit-identical",
+			Jobs:   2, Done: 2, Retries: st.Retries, Wall: scSince(start),
+		})
+	}
+
+	return rows, nil
+}
+
+// RenderServerChaos formats the suite's verdicts.
+func RenderServerChaos(rows []*ServerChaosRow) string {
+	var b strings.Builder
+	b.WriteString("Server chaos suite: every job submitted to the service must end\n")
+	b.WriteString("recovered, retried, or typed — never silently lost or silently wrong.\n\n")
+	fmt.Fprintf(&b, "%-20s %-11s %5s %5s %5s %7s %5s %5s  %s\n",
+		"scenario", "outcome", "jobs", "done", "shed", "retries", "recov", "torn", "detail")
+	for _, r := range rows {
+		detail := r.Detail
+		if len(detail) > 56 {
+			detail = detail[:53] + "..."
+		}
+		fmt.Fprintf(&b, "%-20s %-11s %5d %5d %5d %7d %5d %5d  %s\n",
+			r.Scenario, r.Outcome, r.Jobs, r.Done, r.Shed, r.Retries, r.Recovered, r.Torn, detail)
+	}
+	return b.String()
+}
+
+// serverChaosJSON is the JSON row shape.
+type serverChaosJSON struct {
+	Scenario  string `json:"scenario"`
+	Seed      uint64 `json:"seed"`
+	Outcome   string `json:"outcome"`
+	Detail    string `json:"detail"`
+	Jobs      int    `json:"jobs"`
+	Done      int    `json:"done"`
+	Shed      int    `json:"shed"`
+	Retries   uint64 `json:"retries"`
+	Recovered uint64 `json:"recovered"`
+	Torn      uint64 `json:"torn"`
+	WallMS    int64  `json:"wall_ms"`
+}
+
+// WriteServerChaosJSON emits the rows as indented JSON.
+func WriteServerChaosJSON(w io.Writer, rows []*ServerChaosRow) error {
+	out := make([]serverChaosJSON, len(rows))
+	for i, r := range rows {
+		out[i] = serverChaosJSON{
+			Scenario: r.Scenario, Seed: r.Seed, Outcome: r.Outcome, Detail: r.Detail,
+			Jobs: r.Jobs, Done: r.Done, Shed: r.Shed,
+			Retries: r.Retries, Recovered: r.Recovered, Torn: r.Torn,
+			WallMS: r.Wall.Milliseconds(),
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -216,6 +216,20 @@ func WithShadowVerify(rate float64) Option {
 	return func(c *Config) { c.Memo.VerifyRate = rate }
 }
 
+// WithSharedCache attaches a process-wide shared p-action cache: before
+// simulating, the run imports the graph published for its (program, machine)
+// fingerprint — a warm start exactly like WithSnapshotLoad, but fed by
+// concurrent runs instead of a file — and after a successful run it offers
+// its merged graph back under epoch-based publication. A run that
+// quarantined any chain instead poisons the epoch it imported, so a corrupt
+// chain is never shared. Sharing changes speed and Result.Memo accounting,
+// never the simulation Result: warm starts are bit-identical to cold runs.
+// An explicit WithSnapshotLoad takes precedence over the shared cache.
+// A nil sc is ignored. See docs/SERVER.md.
+func WithSharedCache(sc *SharedCache) Option {
+	return func(c *Config) { c.Shared = sc }
+}
+
 // WithFaultInjection arms deterministic fault injection at every site the
 // run passes through: memo allocation failures, chain bit flips, and
 // snapshot IO faults. For chaos testing only — see NewChaosInjector and

@@ -93,6 +93,48 @@ func TestOptionsOrderingAndRunConfig(t *testing.T) {
 	}
 }
 
+func TestOptionsSharedCache(t *testing.T) {
+	prog, err := Assemble("demo.s", demoSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewSharedCache(2)
+	first, err := Run(prog, WithSharedCache(sc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Shared.Published {
+		t.Error("first run did not publish to the shared cache")
+	}
+	second, err := Run(prog, WithSharedCache(sc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Shared.Warmed {
+		t.Error("second run did not warm from the shared cache")
+	}
+	if first.Cycles != second.Cycles || first.Checksum != second.Checksum {
+		t.Errorf("shared warm run diverged: %d/%d cycles, %d/%d checksum",
+			first.Cycles, second.Cycles, first.Checksum, second.Checksum)
+	}
+	// Sharing composes with SlowSim only trivially: with memoization off
+	// the cache is never consulted.
+	slow, err := Run(prog, WithSharedCache(sc), WithMemoize(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Shared.Warmed || slow.Shared.Published {
+		t.Error("SlowSim run touched the shared cache")
+	}
+	if slow.Cycles != first.Cycles {
+		t.Errorf("SlowSim disagrees with shared FastSim: %d vs %d", slow.Cycles, first.Cycles)
+	}
+	st := sc.Stats()
+	if st.Publishes == 0 || st.Warm == 0 {
+		t.Errorf("shared stats missing activity: %+v", st)
+	}
+}
+
 func TestRunContextCancellation(t *testing.T) {
 	prog, err := Assemble("demo.s", demoSrc)
 	if err != nil {
