@@ -85,13 +85,25 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v) //nolint:errcheck // best-effort HTTP response
 }
 
+// maxSpecBytes bounds a job-spec request body. It sits well below the
+// journal reader's line cap (maxJournalLine) so that every accepted spec
+// — journalled verbatim inside its accept record — is guaranteed
+// recoverable; validateSpec's maxAsmBytes enforces the same guarantee
+// for embedding callers that bypass HTTP.
+const maxSpecBytes = 1 << 20
+
 // decodeSpec parses the request body strictly: unknown fields are 400s,
-// so a misspelled option can never silently select a default.
-func decodeSpec(r *http.Request) (JobSpec, error) {
+// so a misspelled option can never silently select a default, and bodies
+// over maxSpecBytes are rejected before they can reach the journal.
+func decodeSpec(w http.ResponseWriter, r *http.Request) (JobSpec, error) {
 	var spec JobSpec
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return spec, codeErr(CodeBadRequest, err, "spec exceeds %d bytes", tooBig.Limit)
+		}
 		return spec, codeErr(CodeBadRequest, err, "decode spec: %v", err)
 	}
 	return spec, nil
@@ -113,7 +125,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	spec, err := decodeSpec(r)
+	spec, err := decodeSpec(w, r)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -152,7 +164,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 // simulation at the next episode boundary — no abandoned work, and no
 // journal completion record for a run that never completed.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
-	spec, err := decodeSpec(r)
+	spec, err := decodeSpec(w, r)
 	if err != nil {
 		writeErr(w, err)
 		return

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -96,6 +97,10 @@ type journal struct {
 	path  string
 	retry snapshot.RetryPolicy
 
+	// fsync flushes the file; tests substitute it to model fsync failures
+	// (nearly impossible to provoke on a real filesystem).
+	fsync func(*os.File) error
+
 	// inject, when armed, fires the server.journal.write site inside each
 	// append; injMu serializes it with the server's other injector users
 	// (the injector itself is single-goroutine).
@@ -113,10 +118,15 @@ type journal struct {
 	torn uint64
 }
 
+// maxJournalLine bounds a single journal record on read. Admission caps
+// specs (maxAsmBytes, maxSpecBytes) far below it, so any line this long
+// is corruption, not data.
+const maxJournalLine = 4 << 20
+
 // readJournal decodes the journal at path, tolerating a torn tail: the
-// first undecodable or checksum-failing line ends the read, and every
-// line after it is discarded (a record after a torn line cannot be
-// ordered against the tear, so trusting it would reorder history).
+// first undecodable, checksum-failing, or oversized line ends the read,
+// and every line after it is discarded (a record after a torn line cannot
+// be ordered against the tear, so trusting it would reorder history).
 // Returns the surviving records and the number of dropped lines.
 func readJournal(path string) (recs []journalRec, dropped int, err error) {
 	f, err := os.Open(path)
@@ -128,7 +138,7 @@ func readJournal(path string) (recs []journalRec, dropped int, err error) {
 	}
 	defer f.Close() //nolint:errcheck // read-only
 	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 4<<20)
+	sc.Buffer(make([]byte, 0, 64*1024), maxJournalLine)
 	lines := 0
 	for sc.Scan() {
 		lines++
@@ -147,7 +157,17 @@ func readJournal(path string) (recs []journalRec, dropped int, err error) {
 		}
 		recs = append(recs, r)
 	}
-	return recs, 0, sc.Err()
+	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			// An oversized line can never verify, so it is corruption by
+			// definition: treat it like a torn tail (drop it and whatever
+			// follows) rather than failing recovery — one bad record must
+			// never brick the server.
+			return recs, 1, nil
+		}
+		return recs, 0, err
+	}
+	return recs, 0, nil
 }
 
 // openJournal opens (creating if needed) the append handle at path and
@@ -158,7 +178,7 @@ func openJournal(path string, lastSeq uint64, retry snapshot.RetryPolicy, inject
 	if err != nil {
 		return nil, err
 	}
-	return &journal{path: path, retry: retry, inject: inject, injMu: injMu, f: f, seq: lastSeq}, nil
+	return &journal{path: path, retry: retry, fsync: (*os.File).Sync, inject: inject, injMu: injMu, f: f, seq: lastSeq}, nil
 }
 
 // append seals and durably writes one record: write + fsync under the
@@ -195,7 +215,20 @@ func (j *journal) append(r journalRec) error {
 			j.f.Truncate(off) //nolint:errcheck // best-effort rollback; a torn line is tolerated on read
 			return werr
 		}
-		return j.f.Sync()
+		if serr := j.fsync(j.f); serr != nil {
+			// Roll back on fsync failure too: the line hit the page cache
+			// in full, so letting the retry re-write it would duplicate a
+			// sealed record and break the strictly-increasing-Seq invariant
+			// the torn-tail reasoning relies on. Post-failure page-cache
+			// state is unreliable, so the handle is reopened for the retry.
+			j.f.Truncate(off) //nolint:errcheck // best-effort rollback; a torn line is tolerated on read
+			if nf, oerr := os.OpenFile(j.path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644); oerr == nil {
+				j.f.Close() //nolint:errcheck // superseded handle
+				j.f = nf
+			}
+			return serr
+		}
+		return nil
 	})
 	if err != nil {
 		return fmt.Errorf("journal append: %w", err)

@@ -120,6 +120,12 @@ type Server struct {
 
 	injMu sync.Mutex // serializes Options.Inject across goroutines
 
+	// testHookAcceptAppend, when non-nil, runs between the durable accept
+	// and the enqueue — the window where submit holds no lock. Tests use
+	// it to force the submit/drain and queue-depth interleavings
+	// deterministically; it must be set before any Submit call.
+	testHookAcceptAppend func()
+
 	wg   sync.WaitGroup
 	cond *sync.Cond // signalled on queue pushes and job completions; see mu
 
@@ -130,6 +136,11 @@ type Server struct {
 	order []string
 	// fastsim:guarded-by(mu)
 	pending []*Job
+	// pendingReserved counts submissions past admission but not yet in
+	// pending (the lock is dropped for the journal fsync); the queue-depth
+	// check includes it so concurrent submits cannot overshoot the bound.
+	// fastsim:guarded-by(mu)
+	pendingReserved int
 	// fastsim:guarded-by(mu)
 	nextSeq uint64
 	// fastsim:guarded-by(mu)
@@ -355,7 +366,7 @@ func (s *Server) submit(spec JobSpec, syncCtx context.Context) (*Job, error) {
 			return nil, codeErr(CodeAcceptFault, faultinject.ErrInjected, "injected accept fault")
 		}
 	}
-	if len(s.pending) >= s.opts.QueueDepth {
+	if len(s.pending)+s.pendingReserved >= s.opts.QueueDepth {
 		s.counters.shed++
 		s.mu.Unlock()
 		return nil, codeErr(CodeQueueFull, nil, "queue full (%d jobs)", s.opts.QueueDepth)
@@ -370,6 +381,7 @@ func (s *Server) submit(spec JobSpec, syncCtx context.Context) (*Job, error) {
 	s.nextSeq++
 	seq := s.nextSeq
 	s.memInUse += charge
+	s.pendingReserved++
 	s.mu.Unlock()
 
 	job := &Job{
@@ -396,14 +408,33 @@ func (s *Server) submit(spec JobSpec, syncCtx context.Context) (*Job, error) {
 	// the job can run or be observed, so a crash at any later instant
 	// recovers it.
 	if err := s.jnl.append(journalRec{Rec: recAccept, Job: job.ID, JobSeq: seq, Spec: &job.Spec}); err != nil {
-		s.mu.Lock()
-		s.memInUse -= charge
-		s.counters.shed++
-		s.mu.Unlock()
+		s.releaseAdmission(job)
 		return nil, codeErr(CodeAcceptFault, err, "journal accept: %v", err)
+	}
+	if s.testHookAcceptAppend != nil {
+		s.testHookAcceptAppend()
 	}
 
 	s.mu.Lock()
+	s.pendingReserved--
+	if s.draining || s.stopping {
+		// Drain won the race while the lock was dropped for the fsync:
+		// the workers may already be gone, so enqueueing now would strand
+		// the job forever (RunSync would hang on job.done). Roll back and
+		// shed; the cancel record resolves the journalled accept so
+		// recovery never re-queues it.
+		s.counters.shed++
+		s.memInUse -= charge
+		s.mu.Unlock()
+		job.cancel(codeErr(CodeDraining, nil, "server is draining"))
+		if job.stopAfter != nil {
+			job.stopAfter()
+		}
+		s.jnl.append(journalRec{ //nolint:errcheck // best-effort: a lost cancel record only re-runs a deterministic job on recovery
+			Rec: recCancel, Job: job.ID, Code: CodeDraining, Msg: "shed: server began draining during accept",
+		})
+		return nil, codeErr(CodeDraining, nil, "server is draining")
+	}
 	s.jobs[job.ID] = job
 	s.order = append(s.order, job.ID)
 	s.pending = append(s.pending, job)
@@ -413,15 +444,41 @@ func (s *Server) submit(spec JobSpec, syncCtx context.Context) (*Job, error) {
 	return job, nil
 }
 
+// releaseAdmission rolls back a submission that passed admission but was
+// never enqueued: the memory charge, the queue reservation, and the job's
+// contexts (which would otherwise accumulate as live children of baseCtx
+// under sustained journal faults).
+func (s *Server) releaseAdmission(job *Job) {
+	s.mu.Lock()
+	s.memInUse -= job.charge
+	s.pendingReserved--
+	s.counters.shed++
+	s.mu.Unlock()
+	job.cancel(codeErr(CodeAcceptFault, nil, "admission rolled back"))
+	if job.stopAfter != nil {
+		job.stopAfter()
+	}
+}
+
+// maxAsmBytes caps a tenant-supplied assembly listing. The bound keeps a
+// journalled accept record — the spec is embedded verbatim, and JSON
+// escaping can expand control characters up to 6x — safely below
+// readJournal's maxJournalLine, so an accepted job can always be
+// recovered after a crash.
+const maxAsmBytes = 512 << 10
+
 // validateSpec front-loads the spec errors that don't require assembling
-// the program: program selection, policy names, option ranges, fault
-// sites.
+// the program: program selection, size bounds, policy names, option
+// ranges, fault sites.
 func validateSpec(spec *JobSpec) error {
 	if spec.Workload == "" && spec.Asm == "" {
 		return codeErr(CodeBadRequest, nil, "spec selects no program (set workload or asm)")
 	}
 	if spec.Workload != "" && spec.Asm != "" {
 		return codeErr(CodeBadRequest, nil, "workload and asm are mutually exclusive")
+	}
+	if len(spec.Asm) > maxAsmBytes {
+		return codeErr(CodeBadRequest, nil, "asm is %d bytes; the limit is %d", len(spec.Asm), maxAsmBytes)
 	}
 	if _, err := spec.buildConfig(); err != nil {
 		return err
